@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``benchmarks/test_*.py`` module regenerates one table or figure of
+the paper (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+rendered figures) and asserts the paper's claims about it.
+
+Environment knobs:
+
+- ``REPRO_BENCH_FULL=1`` enlarges the native accuracy experiment (more
+  corruptions, longer streams).  The default keeps the whole suite in
+  a few minutes; trained tiny models are cached on disk either way.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.runner import run_simulated_study
+from repro.models.registry import MODEL_NAMES, build_model
+from repro.models.summary import summarize
+
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def summaries():
+    return {name: summarize(build_model(name, "full"), name=name)
+            for name in MODEL_NAMES}
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The full simulated paper grid, including MobileNet."""
+    return run_simulated_study(StudyConfig(
+        models=("resnext29", "wrn40_2", "resnet18", "mobilenet_v2")))
+
+
+@pytest.fixture(scope="session")
+def robust_grid_study():
+    """The paper's 3-robust-model grid (Figs. 3-12)."""
+    return run_simulated_study(StudyConfig())
+
+
+@pytest.fixture(scope="session")
+def native_config():
+    corruptions = ("gaussian_noise", "fog", "contrast", "brightness",
+                   "pixelate", "snow")
+    if FULL_MODE:
+        from repro.data.corruptions import CORRUPTION_NAMES
+        corruptions = tuple(CORRUPTION_NAMES)
+    return StudyConfig(
+        corruptions=corruptions,
+        image_size=16,
+        stream_samples=1200 if FULL_MODE else 600,
+        train_samples=4000,
+        train_epochs=10,
+    )

@@ -1,0 +1,65 @@
+"""Ablation — batch-size scaling (insight: "bigger batch sizes ... may
+not be reasonable for memory-constrained devices").
+
+Sweeps adaptation batch size well beyond the paper's 50/100/200 grid and
+locates, per device, the largest feasible BN-Opt batch for each model —
+quantifying the diminishing-returns-vs-cost trade the paper describes.
+"""
+
+import pytest
+
+from repro.devices import device_info, estimate_memory, forward_latency
+from repro.devices.calibrate import METHOD_FLAGS
+
+BATCHES = (25, 50, 100, 200, 400, 800)
+
+
+def _sweep(summaries):
+    rows = {}
+    for device_name in ("ultra96", "rpi4", "xavier_nx_gpu"):
+        device = device_info(device_name)
+        for model in ("wrn40_2", "resnext29"):
+            summary = summaries[model]
+            feasible = []
+            for batch in BATCHES:
+                memory = estimate_memory(summary, batch, device,
+                                         does_backward=True)
+                if memory.fits:
+                    latency = forward_latency(summary, batch, device,
+                                              adapts_bn_stats=True,
+                                              does_backward=True)
+                    feasible.append((batch, latency.forward_time_s,
+                                     memory.total_gb))
+            rows[(device_name, model)] = feasible
+    return rows
+
+
+def test_ablation_batch_size_scaling(benchmark, summaries):
+    rows = benchmark(_sweep, summaries)
+    print("\nAblation: largest feasible BN-Opt batch per device")
+    for (device, model), feasible in rows.items():
+        largest = feasible[-1][0] if feasible else 0
+        print(f"  {device:14s} {model:10s} max batch {largest:4d} "
+              f"({len(feasible)}/{len(BATCHES)} feasible)")
+
+    # memory ceilings order as expected: FPGA < GPU (shared w/ cuDNN) < Pi
+    wrn_ceiling = {d: rows[(d, "wrn40_2")][-1][0]
+                   for d in ("ultra96", "rpi4", "xavier_nx_gpu")}
+    assert wrn_ceiling["ultra96"] < wrn_ceiling["rpi4"]
+    rxt_ceiling = {d: (rows[(d, "resnext29")][-1][0]
+                       if rows[(d, "resnext29")] else 0)
+                   for d in ("ultra96", "rpi4", "xavier_nx_gpu")}
+    assert rxt_ceiling["ultra96"] == 50
+    assert rxt_ceiling["xavier_nx_gpu"] == 100
+    assert rxt_ceiling["rpi4"] >= 200
+
+    # time per batch grows near-linearly: batching amortizes only the
+    # fixed per-adaptation costs (per-channel/per-layer stat tails and
+    # dispatch), so scaling is slightly sublinear but close to batch ratio
+    for feasible in rows.values():
+        times = [t for _, t, _ in feasible]
+        assert times == sorted(times)
+        if len(feasible) >= 2:
+            (b0, t0, _), (b1, t1, _) = feasible[0], feasible[-1]
+            ratio = b1 / b0
+            assert 0.6 * ratio <= t1 / t0 <= 1.1 * ratio

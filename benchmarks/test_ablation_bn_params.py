@@ -1,0 +1,72 @@
+"""Ablation — BN-parameter-count sensitivity (insight i: "trade-offs
+between BN parameters, prediction accuracy, and execution time/memory
+requirements must be considered when designing a robust DNN for edge").
+
+Correlates the adaptation overhead of all four models (on each device)
+with their BN footprint, and sweeps MobileNet width multipliers to show
+the overhead scales with BN elements even within one architecture family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices import device_info, forward_latency
+from repro.models.mobilenet import mobilenet_v2
+from repro.models.summary import summarize
+
+
+def _overheads(summaries, device_name):
+    device = device_info(device_name)
+    rows = {}
+    for name, summary in summaries.items():
+        base = forward_latency(summary, 50, device, adapts_bn_stats=False,
+                               does_backward=False)
+        norm = forward_latency(summary, 50, device, adapts_bn_stats=True,
+                               does_backward=False)
+        rows[name] = (summary.bn_elements,
+                      norm.forward_time_s - base.forward_time_s)
+    return rows
+
+
+def test_ablation_bn_footprint_drives_overhead(benchmark, summaries):
+    rows = benchmark(_overheads, summaries, "xavier_nx_gpu")
+    print("\nAblation: BN-Norm overhead vs BN elements (NX GPU, batch 50)")
+    for name, (elems, overhead) in sorted(rows.items(),
+                                          key=lambda kv: kv[1][0]):
+        print(f"  {name:14s} bn_elems={elems / 1e6:6.2f}M "
+              f"overhead={overhead:6.3f}s")
+
+    elems = np.array([rows[n][0] for n in rows])
+    overheads = np.array([rows[n][1] for n in rows])
+    correlation = np.corrcoef(elems, overheads)[0, 1]
+    assert correlation > 0.95   # overhead is essentially BN-element-bound
+
+    # the paper's specific ordering: MNv2 overhead > WRN/R18, < RXT
+    assert rows["mobilenet_v2"][1] > rows["wrn40_2"][1]
+    assert rows["mobilenet_v2"][1] > rows["resnet18"][1]
+    assert rows["mobilenet_v2"][1] < rows["resnext29"][1]
+
+
+def test_ablation_mobilenet_width_sweep(benchmark):
+    def sweep():
+        results = []
+        device = device_info("xavier_nx_gpu")
+        for width in (0.25, 0.5, 1.0):
+            summary = summarize(mobilenet_v2(width_mult=width),
+                                name=f"mnv2-w{width}")
+            base = forward_latency(summary, 50, device,
+                                   adapts_bn_stats=False, does_backward=False)
+            norm = forward_latency(summary, 50, device,
+                                   adapts_bn_stats=True, does_backward=False)
+            results.append((width, summary.bn_params,
+                            norm.forward_time_s - base.forward_time_s))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: MobileNet width multiplier vs adaptation overhead")
+    for width, bn_params, overhead in results:
+        print(f"  width={width:4.2f} bn_params={bn_params:6d} "
+              f"overhead={overhead:6.3f}s")
+    overheads = [o for _, _, o in results]
+    assert overheads == sorted(overheads)   # monotone in width
+    assert overheads[-1] > 2.5 * overheads[0]

@@ -1,0 +1,105 @@
+"""Ablation — hypothetical hardware co-design (insights iii and v).
+
+The paper concludes that adaptation-aware accelerators are needed:
+"additional MACs and routing fabric would make back propagation less
+costly, and low power memories ... would enable larger batch sizes".
+This bench quantifies both proposals on the simulator:
+
+1. a backward-pass accelerator (conv_bw_factor -> 1.0, i.e. backward as
+   fast as forward) — how much of BN-Opt's overhead disappears;
+2. a BN-statistics engine (10x faster stat recompute) — what it does to
+   the A3 operating point's 213 ms overhead;
+3. doubled device memory — which OOM configurations become feasible.
+"""
+
+import pytest
+
+from repro.devices import device_info, estimate_memory, forward_latency
+from repro.devices.energy import energy_per_batch
+
+
+def _bnopt_time(summary, device):
+    return forward_latency(summary, 50, device, adapts_bn_stats=True,
+                           does_backward=True).forward_time_s
+
+
+def test_ablation_backward_accelerator(benchmark, summaries):
+    def run():
+        device = device_info("ultra96")
+        accelerated = device.with_overrides(conv_bw_factor=1.0,
+                                            bn_bw_factor=1.0)
+        wrn = summaries["wrn40_2"]
+        return _bnopt_time(wrn, device), _bnopt_time(wrn, accelerated)
+
+    baseline, accelerated = benchmark(run)
+    saving = 100 * (baseline - accelerated) / baseline
+    print(f"\nAblation: FPGA backward accelerator — BN-Opt {baseline:.2f}s"
+          f" -> {accelerated:.2f}s ({saving:.0f}% saved)")
+    # backward dominates BN-Opt on the A53: a fw-speed backward engine
+    # recovers more than a third of the forward time
+    assert saving > 35.0
+
+
+def test_ablation_bn_stat_engine(benchmark, summaries):
+    def run():
+        device = device_info("xavier_nx_gpu")
+        engine = device.with_overrides(
+            bn_adapt_s_per_elem=device.bn_adapt_s_per_elem / 10)
+        wrn = summaries["wrn40_2"]
+        base_na = forward_latency(wrn, 50, device, adapts_bn_stats=False,
+                                  does_backward=False).forward_time_s
+        overhead_now = forward_latency(wrn, 50, device, adapts_bn_stats=True,
+                                       does_backward=False).forward_time_s - base_na
+        overhead_engine = forward_latency(wrn, 50, engine,
+                                          adapts_bn_stats=True,
+                                          does_backward=False).forward_time_s - base_na
+        return overhead_now, overhead_engine
+
+    now, engineered = benchmark(run)
+    print(f"\nAblation: BN-stat engine on NX GPU — A3 adaptation overhead "
+          f"{now * 1e3:.0f}ms -> {engineered * 1e3:.0f}ms")
+    assert now == pytest.approx(0.213, rel=0.05)   # the paper's bottleneck
+    assert engineered < 0.05                        # engine removes it
+
+
+def test_ablation_memory_doubling(benchmark, summaries):
+    def run():
+        results = {}
+        for device_name, batch in (("ultra96", 100), ("xavier_nx_gpu", 200)):
+            device = device_info(device_name)
+            doubled = device.with_overrides(
+                memory_total_gb=2 * device.memory_total_gb)
+            rxt = summaries["resnext29"]
+            results[device_name] = (
+                estimate_memory(rxt, batch, device, does_backward=True).fits,
+                estimate_memory(rxt, batch, doubled, does_backward=True).fits,
+            )
+        return results
+
+    results = benchmark(run)
+    print("\nAblation: doubled DRAM — ResNeXt BN-Opt feasibility")
+    for device_name, (before, after) in results.items():
+        print(f"  {device_name:14s} before={before} after={after}")
+    # both paper OOM events are cured by doubling memory
+    assert results["ultra96"] == (False, True)
+    assert results["xavier_nx_gpu"] == (False, True)
+
+
+def test_ablation_energy_delay_product(benchmark, robust_grid_study):
+    """Extension metric: rank devices by energy-delay product for the A3
+    workload, a common architecture figure of merit the paper stops
+    short of computing."""
+    def run():
+        rows = {}
+        for device_name in ("ultra96", "rpi4", "xavier_nx_cpu",
+                            "xavier_nx_gpu"):
+            r = robust_grid_study.one("wrn40_2", "bn_norm", 50, device_name)
+            rows[device_name] = r.forward_time_s * r.energy_j
+        return rows
+
+    edp = benchmark(run)
+    print("\nAblation: energy-delay product, WRN-50 + BN-Norm")
+    for name, value in sorted(edp.items(), key=lambda kv: kv[1]):
+        print(f"  {name:14s} EDP={value:8.3f} J*s")
+    assert min(edp, key=edp.get) == "xavier_nx_gpu"
+    assert max(edp, key=edp.get) == "ultra96"

@@ -1,0 +1,104 @@
+"""Ablation — real-time feasibility (insight iii, quantified).
+
+The paper warns that the 213 ms A3 adaptation overhead "can be a
+bottleneck for tight deadlines" but never models the deadline side.
+This bench plays timed streams against the devices and derives:
+
+- the sustainable-fps matrix per (device, method);
+- the crossover camera rate at which each device starts dropping
+  BN-Norm batches;
+- that under overload, the *effective* accuracy advantage of adaptation
+  collapses toward the frozen baseline — i.e. a faster device can be
+  worth more accuracy than a better algorithm.
+"""
+
+import pytest
+
+from repro.core.streaming import RealTimeStream, max_sustainable_fps, simulate_realtime
+from repro.devices import device_info
+
+
+def test_ablation_sustainable_fps_matrix(benchmark, summaries):
+    def run():
+        matrix = {}
+        for device_name in ("ultra96", "rpi4", "xavier_nx_cpu",
+                            "xavier_nx_gpu"):
+            device = device_info(device_name)
+            for method in ("no_adapt", "bn_norm", "bn_opt"):
+                matrix[(device_name, method)] = max_sustainable_fps(
+                    summaries["wrn40_2"], device, method, 50)
+        return matrix
+
+    matrix = benchmark(run)
+    print("\nAblation: sustainable fps (WRN-40-2, batch 50)")
+    for (device, method), fps in matrix.items():
+        print(f"  {device:14s} {method:9s} {fps:8.1f} fps")
+
+    # ordering within every device: adaptation costs throughput
+    for device in ("ultra96", "rpi4", "xavier_nx_cpu", "xavier_nx_gpu"):
+        assert (matrix[(device, "no_adapt")] > matrix[(device, "bn_norm")]
+                > matrix[(device, "bn_opt")])
+
+    # only the GPU holds a 30 fps camera with BN-Norm
+    holds_30 = {d for d in ("ultra96", "rpi4", "xavier_nx_cpu",
+                            "xavier_nx_gpu")
+                if matrix[(d, "bn_norm")] >= 30.0}
+    assert holds_30 == {"xavier_nx_cpu", "xavier_nx_gpu"}
+    # ... and nothing but the GPU holds 30 fps with BN-Opt
+    holds_30_opt = {d for d in ("ultra96", "rpi4", "xavier_nx_cpu",
+                                "xavier_nx_gpu")
+                    if matrix[(d, "bn_opt")] >= 30.0}
+    assert holds_30_opt == {"xavier_nx_gpu"}
+
+
+def test_ablation_overload_collapses_adaptation_benefit(benchmark, summaries):
+    def run():
+        device = device_info("rpi4")
+        results = {}
+        for fps in (5, 60):
+            stream = RealTimeStream(fps=fps, num_frames=4000, batch_size=50,
+                                    queue_capacity=1)
+            card = simulate_realtime(summaries["wrn40_2"], device, "bn_norm",
+                                     stream)
+            results[fps] = card
+        return results
+
+    results = benchmark(run)
+    relaxed, overloaded = results[5], results[60]
+    print(f"\nAblation: RPi BN-Norm — 5 fps: err "
+          f"{relaxed.effective_error_pct:.2f}% (drops {relaxed.drop_rate:.0%});"
+          f" 60 fps: err {overloaded.effective_error_pct:.2f}% "
+          f"(drops {overloaded.drop_rate:.0%})")
+
+    assert relaxed.drop_rate == 0.0
+    assert relaxed.effective_error_pct == pytest.approx(15.21)
+    assert overloaded.drop_rate > 0.5
+    # effective error pulled most of the way back to No-Adapt's 18.26
+    assert overloaded.effective_error_pct > 17.0
+
+
+def test_ablation_faster_device_beats_better_algorithm(benchmark, summaries):
+    """At 30 fps: frozen NX GPU vs adapting RPi — the GPU's *frozen*
+    model is beaten by its own BN-Norm, but the RPi's BN-Norm, drowning
+    in drops, is worse than the GPU frozen baseline's 18.26%."""
+    def run():
+        stream = RealTimeStream(fps=30, num_frames=4000, batch_size=50,
+                                queue_capacity=1)
+        rpi = simulate_realtime(summaries["wrn40_2"], device_info("rpi4"),
+                                "bn_norm", stream)
+        gpu_frozen = simulate_realtime(summaries["wrn40_2"],
+                                       device_info("xavier_nx_gpu"),
+                                       "no_adapt", stream)
+        gpu_adapt = simulate_realtime(summaries["wrn40_2"],
+                                      device_info("xavier_nx_gpu"),
+                                      "bn_norm", stream)
+        return rpi, gpu_frozen, gpu_adapt
+
+    rpi, gpu_frozen, gpu_adapt = benchmark(run)
+    print(f"\nAblation @30fps: RPi+BN-Norm {rpi.effective_error_pct:.2f}% "
+          f"(drops {rpi.drop_rate:.0%}) vs GPU frozen "
+          f"{gpu_frozen.effective_error_pct:.2f}% vs GPU+BN-Norm "
+          f"{gpu_adapt.effective_error_pct:.2f}%")
+    assert gpu_adapt.effective_error_pct < gpu_frozen.effective_error_pct
+    assert rpi.effective_error_pct > gpu_adapt.effective_error_pct
+    assert rpi.drop_rate > 0.2

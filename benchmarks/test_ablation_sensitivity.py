@@ -1,0 +1,78 @@
+"""Ablation — ranking hardware levers by elasticity (insight v).
+
+The paper's hardware wishlist ("additional MACs and routing fabric would
+make back propagation less costly, and low power memories ... would
+enable larger batch sizes") names candidate levers without ranking them.
+This bench computes the *elasticity* of the BN-Opt and BN-Norm operating
+points to every device constant and ranks the levers — the quantitative
+version of Section IV-G(v).
+"""
+
+import pytest
+
+from repro.devices import device_info
+from repro.devices.whatif import (
+    energy_metric,
+    format_sensitivities,
+    latency_metric,
+    sensitivities,
+)
+
+
+def test_ablation_bnopt_latency_levers(benchmark, summaries):
+    def run():
+        device = device_info("ultra96")
+        metric = latency_metric(summaries["wrn40_2"], 50,
+                                adapts_bn_stats=True, does_backward=True)
+        return sensitivities(device, metric)
+
+    ranked = benchmark(run)
+    print("\n" + format_sensitivities(
+        ranked, title="Ablation: BN-Opt latency levers on Ultra96-v2"))
+
+    by_name = {s.field_name: s.elasticity for s in ranked}
+    # conv throughput is the single biggest lever (forward AND backward
+    # scale with it) — the paper's "additional MACs" wish, ranked first
+    assert ranked[0].field_name == "dense_gmacs_per_s"
+    assert by_name["dense_gmacs_per_s"] < -0.7
+    # the backward ratio is the next structural lever
+    assert abs(by_name["conv_bw_factor"]) > abs(by_name["bn_bw_factor"])
+    # power knobs do not move latency at all
+    assert by_name["power_forward_w"] == 0.0
+
+
+def test_ablation_bnnorm_latency_levers_on_gpu(benchmark, summaries):
+    def run():
+        device = device_info("xavier_nx_gpu")
+        metric = latency_metric(summaries["wrn40_2"], 50,
+                                adapts_bn_stats=True, does_backward=False)
+        return sensitivities(device, metric)
+
+    ranked = benchmark(run)
+    print("\n" + format_sensitivities(
+        ranked, title="Ablation: BN-Norm latency levers on NX GPU"))
+
+    # On the GPU at the A3 point, the statistics-recompute constant is
+    # the dominant lever — a "BN statistics engine" beats more MACs,
+    # which is exactly the custom-accelerator direction insight iii
+    # proposes.
+    assert ranked[0].field_name == "bn_adapt_s_per_elem"
+    by_name = {s.field_name: s.elasticity for s in ranked}
+    assert by_name["bn_adapt_s_per_elem"] > abs(by_name["dense_gmacs_per_s"])
+
+
+def test_ablation_energy_levers(benchmark, summaries):
+    def run():
+        device = device_info("rpi4")
+        metric = energy_metric(summaries["wrn40_2"], 50,
+                               adapts_bn_stats=True, does_backward=True)
+        return sensitivities(device, metric)
+
+    ranked = benchmark(run)
+    print("\n" + format_sensitivities(
+        ranked, title="Ablation: BN-Opt energy levers on RPi"))
+    by_name = {s.field_name: s.elasticity for s in ranked}
+    # energy responds to both time levers and power levers; the backward
+    # power dominates the power side for BN-Opt (backward is ~2/3 of time)
+    assert by_name["power_backward_w"] > by_name["power_forward_w"] > 0
+    assert by_name["dense_gmacs_per_s"] < 0

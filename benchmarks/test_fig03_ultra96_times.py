@@ -1,0 +1,43 @@
+"""Fig. 3 — Ultra96-v2 PS forward times (inference + adaptation).
+
+Paper claims verified: WRN-AM-50 anchor times (3.58 / 3.95 / 13.35 s),
+mean BN-Norm overhead 1.40 s, mean BN-Opt overhead 30.27 s, and the two
+ResNeXt OOM cases.
+"""
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.report import render_forward_times
+from repro.core.runner import run_simulated_study
+
+
+def _ultra96_grid():
+    return run_simulated_study(StudyConfig(devices=("ultra96",)))
+
+
+def test_fig3_ultra96_forward_times(benchmark):
+    result = benchmark(_ultra96_grid)
+    print("\n" + render_forward_times(result, "ultra96",
+                                      title="Fig. 3: Ultra96-v2 PS forward times"))
+
+    wrn50 = {m: result.one("wrn40_2", m, 50, "ultra96").forward_time_s
+             for m in ("no_adapt", "bn_norm", "bn_opt")}
+    assert wrn50["no_adapt"] == pytest.approx(3.58, rel=0.05)
+    assert wrn50["bn_norm"] == pytest.approx(3.95, rel=0.05)
+    assert wrn50["bn_opt"] == pytest.approx(13.35, rel=0.05)
+
+    # mean adaptation overheads across the paper's case sets
+    norm_extra = [result.one(m, "bn_norm", b, "ultra96").adapt_overhead_s
+                  for m in ("wrn40_2", "resnet18", "resnext29")
+                  for b in (50, 100, 200)]
+    assert sum(norm_extra) / len(norm_extra) == pytest.approx(1.40, rel=0.15)
+
+    opt_records = [r for r in result if r.method == "bn_opt" and not r.oom]
+    opt_extra = [r.adapt_overhead_s for r in opt_records]
+    assert len(opt_extra) == 7          # 9 cases minus 2 OOM
+    assert sum(opt_extra) / len(opt_extra) == pytest.approx(30.27, rel=0.15)
+
+    oom_labels = {r.label for r in result if r.oom}
+    assert oom_labels == {"RXT-AM-100 + BN-Opt @ ultra96",
+                          "RXT-AM-200 + BN-Opt @ ultra96"}

@@ -1,0 +1,56 @@
+"""Fig. 4 — Ultra96-v2 conv/BN forward/backward breakdown (batch 50).
+
+Paper claims verified: BN forward under adaptation is ~3.68x (WRN) /
+~4.71x (R18) the inference BN forward; BN-Opt's backward costs up to
+~2.51x (conv) and ~2.78x (BN) their forward passes; the profiler runs out
+of memory for ResNeXt, so the figure contains only WRN and R18.
+"""
+
+import pytest
+
+from repro.devices import device_info
+from repro.profiling import ProfilerOOM, breakdown_for, breakdown_table, format_breakdown
+
+
+def _fig4_rows(summaries):
+    device = device_info("ultra96")
+    return breakdown_table([summaries["wrn40_2"], summaries["resnet18"],
+                            summaries["resnext29"]], device, batch_size=50)
+
+
+def test_fig4_breakdown(benchmark, summaries):
+    rows = benchmark(_fig4_rows, summaries)
+    print("\n" + format_breakdown(
+        rows, title="Fig. 4: Ultra96-v2 fw/bw breakdown (batch 50, seconds)"))
+
+    by_key = {(r.model, r.method): r for r in rows}
+    # ResNeXt absent (profiler OOM), exactly as in the paper's figure
+    assert not any(model == "resnext29" and method == "bn_opt"
+                   for model, method in by_key)
+
+    wrn_ratio = (by_key[("wrn40_2", "bn_norm")].bn_fw_s
+                 / by_key[("wrn40_2", "no_adapt")].bn_fw_s)
+    r18_ratio = (by_key[("resnet18", "bn_norm")].bn_fw_s
+                 / by_key[("resnet18", "no_adapt")].bn_fw_s)
+    assert wrn_ratio == pytest.approx(3.68, rel=0.10)
+    assert r18_ratio == pytest.approx(4.71, rel=0.10)
+    assert r18_ratio > wrn_ratio      # the paper's ordering
+
+    for model in ("wrn40_2", "resnet18"):
+        opt = by_key[(model, "bn_opt")]
+        assert opt.conv_bw_s / opt.conv_fw_s <= 2.51 + 1e-6
+        assert opt.bn_bw_s / opt.bn_fw_s <= 2.78 + 1e-6
+        assert opt.conv_bw_s > opt.conv_fw_s    # backward dominates
+
+
+def test_fig4_rxt_profiler_oom(benchmark, summaries):
+    device = device_info("ultra96")
+
+    def attempt():
+        try:
+            breakdown_for(summaries["resnext29"], device, "bn_opt")
+            return False
+        except ProfilerOOM:
+            return True
+
+    assert benchmark(attempt)

@@ -1,0 +1,44 @@
+"""Fig. 5 — Ultra96-v2 performance-energy-accuracy trade-offs.
+
+Paper claims verified (Section IV-B): the weighted objective selects
+WRN-AM-50 + BN-Norm (equal weights; 3.95 s, 4.93 J, 15.21 %),
+WRN-AM-50 + BN-Opt (accuracy priority; 13.35 s, 14.35 J, 12.37 %), and
+WRN-AM-50 + No-Adapt (performance or energy priority; 3.58 s, 4.47 J,
+18.26 %).
+"""
+
+import pytest
+
+from repro.core.objectives import WEIGHT_CASES, select_best
+from repro.core.report import render_tradeoffs
+
+
+def _selections(study):
+    subset = study.filter(device="ultra96")
+    return {name: select_best(subset, case, "raw")
+            for name, case in WEIGHT_CASES.items()}
+
+
+def test_fig5_ultra96_tradeoffs(benchmark, robust_grid_study):
+    best = benchmark(_selections, robust_grid_study)
+    print("\n" + render_tradeoffs(robust_grid_study, "ultra96",
+                                  title="Fig. 5: Ultra96-v2 trade-offs"))
+
+    equal = best["equal"]
+    assert equal.label == "WRN-AM-50 + BN-Norm @ ultra96"
+    assert equal.forward_time_s == pytest.approx(3.95, rel=0.05)
+    assert equal.energy_j == pytest.approx(4.93, rel=0.05)
+    assert equal.error_pct == 15.21
+
+    accuracy = best["accuracy"]
+    assert accuracy.label == "WRN-AM-50 + BN-Opt @ ultra96"
+    assert accuracy.forward_time_s == pytest.approx(13.35, rel=0.05)
+    assert accuracy.energy_j == pytest.approx(14.35, rel=0.05)
+    assert accuracy.error_pct == 12.37
+
+    for case in ("performance", "energy"):
+        choice = best[case]
+        assert choice.label == "WRN-AM-50 + No-Adapt @ ultra96"
+        assert choice.forward_time_s == pytest.approx(3.58, rel=0.05)
+        assert choice.energy_j == pytest.approx(4.47, rel=0.05)
+        assert choice.error_pct == 18.26

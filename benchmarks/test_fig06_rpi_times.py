@@ -1,0 +1,45 @@
+"""Fig. 6 — Raspberry Pi 4 forward times.
+
+Paper claims verified: all 9 cases run for both adaptation algorithms
+(8 GB), WRN-AM-50 anchors (2.04 / 2.59 / 7.97 s), mean BN-Norm overhead
+0.86 s, mean BN-Opt overhead 24.9 s, and the A72-over-A53 speedup.
+"""
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.report import render_forward_times
+from repro.core.runner import run_simulated_study
+
+
+def _grids():
+    rpi = run_simulated_study(StudyConfig(devices=("rpi4",)))
+    fpga = run_simulated_study(StudyConfig(devices=("ultra96",)))
+    return rpi, fpga
+
+
+def test_fig6_rpi_forward_times(benchmark):
+    rpi, fpga = benchmark(_grids)
+    print("\n" + render_forward_times(rpi, "rpi4",
+                                      title="Fig. 6: Raspberry Pi 4 forward times"))
+
+    assert not any(r.oom for r in rpi)   # "all three DNNs ... able to run"
+
+    wrn50 = {m: rpi.one("wrn40_2", m, 50, "rpi4").forward_time_s
+             for m in ("no_adapt", "bn_norm", "bn_opt")}
+    assert wrn50["no_adapt"] == pytest.approx(2.04, rel=0.05)
+    assert wrn50["bn_norm"] == pytest.approx(2.59, rel=0.05)
+    assert wrn50["bn_opt"] == pytest.approx(7.97, rel=0.05)
+
+    norm_extra = [r.adapt_overhead_s for r in rpi if r.method == "bn_norm"]
+    assert sum(norm_extra) / len(norm_extra) == pytest.approx(0.86, rel=0.15)
+    opt_extra = [r.adapt_overhead_s for r in rpi if r.method == "bn_opt"]
+    assert len(opt_extra) == 9
+    assert sum(opt_extra) / len(opt_extra) == pytest.approx(24.9, rel=0.15)
+
+    # "Due to the use of A72s, these times are reduced compared to the FPGA"
+    for r in rpi.feasible():
+        fpga_record = fpga.filter(model=r.model, method=r.method,
+                                  batch_size=r.batch_size).feasible()
+        if len(fpga_record) == 1:
+            assert r.forward_time_s < fpga_record.records[0].forward_time_s

@@ -1,0 +1,44 @@
+"""Fig. 7 — Raspberry Pi conv/BN fw/bw breakdown (batch 50, all 3 models).
+
+Paper claims verified: BN forward under adaptation up to ~4.6x the
+inference BN forward; backward conv/BN costs are zero for No-Adapt and
+BN-Norm and significant for BN-Opt; all three models are profilable on
+the Pi (unlike the Ultra96).
+"""
+
+import pytest
+
+from repro.devices import device_info
+from repro.profiling import breakdown_table, format_breakdown
+
+
+def _fig7_rows(summaries):
+    device = device_info("rpi4")
+    return breakdown_table([summaries["wrn40_2"], summaries["resnet18"],
+                            summaries["resnext29"]], device, batch_size=50)
+
+
+def test_fig7_rpi_breakdown(benchmark, summaries):
+    rows = benchmark(_fig7_rows, summaries)
+    print("\n" + format_breakdown(
+        rows, title="Fig. 7: RPi fw/bw breakdown (batch 50, seconds)"))
+
+    assert len(rows) == 9   # all three models profile on the Pi
+    by_key = {(r.model, r.method): r for r in rows}
+
+    ratios = []
+    for model in ("wrn40_2", "resnet18", "resnext29"):
+        ratio = (by_key[(model, "bn_norm")].bn_fw_s
+                 / by_key[(model, "no_adapt")].bn_fw_s)
+        ratios.append(ratio)
+        assert ratio > 1.5
+    assert max(ratios) <= 4.6 + 0.5    # "up to 4.6x"
+
+    for model, method in by_key:
+        row = by_key[(model, method)]
+        if method == "bn_opt":
+            assert row.conv_bw_s > 0 and row.bn_bw_s > 0
+            # backward explains the high BN-Opt forward times of Fig. 6
+            assert row.conv_bw_s + row.bn_bw_s > row.conv_fw_s
+        else:
+            assert row.conv_bw_s == 0 and row.bn_bw_s == 0

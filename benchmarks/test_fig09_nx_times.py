@@ -1,0 +1,54 @@
+"""Fig. 9 — Xavier NX forward times, CPU vs GPU.
+
+Paper claims verified: WRN-AM-50 GPU anchors (0.10 / 0.315 / 0.82 s);
+RXT-AM-200 + BN-Opt OOMs on the GPU (cuDNN library overhead) but runs on
+the CPU; mean GPU speedups of ~90.5 % (No-Adapt), ~68 % (BN-Norm), and
+~79 % (BN-Opt).
+"""
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.report import render_forward_times
+from repro.core.runner import run_simulated_study
+
+
+def _nx_grids():
+    cpu = run_simulated_study(StudyConfig(devices=("xavier_nx_cpu",)))
+    gpu = run_simulated_study(StudyConfig(devices=("xavier_nx_gpu",)))
+    return cpu, gpu
+
+
+def test_fig9_nx_forward_times(benchmark):
+    cpu, gpu = benchmark(_nx_grids)
+    print("\n" + render_forward_times(cpu, "xavier_nx_cpu",
+                                      title="Fig. 9a: Xavier NX CPU forward times"))
+    print("\n" + render_forward_times(gpu, "xavier_nx_gpu",
+                                      title="Fig. 9b: Xavier NX GPU forward times"))
+
+    wrn50 = {m: gpu.one("wrn40_2", m, 50, "xavier_nx_gpu").forward_time_s
+             for m in ("no_adapt", "bn_norm", "bn_opt")}
+    assert wrn50["no_adapt"] == pytest.approx(0.10, rel=0.12)
+    assert wrn50["bn_norm"] == pytest.approx(0.315, rel=0.05)
+    assert wrn50["bn_opt"] == pytest.approx(0.82, rel=0.05)
+
+    # GPU OOM for RXT-200 + BN-Opt only; CPU runs everything
+    assert {r.label for r in gpu if r.oom} == \
+        {"RXT-AM-200 + BN-Opt @ xavier_nx_gpu"}
+    assert not any(r.oom for r in cpu)
+
+    # mean GPU speedups per algorithm (Section IV-D)
+    expectations = {"no_adapt": (90.5, 3.0), "bn_norm": (68.13, 12.0),
+                    "bn_opt": (79.21, 6.0)}
+    for method, (paper_value, tolerance) in expectations.items():
+        speedups = []
+        for r_cpu in cpu.filter(method=method).records:
+            r_gpu_set = gpu.filter(model=r_cpu.model, method=method,
+                                   batch_size=r_cpu.batch_size).feasible()
+            if len(r_gpu_set) != 1:
+                continue   # the GPU-OOM case
+            r_gpu = r_gpu_set.records[0]
+            speedups.append(100 * (r_cpu.forward_time_s - r_gpu.forward_time_s)
+                            / r_cpu.forward_time_s)
+        mean = sum(speedups) / len(speedups)
+        assert mean == pytest.approx(paper_value, abs=tolerance), method

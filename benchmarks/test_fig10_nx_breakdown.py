@@ -1,0 +1,51 @@
+"""Fig. 10 — Xavier NX conv/BN fw/bw breakdown, CPU vs GPU (batch 50).
+
+Paper claims verified: GPU conv backward/forward ratio ~2.2x vs CPU
+~2.5x; faster conv fw+bw on the GPU explains BN-Opt's speedup; and the
+counter-intuitive finding that ResNeXt's BN forward (statistics
+recompute) is *slower on the GPU than on the CPU*, without changing the
+overall winner.
+"""
+
+import pytest
+
+from repro.devices import device_info
+from repro.profiling import breakdown_table, format_breakdown
+
+
+def _fig10_rows(summaries):
+    models = [summaries["wrn40_2"], summaries["resnet18"],
+              summaries["resnext29"]]
+    return {
+        "cpu": breakdown_table(models, device_info("xavier_nx_cpu"), batch_size=50),
+        "gpu": breakdown_table(models, device_info("xavier_nx_gpu"), batch_size=50),
+    }
+
+
+def test_fig10_nx_breakdown(benchmark, summaries):
+    rows = benchmark(_fig10_rows, summaries)
+    print("\n" + format_breakdown(rows["cpu"],
+                                  title="Fig. 10a: NX CPU breakdown (batch 50)"))
+    print("\n" + format_breakdown(rows["gpu"],
+                                  title="Fig. 10b: NX GPU breakdown (batch 50)"))
+
+    cpu = {(r.model, r.method): r for r in rows["cpu"]}
+    gpu = {(r.model, r.method): r for r in rows["gpu"]}
+
+    for model in ("wrn40_2", "resnet18", "resnext29"):
+        gpu_row = gpu[(model, "bn_opt")]
+        cpu_row = cpu[(model, "bn_opt")]
+        assert gpu_row.conv_bw_s / gpu_row.conv_fw_s == pytest.approx(2.2,
+                                                                      rel=0.02)
+        assert cpu_row.conv_bw_s / cpu_row.conv_fw_s == pytest.approx(2.5,
+                                                                      rel=0.02)
+        # conv passes much faster on GPU -> BN-Opt speedup
+        assert gpu_row.conv_fw_s + gpu_row.conv_bw_s < \
+            0.25 * (cpu_row.conv_fw_s + cpu_row.conv_bw_s)
+
+    # "forward BN performance is worse for RXT when using GPU over CPU"
+    assert gpu[("resnext29", "bn_norm")].bn_fw_s > \
+        cpu[("resnext29", "bn_norm")].bn_fw_s
+    # "... but it does not have a major impact on the overall time"
+    assert gpu[("resnext29", "bn_norm")].total_s < \
+        cpu[("resnext29", "bn_norm")].total_s

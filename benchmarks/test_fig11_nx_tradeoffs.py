@@ -1,0 +1,45 @@
+"""Fig. 11 — Xavier NX trade-offs (CPU and GPU points pooled).
+
+Paper claims verified (Section IV-D): equal weights -> WRN-AM-50 +
+BN-Norm on GPU (0.31 s, 2.96 J, 15.21 %); accuracy priority -> WRN-AM-50
++ BN-Opt on GPU (0.82 s, 7.96 J, 12.37 %, forward time under 1 s);
+performance/energy priority -> WRN-AM-50 + No-Adapt on GPU (0.10 s,
+1.02 J); the GPU draws ~2.2x the CPU's power yet is ~2.86x more
+energy-efficient for BN-Opt.
+"""
+
+import pytest
+
+from repro.core.objectives import WEIGHT_CASES, select_best
+from repro.core.records import StudyResult
+from repro.core.report import render_tradeoffs
+
+
+def _nx_selections(study):
+    nx = StudyResult(study.filter(device="xavier_nx_cpu").records
+                     + study.filter(device="xavier_nx_gpu").records)
+    return nx, {name: select_best(nx, case, "raw")
+                for name, case in WEIGHT_CASES.items()}
+
+
+def test_fig11_nx_tradeoffs(benchmark, robust_grid_study):
+    nx, best = benchmark(_nx_selections, robust_grid_study)
+    print("\n" + render_tradeoffs(nx, title="Fig. 11: Xavier NX trade-offs"))
+
+    equal = best["equal"]
+    assert equal.label == "WRN-AM-50 + BN-Norm @ xavier_nx_gpu"
+    assert equal.forward_time_s == pytest.approx(0.315, rel=0.05)
+    assert equal.energy_j == pytest.approx(2.96, rel=0.05)
+
+    accuracy = best["accuracy"]
+    assert accuracy.label == "WRN-AM-50 + BN-Opt @ xavier_nx_gpu"
+    assert accuracy.forward_time_s < 1.0   # "forward time is under 1 sec"
+    assert accuracy.energy_j == pytest.approx(7.96, rel=0.08)
+
+    for case in ("performance", "energy"):
+        assert best[case].label == "WRN-AM-50 + No-Adapt @ xavier_nx_gpu"
+
+    # GPU more energy-efficient despite higher power (for BN-Opt WRN-50)
+    gpu_opt = nx.one("wrn40_2", "bn_opt", 50, "xavier_nx_gpu")
+    cpu_opt = nx.one("wrn40_2", "bn_opt", 50, "xavier_nx_cpu")
+    assert cpu_opt.energy_j / gpu_opt.energy_j == pytest.approx(2.86, rel=0.4)

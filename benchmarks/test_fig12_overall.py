@@ -1,0 +1,60 @@
+"""Fig. 12 — overall results: all devices pooled, the A1/A2/A3 points.
+
+Paper claims verified (Section IV-E): A1 (lowest runtime at the best
+10.15 % error) is RXT-AM-200 + BN-Opt on the NX CPU (~69.58 s, because
+the GPU OOMs at batch 200); A2 (lowest energy at that error) is the same
+configuration on the Raspberry Pi (~337 J); A3 (equal weights over every
+point) is WRN-AM-50 + BN-Norm on the NX GPU, ~220x faster and ~114x more
+energy-efficient than A1/A2 at +5.06 points of error; and A3's
+adaptation overhead is ~213 ms and ~1.9 J.
+"""
+
+import pytest
+
+from repro.core.objectives import WEIGHT_CASES, select_best
+from repro.core.report import render_overall
+
+
+def _overall_points(study):
+    feasible = study.feasible()
+    best_error = min(r.error_pct for r in feasible.records)
+    champions = [r for r in feasible.records if r.error_pct == best_error]
+    a1 = min(champions, key=lambda r: r.forward_time_s)
+    a2 = min(champions, key=lambda r: r.energy_j)
+    a3 = select_best(study, WEIGHT_CASES["equal"], "raw")
+    return a1, a2, a3
+
+
+def test_fig12_overall(benchmark, robust_grid_study):
+    a1, a2, a3 = benchmark(_overall_points, robust_grid_study)
+    print("\n" + render_overall(robust_grid_study))
+
+    assert a1.label == "RXT-AM-200 + BN-Opt @ xavier_nx_cpu"
+    assert a1.forward_time_s == pytest.approx(69.58, rel=0.05)
+    assert a1.error_pct == 10.15
+
+    assert a2.label == "RXT-AM-200 + BN-Opt @ rpi4"
+    assert a2.energy_j == pytest.approx(337.43, rel=0.15)
+
+    assert a3.label == "WRN-AM-50 + BN-Norm @ xavier_nx_gpu"
+    assert a3.error_pct == 15.21
+
+    # the headline ratios
+    assert a1.forward_time_s / a3.forward_time_s == pytest.approx(220, rel=0.10)
+    assert a2.energy_j / a3.energy_j == pytest.approx(114, rel=0.20)
+
+    # A3's own adaptation overhead: 213 ms and ~1.9 J over No-Adapt
+    no_adapt = robust_grid_study.one("wrn40_2", "no_adapt", 50,
+                                     "xavier_nx_gpu")
+    assert a3.forward_time_s - no_adapt.forward_time_s == \
+        pytest.approx(0.213, rel=0.05)
+    assert a3.energy_j - no_adapt.energy_j == pytest.approx(1.9, rel=0.10)
+
+    # BN-Norm vs BN-Opt on the GPU: "61.6% lower latency and 62.8% lower
+    # energy for the same network"
+    gpu_opt = robust_grid_study.one("wrn40_2", "bn_opt", 50, "xavier_nx_gpu")
+    latency_reduction = 100 * (gpu_opt.forward_time_s - a3.forward_time_s) \
+        / gpu_opt.forward_time_s
+    energy_reduction = 100 * (gpu_opt.energy_j - a3.energy_j) / gpu_opt.energy_j
+    assert latency_reduction == pytest.approx(61.6, abs=3.0)
+    assert energy_reduction == pytest.approx(62.8, abs=5.0)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Algorithm-hardware co-design explorer (the paper's Section IV, live).
+
+Sweeps the full study grid through the calibrated device simulators and
+answers the paper's three co-design questions:
+
+(i)   per device, the optimal (model, algorithm, batch) for each of the
+      four weight cases;
+(ii)  where the bottlenecks are (conv/BN forward/backward breakdowns);
+(iii) what-if optimizations — a backward accelerator and extra DRAM.
+
+This is entirely simulated (no training), so it runs in seconds.
+
+Run:  python examples/codesign_explorer.py
+"""
+
+from repro.core import StudyConfig, run_simulated_study
+from repro.core.objectives import format_selection_table
+from repro.core.report import (
+    render_error_grid,
+    render_forward_times,
+    render_mobilenet_table,
+    render_overall,
+)
+from repro.devices import device_info
+from repro.devices.memory import estimate_memory
+from repro.models import build_model, summarize
+from repro.profiling import breakdown_table, format_breakdown
+
+
+def main() -> None:
+    study = run_simulated_study(StudyConfig())
+
+    print(render_error_grid())
+
+    for device in ("ultra96", "rpi4", "xavier_nx_cpu", "xavier_nx_gpu"):
+        print()
+        print(render_forward_times(study, device))
+        print()
+        print(format_selection_table(
+            study.filter(device=device),
+            title=f"Optimal configurations on {device}:"))
+
+    print()
+    print(render_overall(study))
+
+    print("\n=== Bottleneck analysis (batch 50) ===")
+    summaries = [summarize(build_model(name, "full"), name=name)
+                 for name in ("wrn40_2", "resnet18", "resnext29")]
+    for device_name in ("ultra96", "xavier_nx_gpu"):
+        rows = breakdown_table(summaries, device_info(device_name))
+        print()
+        print(format_breakdown(rows, title=f"{device_name}:"))
+
+    print("\n=== What-if: backward accelerator on the FPGA fabric ===")
+    wrn = summaries[0]
+    from repro.devices import forward_latency
+    fpga = device_info("ultra96")
+    accelerated = fpga.with_overrides(conv_bw_factor=1.0, bn_bw_factor=1.0)
+    for label, device in (("A53 cores only", fpga),
+                          ("with PL backward engine", accelerated)):
+        t = forward_latency(wrn, 50, device, adapts_bn_stats=True,
+                            does_backward=True).forward_time_s
+        print(f"  BN-Opt WRN-50: {t:6.2f} s  ({label})")
+
+    print("\n=== What-if: how much DRAM does ResNeXt + BN-Opt need? ===")
+    rxt = summaries[2]
+    for batch in (50, 100, 200):
+        need = estimate_memory(rxt, batch, fpga, does_backward=True)
+        print(f"  batch {batch:>3d}: {need.total_gb:5.2f} GB "
+              f"(graph {need.graph_gb:.2f} GB) -> "
+              f"{'fits' if need.fits else 'OOM'} on a 2 GB Ultra96")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Medical-imaging scenario: episodic adaptation per scanner session.
+
+The paper's intro cites "medical imaging where noise could be added due
+to scanners and the DNN for analysis needs to rapidly adapt without
+labeled data".  Each scanner has a characteristic noise signature; a
+diagnostic model visits several scanners per day and must adapt to each
+*without contaminating* its behaviour for the next one.
+
+This example runs BN-Opt episodically: adapt to each scanner's stream,
+record the entropy trajectory (the unsupervised signal TENT minimizes)
+and the accuracy recovery, then reset to the pristine model before the
+next scanner.  It also simulates the energy bill of a full day on a
+Raspberry Pi-class bedside unit with the wall-meter simulator.
+
+Run:  python examples/medical_edge_adaptation.py
+"""
+
+import numpy as np
+
+from repro.adapt import BNOpt, NoAdapt
+from repro.data import CorruptionStream, make_synth_cifar
+from repro.devices import PowerMeter, device_info, forward_latency
+from repro.models import build_model, summarize
+from repro.train import pretrain_robust
+
+# each scanner = a corruption signature (type, severity)
+SCANNERS = [
+    ("scanner A (old CT, grainy)", "gaussian_noise", 4),
+    ("scanner B (low-dose, photon starved)", "shot_noise", 5),
+    ("scanner C (miscalibrated, washed out)", "contrast", 4),
+]
+BATCH = 50
+
+
+def main() -> None:
+    model = pretrain_robust("wrn40_2", image_size=16, train_samples=4000,
+                            epochs=10)
+    test = make_synth_cifar(400, size=16, seed=123)
+
+    print("Episodic BN-Opt adaptation, one episode per scanner:\n")
+    for scanner_name, corruption, severity in SCANNERS:
+        stream = CorruptionStream.from_dataset(test, corruption,
+                                               severity=severity, seed=11)
+        frozen = NoAdapt().prepare(model)
+        frozen_correct = sum(
+            int((frozen.forward(x).argmax(-1) == y).sum())
+            for x, y in stream.batches(BATCH))
+        frozen.reset()
+
+        method = BNOpt(lr=5e-3).prepare(model)
+        correct = 0
+        entropies = []
+        for x, y in stream.batches(BATCH):
+            logits = method.forward(x)
+            correct += int((logits.argmax(-1) == y).sum())
+            entropies.append(method.last_entropy)
+        total = stream.num_batches(BATCH) * BATCH
+        print(f"{scanner_name}")
+        print(f"  frozen accuracy : {frozen_correct / total:6.2%}")
+        print(f"  adapted accuracy: {correct / total:6.2%}")
+        trajectory = " -> ".join(f"{h:.3f}" for h in entropies)
+        print(f"  entropy trajectory: {trajectory}")
+        method.reset()          # pristine model for the next scanner
+        print()
+
+    # --- the day's energy bill on a bedside RPi-class unit ----------------
+    print("Energy audit: 40 adaptation batches/day on a Raspberry Pi 4")
+    summary = summarize(build_model("wrn40_2", "full"), name="wrn40_2")
+    device = device_info("rpi4")
+    meter = PowerMeter(device, sample_hz=5.0)
+    breakdown = forward_latency(summary, BATCH, device,
+                                adapts_bn_stats=True, does_backward=True)
+    daily_joules = sum(meter.record(breakdown) for _ in range(40))
+    print(f"  mean measured power: {meter.average_power_w():.2f} W")
+    print(f"  per-batch energy   : {daily_joules / 40:.1f} J")
+    print(f"  daily adaptation   : {daily_joules / 1e3:.2f} kJ "
+          f"({daily_joules / 3.6e3:.4f} Wh)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Real-time deployment planner: which (device, algorithm) holds the line?
+
+The paper's bottom line is that adaptation overhead "can be a bottleneck
+for tight deadlines" — but whether it *is* one depends on the frame
+rate, batch size, and device.  This example uses the real-time stream
+simulator (:mod:`repro.core.streaming`) to sweep camera rates against
+every (device, method) pair for WRN-40-2 and prints a deployment matrix:
+sustainable throughput, end-to-end frame latency, drop rate under
+overload, and the effective accuracy once drops are accounted for.
+
+Run:  python examples/realtime_budget_planner.py
+"""
+
+from repro.core.streaming import RealTimeStream, max_sustainable_fps, simulate_realtime
+from repro.devices import device_info
+from repro.models import build_model, summarize
+
+DEVICES = ("ultra96", "rpi4", "xavier_nx_cpu", "xavier_nx_gpu")
+METHODS = ("no_adapt", "bn_norm", "bn_opt")
+BATCH = 50
+CAMERA_RATES = (5, 30, 120)     # fps
+FRAMES = 3000
+
+
+def main() -> None:
+    summary = summarize(build_model("wrn40_2", "full"), name="wrn40_2")
+
+    print("Sustainable throughput (fps) for WRN-40-2, batch 50:")
+    header = f"{'device':<15s}" + "".join(f"{m:>12s}" for m in METHODS)
+    print(header)
+    print("-" * len(header))
+    for device_name in DEVICES:
+        device = device_info(device_name)
+        row = f"{device_name:<15s}"
+        for method in METHODS:
+            fps = max_sustainable_fps(summary, device, method, BATCH)
+            row += f"{fps:12.1f}"
+        print(row)
+
+    for fps in CAMERA_RATES:
+        print(f"\n=== Camera at {fps} fps "
+              f"({FRAMES} frames, queue capacity 2 batches) ===")
+        print(f"{'device':<15s}{'method':<10s}{'drops':>8s}{'late':>7s}"
+              f"{'latency':>10s}{'eff.err':>9s}{'energy':>9s}")
+        for device_name in DEVICES:
+            device = device_info(device_name)
+            for method in METHODS:
+                stream = RealTimeStream(fps=fps, num_frames=FRAMES,
+                                        batch_size=BATCH)
+                try:
+                    card = simulate_realtime(summary, device, method, stream)
+                except MemoryError:
+                    print(f"{device_name:<15s}{method:<10s}     OOM")
+                    continue
+                print(f"{device_name:<15s}{method:<10s}"
+                      f"{card.drop_rate:>8.0%}"
+                      f"{card.deadline_miss_rate:>7.0%}"
+                      f"{card.mean_frame_latency_s * 1e3:>8.0f}ms"
+                      f"{card.effective_error_pct:>9.2f}"
+                      f"{card.energy_j:>8.1f}J")
+
+    print("\nReading the matrix:")
+    print(" - at 5 fps even the FPGA sustains BN-Norm;")
+    print(" - at 30 fps only the NX GPU holds BN-Norm without drops —")
+    print("   the paper's A3 pick, now with its real-time margin visible;")
+    print(" - at 120 fps every adaptation method sheds load somewhere,")
+    print("   and effective error converges toward the frozen baseline:")
+    print("   the co-design motivation, quantified.")
+
+
+if __name__ == "__main__":
+    main()

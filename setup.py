@@ -1,0 +1,6 @@
+"""Legacy setup shim: environments without the `wheel` package (offline)
+cannot build PEP 660 editable wheels, so `pip install -e .` falls back to
+`setup.py develop` via this file. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

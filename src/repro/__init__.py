@@ -1,0 +1,28 @@
+"""repro — reproduction of "Benchmarking Test-Time Unsupervised DNN
+Adaptation on Edge Devices" (Bhardwaj et al., ISPASS 2022).
+
+Built entirely from scratch on numpy: a tensor/autograd engine
+(:mod:`repro.tensor`), a neural-network module system (:mod:`repro.nn`),
+the paper's four model architectures (:mod:`repro.models`), the
+CIFAR-10-C corruption suite over a synthetic dataset (:mod:`repro.data`),
+the BN-Norm / BN-Opt test-time adaptation algorithms (:mod:`repro.adapt`),
+robust offline training (:mod:`repro.train`), calibrated edge-device
+latency/energy/memory simulators (:mod:`repro.devices`), an op-level
+profiler (:mod:`repro.profiling`), and the measurement-study harness that
+ties them together (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro.core import StudyConfig, run_simulated_study
+    from repro.core.report import render_tradeoffs
+
+    result = run_simulated_study(StudyConfig())
+    print(render_tradeoffs(result, device="xavier_nx_gpu"))
+
+See README.md for the full tour and EXPERIMENTS.md for the paper-vs-
+reproduction comparison of every figure and table.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,94 @@
+"""Adaptation-method interface and BN-layer utilities."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+def bn_layers(model: Module) -> List[nn.BatchNorm2d]:
+    """All BatchNorm2d layers of a model, in traversal order."""
+    return [m for m in model.modules() if isinstance(m, nn.BatchNorm2d)]
+
+
+def bn_parameters(model: Module) -> Iterator[nn.Parameter]:
+    """The BN affine parameters (gamma, beta) — what BN-Opt optimizes."""
+    for layer in bn_layers(model):
+        yield layer.weight
+        yield layer.bias
+
+
+def configure_bn_only_grads(model: Module) -> int:
+    """Freeze every parameter except BN gamma/beta (TENT's setup).
+
+    Returns the number of trainable parameters left, which for the paper's
+    models equals the reported "BN parameter" counts (7808 / 5408 / 25216 /
+    34112).
+    """
+    model.requires_grad_(False)
+    count = 0
+    for param in bn_parameters(model):
+        param.requires_grad = True
+        count += param.data.size
+    return count
+
+
+class AdaptationMethod(abc.ABC):
+    """Interface shared by No-Adapt, BN-Norm, and BN-Opt.
+
+    Lifecycle: ``prepare(model)`` once per stream, then ``forward(x)`` per
+    batch (returns logits *and* performs the method's adaptation, matching
+    the paper's "forward time = inference + adaptation" metric), and
+    optionally ``reset()`` to restore the pristine pre-adaptation state
+    (episodic evaluation).
+    """
+
+    #: canonical name used by the study harness and device cost model
+    name: str = "base"
+    #: whether forward() includes a backpropagation pass (drives sim cost)
+    does_backward: bool = False
+    #: whether forward() re-estimates BN statistics (drives sim cost)
+    adapts_bn_stats: bool = False
+
+    def __init__(self) -> None:
+        self.model: Optional[Module] = None
+        self._snapshot: Optional[Dict[str, np.ndarray]] = None
+        self.batches_adapted = 0
+
+    def prepare(self, model: Module) -> "AdaptationMethod":
+        """Bind to ``model``, snapshot its state, and configure modes/grads."""
+        self.model = model
+        self._snapshot = model.state_dict()
+        self.batches_adapted = 0
+        self._configure(model)
+        return self
+
+    @abc.abstractmethod
+    def _configure(self, model: Module) -> None:
+        """Set train/eval mode and requires_grad flags for this method."""
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run one streamed batch; return logits (N, num_classes)."""
+
+    def reset(self) -> None:
+        """Restore the model to its pre-adaptation state (episodic mode)."""
+        if self.model is None or self._snapshot is None:
+            raise RuntimeError("reset() before prepare()")
+        self.model.load_state_dict(self._snapshot)
+        self.batches_adapted = 0
+        self._configure(self.model)
+
+    def _require_model(self) -> Module:
+        if self.model is None:
+            raise RuntimeError(f"{self.name}: forward() before prepare()")
+        return self.model
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

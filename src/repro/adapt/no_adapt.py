@@ -1,0 +1,31 @@
+"""No-Adapt baseline: frozen inference with training-time BN statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adapt.base import AdaptationMethod
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor, no_grad
+
+
+class NoAdapt(AdaptationMethod):
+    """Plain inference (PyTorch ``eval()`` mode in the paper).
+
+    BN layers normalize with their frozen running statistics; nothing is
+    updated, no graph is built.
+    """
+
+    name = "no_adapt"
+    does_backward = False
+    adapts_bn_stats = False
+
+    def _configure(self, model: Module) -> None:
+        model.eval()
+        model.requires_grad_(False)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        model = self._require_model()
+        with no_grad():
+            logits = model(Tensor(x))
+        return logits.data

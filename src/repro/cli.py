@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``models``
+    Print the model zoo with the analytical footprints of Section III-B.
+``devices``
+    Print the device catalog.
+``study``
+    Run the simulated measurement study; render forward times and the
+    weighted-objective selections (optionally for one device), and/or
+    write the grid to JSON/CSV.
+``figures``
+    Regenerate every figure/table as text (Fig. 2 grid, Figs. 3-12
+    reports, Table I).
+``anchors``
+    Print the calibration-anchor residual table (paper vs device model).
+``insights``
+    Re-derive the Section IV-G architecture-algorithm insights.
+``scorecard``
+    Audit every machine-checkable paper claim (57 checks) in one run.
+``scatter``
+    ASCII trade-off scatter (Figs. 5/8/11/12 projection).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import StudyConfig
+from repro.core.objectives import format_selection_table
+from repro.core.records import StudyResult
+from repro.core.report import (
+    render_error_grid,
+    render_forward_times,
+    render_mobilenet_table,
+    render_overall,
+    render_tradeoffs,
+)
+from repro.core.runner import run_simulated_study
+from repro.devices.catalog import DEVICE_NAMES, list_devices
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.models import build_model, model_info, summarize
+    from repro.models.registry import MODEL_NAMES
+
+    for name in MODEL_NAMES:
+        summary = summarize(build_model(name, "full"), name=name)
+        info = model_info(name)
+        print(f"{info.paper_label:<10s} {summary.describe()}")
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    for device in list_devices():
+        print(f"{device.name:<15s} {device.describe()}")
+        print(f"{'':15s} {device.description}")
+    return 0
+
+
+def _run_study(device: Optional[str]) -> StudyResult:
+    devices = (device,) if device else DEVICE_NAMES
+    return run_simulated_study(StudyConfig(devices=devices))
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    result = _run_study(args.device)
+    if args.json:
+        from repro.core.io import save_json
+        save_json(result, args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        from repro.core.io import save_csv
+        save_csv(result, args.csv)
+        print(f"wrote {args.csv}")
+    if not (args.json or args.csv) or args.verbose:
+        for device in ((args.device,) if args.device else DEVICE_NAMES):
+            print(render_forward_times(result, device))
+            print()
+            print(format_selection_table(
+                result.filter(device=device),
+                title=f"Optimal configurations on {device}:"))
+            print()
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    study = run_simulated_study(StudyConfig())
+    print(render_error_grid())
+    print()
+    for device in DEVICE_NAMES:
+        print(render_forward_times(study, device))
+        print()
+        print(render_tradeoffs(study, device))
+        print()
+    print(render_overall(study))
+    print()
+    mobilenet = run_simulated_study(StudyConfig(models=("mobilenet_v2",),
+                                                devices=("xavier_nx_gpu",)))
+    print(render_mobilenet_table(mobilenet))
+    return 0
+
+
+def _cmd_anchors(args: argparse.Namespace) -> int:
+    from repro.devices.calibrate import anchor_report, format_anchor_report
+    results = anchor_report()
+    print(format_anchor_report(results))
+    failures = [r for r in results if not r.within_tolerance]
+    if failures:
+        print(f"\n{len(failures)} anchor(s) OUT OF TOLERANCE", file=sys.stderr)
+        return 1
+    print(f"\nall {len(results)} anchors within tolerance")
+    return 0
+
+
+def _cmd_insights(args: argparse.Namespace) -> int:
+    from repro.core.insights import derive_insights, format_insights
+    from repro.models.registry import MODEL_NAMES, build_model
+    from repro.models.summary import summarize
+
+    study = run_simulated_study(StudyConfig())
+    summaries = {name: summarize(build_model(name, "full"), name=name)
+                 for name in MODEL_NAMES}
+    insights = derive_insights(study, summaries)
+    print(format_insights(insights))
+    return 0 if all(i.holds for i in insights) else 1
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    from repro.core.scorecard import format_scorecard, run_scorecard
+    checks = run_scorecard()
+    print(format_scorecard(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def _cmd_scatter(args: argparse.Namespace) -> int:
+    from repro.core.plots import scatter_records
+    result = _run_study(args.device)
+    records = result.filter(device=args.device).records if args.device \
+        else result.records
+    print(scatter_records(
+        records,
+        group_by=lambda r: r.method,
+        title=f"Trade-offs ({args.device or 'all devices'}): "
+              "forward time vs error"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Benchmarking Test-Time Unsupervised "
+                    "DNN Adaptation on Edge Devices' (ISPASS 2022)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="model zoo footprints").set_defaults(
+        func=_cmd_models)
+    sub.add_parser("devices", help="device catalog").set_defaults(
+        func=_cmd_devices)
+
+    study = sub.add_parser("study", help="run the simulated study grid")
+    study.add_argument("--device", choices=DEVICE_NAMES, default=None,
+                       help="restrict to one device")
+    study.add_argument("--json", metavar="PATH", help="write grid as JSON")
+    study.add_argument("--csv", metavar="PATH", help="write grid as CSV")
+    study.add_argument("--verbose", action="store_true",
+                       help="print reports even when writing files")
+    study.set_defaults(func=_cmd_study)
+
+    sub.add_parser("figures", help="regenerate all figures/tables as text"
+                   ).set_defaults(func=_cmd_figures)
+    sub.add_parser("anchors", help="calibration residuals vs the paper"
+                   ).set_defaults(func=_cmd_anchors)
+    sub.add_parser("insights", help="re-derive the Section IV-G insights"
+                   ).set_defaults(func=_cmd_insights)
+    sub.add_parser("scorecard", help="audit every machine-checkable claim"
+                   ).set_defaults(func=_cmd_scorecard)
+
+    scatter = sub.add_parser("scatter", help="ASCII trade-off scatter")
+    scatter.add_argument("--device", choices=DEVICE_NAMES, default=None)
+    scatter.set_defaults(func=_cmd_scatter)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Model compression: quantization and pruning (paper insight iv).
+
+Section IV-G(iv): "while the above results are using unpruned and full
+precision models, pruning and quantization should be explored.  However,
+care must be taken that any model reduction should not compromise the
+robust accuracy against corruptions."  This package supplies that
+exploration:
+
+- :mod:`repro.compress.quantize` — fake-quantization (uniform symmetric,
+  per-tensor or per-channel) of weights and inputs, so the *accuracy*
+  effect of low precision is measurable natively; plus cost helpers that
+  project the latency/memory effect onto the device models.
+- :mod:`repro.compress.prune` — magnitude pruning, unstructured (no
+  speedup on the paper's devices, documented) and structured channel
+  pruning (which does reduce MACs).
+
+The ablation bench ``benchmarks/test_ablation_compression.py`` combines
+these with the adaptation algorithms to answer the paper's open
+question.
+"""
+
+from repro.compress.prune import (
+    PruneReport,
+    magnitude_prune,
+    sparsity,
+    structured_channel_prune,
+)
+from repro.compress.quantize import (
+    QuantReport,
+    quantize_model_weights,
+    quantize_tensor,
+    quantized_cost,
+)
+
+__all__ = [
+    "quantize_tensor",
+    "quantize_model_weights",
+    "quantized_cost",
+    "QuantReport",
+    "magnitude_prune",
+    "structured_channel_prune",
+    "sparsity",
+    "PruneReport",
+]

@@ -1,0 +1,145 @@
+"""Programmatic verification of the paper's Section IV-G insights.
+
+The paper distils six architecture-algorithm insights from its study.
+This module re-derives each one from the simulated grid and the model
+summaries, returning a structured report — the reproduction's capstone:
+if the substrates are right, every insight should fall out of the data.
+
+Insights (paraphrased):
+
+1. Fewer BN parameters => more edge-amenable adaptation, even if peak
+   post-adaptation accuracy is lower (WRN beats RXT on the combined
+   objective everywhere).
+2. BN-Norm is the edge-suited algorithm: far cheaper than BN-Opt at a
+   small accuracy cost; BN-Opt's backward pass is the bottleneck.
+3. Embedded GPUs accelerate both algorithms, but the remaining
+   adaptation overhead (213 ms at A3) can still break real-time budgets.
+4. (Pruning/quantization — future work in the paper; out of scope here.)
+5. Memory high-water mark decides feasibility: the autograd graph, not
+   the weights, is what OOMs.
+6. Online adaptation cannot replace robust offline training (MobileNet's
+   28.1 % floor vs the robust models' 10-13 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.objectives import WEIGHT_CASES, select_best
+from repro.core.records import StudyResult
+from repro.core.reference import reference_error_pct
+from repro.devices.catalog import device_info
+from repro.devices.memory import estimate_memory
+from repro.models.summary import ModelSummary
+
+
+@dataclass(frozen=True)
+class Insight:
+    """One verified (or refuted) paper insight."""
+
+    number: int
+    claim: str
+    holds: bool
+    evidence: str
+
+
+def derive_insights(study: StudyResult,
+                    summaries: Dict[str, ModelSummary]) -> List[Insight]:
+    """Check each Section IV-G insight against the simulated grid."""
+    insights: List[Insight] = []
+
+    # -- 1: small-BN models win the combined objective despite worse
+    #       peak accuracy ------------------------------------------------
+    winners = set()
+    for device in ("ultra96", "rpi4", "xavier_nx_gpu"):
+        best = select_best(study.filter(device=device),
+                           WEIGHT_CASES["equal"], "raw")
+        winners.add(best.model)
+    best_accuracy_model = min(
+        ("wrn40_2", "resnet18", "resnext29"),
+        key=lambda m: reference_error_pct(m, "bn_opt", 200))
+    holds1 = winners == {"wrn40_2"} and best_accuracy_model == "resnext29"
+    insights.append(Insight(
+        1, "fewest BN parameters (WRN) wins the combined objective on "
+           "every device, although ResNeXt has the best peak accuracy",
+        holds1,
+        f"equal-weight winners: {sorted(winners)}; best peak accuracy: "
+        f"{best_accuracy_model}"))
+
+    # -- 2: BN-Norm cheap, BN-Opt backward-bound -------------------------
+    ratios = []
+    backward_shares = []
+    for device in ("ultra96", "rpi4", "xavier_nx_gpu"):
+        norm = study.one("wrn40_2", "bn_norm", 50, device)
+        opt = study.one("wrn40_2", "bn_opt", 50, device)
+        ratios.append(opt.forward_time_s / norm.forward_time_s)
+        backward_shares.append(
+            (opt.forward_time_s - norm.forward_time_s) / opt.forward_time_s)
+    accuracy_cost = (reference_error_pct("wrn40_2", "bn_norm", 50)
+                     - reference_error_pct("wrn40_2", "bn_opt", 50))
+    holds2 = min(ratios) > 2.0 and min(backward_shares) > 0.5 \
+        and accuracy_cost < 3.5
+    insights.append(Insight(
+        2, "BN-Norm is 2-4x cheaper than BN-Opt (whose backward pass "
+           "dominates) at <3.5 points of accuracy",
+        holds2,
+        f"BN-Opt/BN-Norm time ratios {[f'{r:.1f}x' for r in ratios]}; "
+        f"backward share {[f'{s:.0%}' for s in backward_shares]}; "
+        f"accuracy cost {accuracy_cost:.2f} pts"))
+
+    # -- 3: GPU accelerates, overhead still real-time relevant -----------
+    gpu_norm = study.one("wrn40_2", "bn_norm", 50, "xavier_nx_gpu")
+    gpu_base = study.one("wrn40_2", "no_adapt", 50, "xavier_nx_gpu")
+    cpu_norm = study.one("wrn40_2", "bn_norm", 50, "xavier_nx_cpu")
+    overhead_ms = 1e3 * (gpu_norm.forward_time_s - gpu_base.forward_time_s)
+    holds3 = (gpu_norm.forward_time_s < cpu_norm.forward_time_s
+              and 150 < overhead_ms < 300)
+    insights.append(Insight(
+        3, "the embedded GPU accelerates adaptation yet leaves a ~213 ms "
+           "overhead that threatens tight deadlines",
+        holds3,
+        f"GPU BN-Norm {gpu_norm.forward_time_s:.3f}s vs CPU "
+        f"{cpu_norm.forward_time_s:.3f}s; adaptation overhead "
+        f"{overhead_ms:.0f} ms"))
+
+    # -- 5: the graph, not the weights, causes OOM -----------------------
+    rxt = summaries["resnext29"]
+    r18 = summaries["resnet18"]
+    fpga = device_info("ultra96")
+    rxt_estimate = estimate_memory(rxt, 100, fpga, does_backward=True)
+    r18_estimate = estimate_memory(r18, 100, fpga, does_backward=True)
+    holds5 = (rxt.weight_bytes() < r18.weight_bytes()
+              and not rxt_estimate.fits and r18_estimate.fits
+              and rxt_estimate.graph_bytes > 10 * rxt.weight_bytes())
+    insights.append(Insight(
+        5, "memory feasibility is decided by the dynamic autograd graph, "
+           "not model size (RXT's 27 MB weights OOM where R18's 45 MB run)",
+        holds5,
+        f"RXT graph {rxt_estimate.graph_gb:.2f} GB vs weights "
+        f"{rxt.weight_bytes() / 1e6:.0f} MB; R18 fits: {r18_estimate.fits}"))
+
+    # -- 6: offline robust training is irreplaceable ---------------------
+    mobilenet_floor = reference_error_pct("mobilenet_v2", "bn_opt", 200)
+    robust_worst = max(reference_error_pct(m, "bn_opt", 200)
+                       for m in ("wrn40_2", "resnet18", "resnext29"))
+    holds6 = mobilenet_floor > 2 * robust_worst
+    insights.append(Insight(
+        6, "adaptation alone cannot replace robust offline training "
+           "(non-robust MobileNet's adapted error stays >2x the robust "
+           "models')",
+        holds6,
+        f"MobileNet adapted floor {mobilenet_floor:.1f}% vs worst robust "
+        f"model {robust_worst:.1f}%"))
+
+    return insights
+
+
+def format_insights(insights: List[Insight]) -> str:
+    """Render the insight report as text."""
+    lines = ["Section IV-G insights, re-derived from the reproduction:"]
+    for insight in insights:
+        status = "HOLDS " if insight.holds else "FAILS "
+        lines.append(f"  [{status}] ({insight.number}) {insight.claim}")
+        lines.append(f"            evidence: {insight.evidence}")
+    return "\n".join(lines)

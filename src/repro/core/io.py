@@ -1,0 +1,92 @@
+"""Serialization of study results: JSON round-trip and CSV export.
+
+Study grids are cheap to regenerate here, but a downstream user running
+the *native* experiments (minutes of training + streaming) needs to
+persist results; these helpers give them a stable on-disk format.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from pathlib import Path
+from typing import List, Union
+
+from repro.core.records import MeasurementRecord, StudyResult
+
+_FIELDS = ["model", "method", "batch_size", "device", "error_pct",
+           "forward_time_s", "energy_j", "memory_gb", "oom",
+           "adapt_overhead_s", "corruption"]
+
+_FORMAT_VERSION = 1
+
+
+def _record_to_dict(record: MeasurementRecord) -> dict:
+    row = {name: getattr(record, name) for name in _FIELDS}
+    # JSON has no NaN; encode OOM cost fields as None
+    for key in ("forward_time_s", "energy_j"):
+        if isinstance(row[key], float) and math.isnan(row[key]):
+            row[key] = None
+    return row
+
+
+def _record_from_dict(row: dict) -> MeasurementRecord:
+    data = dict(row)
+    for key in ("forward_time_s", "energy_j"):
+        if data.get(key) is None:
+            data[key] = float("nan")
+    unknown = set(data) - set(_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown record fields: {sorted(unknown)}")
+    return MeasurementRecord(**data)
+
+
+def dumps(result: StudyResult) -> str:
+    """Serialize a study result to a JSON string."""
+    payload = {
+        "format": "repro.study_result",
+        "version": _FORMAT_VERSION,
+        "records": [_record_to_dict(r) for r in result.records],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def loads(text: str) -> StudyResult:
+    """Parse a study result from :func:`dumps` output (strict)."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro.study_result":
+        raise ValueError("not a repro study-result document")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported version {payload.get('version')!r}")
+    return StudyResult([_record_from_dict(row) for row in payload["records"]])
+
+
+def save_json(result: StudyResult, path: Union[str, Path]) -> None:
+    """Write a study result to a JSON file."""
+    Path(path).write_text(dumps(result))
+
+
+def load_json(path: Union[str, Path]) -> StudyResult:
+    """Read a study result from a JSON file."""
+    return loads(Path(path).read_text())
+
+
+def to_csv(result: StudyResult) -> str:
+    """Render a study result as CSV (OOM costs left empty)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_FIELDS)
+    writer.writeheader()
+    for record in result.records:
+        row = _record_to_dict(record)
+        for key in ("forward_time_s", "energy_j"):
+            if row[key] is None:
+                row[key] = ""
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def save_csv(result: StudyResult, path: Union[str, Path]) -> None:
+    """Write a study result to a CSV file."""
+    Path(path).write_text(to_csv(result))

@@ -1,0 +1,62 @@
+"""Corruption-robustness metrics from the CIFAR-10-C literature.
+
+The paper reports plain mean error over the 15 corruptions; the wider
+benchmark literature (Hendrycks & Dietterich 2019) normalizes per
+corruption against a baseline model, giving the *mean Corruption Error*:
+
+    CE_c   = error(model, corruption c) / error(baseline, corruption c)
+    mCE    = mean over corruptions of CE_c
+
+and the *relative* variant that first subtracts clean error from both.
+These helpers close the gap so results from this reproduction can be
+compared against robustness papers directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+
+def corruption_errors(per_corruption: Mapping[str, float]) -> float:
+    """Plain mean error over corruptions (the paper's Fig. 2 metric)."""
+    if not per_corruption:
+        raise ValueError("no corruption errors given")
+    return sum(per_corruption.values()) / len(per_corruption)
+
+
+def mce(model_errors: Mapping[str, float],
+        baseline_errors: Mapping[str, float]) -> float:
+    """Mean Corruption Error of a model against a baseline (in %, 100 =
+    exactly as fragile as the baseline, lower is better)."""
+    _check_aligned(model_errors, baseline_errors)
+    ratios = []
+    for corruption, model_error in model_errors.items():
+        baseline = baseline_errors[corruption]
+        if baseline <= 0:
+            raise ValueError(f"baseline error for {corruption!r} must be "
+                             "positive")
+        ratios.append(model_error / baseline)
+    return 100.0 * sum(ratios) / len(ratios)
+
+
+def relative_mce(model_errors: Mapping[str, float], model_clean: float,
+                 baseline_errors: Mapping[str, float],
+                 baseline_clean: float) -> float:
+    """Relative mCE: degradation above clean error, normalized likewise."""
+    _check_aligned(model_errors, baseline_errors)
+    ratios = []
+    for corruption, model_error in model_errors.items():
+        baseline_gap = baseline_errors[corruption] - baseline_clean
+        if baseline_gap <= 0:
+            raise ValueError(
+                f"baseline shows no degradation for {corruption!r}")
+        ratios.append((model_error - model_clean) / baseline_gap)
+    return 100.0 * sum(ratios) / len(ratios)
+
+
+def _check_aligned(a: Mapping[str, float], b: Mapping[str, float]) -> None:
+    if not a:
+        raise ValueError("no corruption errors given")
+    if set(a) != set(b):
+        missing = sorted(set(a) ^ set(b))
+        raise ValueError(f"corruption sets differ: {missing}")

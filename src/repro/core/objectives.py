@@ -1,0 +1,117 @@
+"""Weighted multi-objective selection (Section III-F of the paper).
+
+The paper combines its three costs into ``w1*time + w2*energy +
+w3*pred_error`` (weights summing to 1) and selects optimal configurations
+for four weight cases.  The paper's text applies the weights to *raw*
+values (seconds, Joules, percent) — which reproduces its Ultra96 and
+Xavier selections — but its Raspberry-Pi "performance priority" pick is
+only consistent with per-metric normalization.  We therefore implement
+three schemes and report selections under each (EXPERIMENTS.md records
+which scheme matches which paper claim):
+
+- ``raw``    — weights applied to raw values (the formula as written);
+- ``max``    — each metric divided by its maximum over the candidate set;
+- ``minmax`` — each metric scaled to [0, 1] over the candidate set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.records import MeasurementRecord, StudyResult
+
+NORMALIZATION_SCHEMES = ("raw", "max", "minmax")
+
+
+@dataclass(frozen=True)
+class WeightCase:
+    """One of the paper's four weighting scenarios."""
+
+    name: str
+    w_time: float
+    w_energy: float
+    w_error: float
+
+    @property
+    def weights(self) -> Tuple[float, float, float]:
+        return (self.w_time, self.w_energy, self.w_error)
+
+
+#: Section III-F: the four cases covering "a wide variety of scenarios".
+WEIGHT_CASES: Dict[str, WeightCase] = {
+    "equal": WeightCase("equal", 1 / 3, 1 / 3, 1 / 3),
+    "performance": WeightCase("performance", 0.8, 0.1, 0.1),
+    "accuracy": WeightCase("accuracy", 0.1, 0.1, 0.8),
+    "energy": WeightCase("energy", 0.1, 0.8, 0.1),
+}
+
+
+def normalize_records(records: Sequence[MeasurementRecord],
+                      scheme: str) -> np.ndarray:
+    """(N, 3) array of per-record (time, energy, error) under ``scheme``."""
+    if scheme not in NORMALIZATION_SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; choose from "
+                         f"{NORMALIZATION_SCHEMES}")
+    values = np.array([[r.forward_time_s, r.energy_j, r.error_pct]
+                       for r in records], dtype=np.float64)
+    if np.isnan(values).any():
+        raise ValueError("normalize_records() requires feasible (non-OOM) "
+                         "records; call .feasible() first")
+    if scheme == "raw":
+        return values
+    maxima = values.max(axis=0)
+    if scheme == "max":
+        return values / np.where(maxima > 0, maxima, 1.0)
+    minima = values.min(axis=0)
+    span = np.where(maxima > minima, maxima - minima, 1.0)
+    return (values - minima) / span
+
+
+def score_records(records: Sequence[MeasurementRecord], case: WeightCase,
+                  scheme: str = "raw") -> List[float]:
+    """Weighted-objective score per record (lower is better)."""
+    normalized = normalize_records(records, scheme)
+    weights = np.array(case.weights)
+    return list(normalized @ weights)
+
+
+def select_best(result: StudyResult, case: WeightCase,
+                scheme: str = "raw") -> MeasurementRecord:
+    """Argmin of the weighted objective over the feasible records."""
+    feasible = result.feasible().records
+    if not feasible:
+        raise ValueError("no feasible records to select from")
+    scores = score_records(feasible, case, scheme)
+    return feasible[int(np.argmin(scores))]
+
+
+def selection_table(result: StudyResult,
+                    schemes: Sequence[str] = ("raw", "minmax")
+                    ) -> List[Tuple[str, str, MeasurementRecord]]:
+    """Best record for every (weight case, scheme) combination."""
+    rows = []
+    for case_name, case in WEIGHT_CASES.items():
+        for scheme in schemes:
+            rows.append((case_name, scheme, select_best(result, case, scheme)))
+    return rows
+
+
+def format_selection_table(result: StudyResult,
+                           schemes: Sequence[str] = ("raw", "minmax"),
+                           title: str = "") -> str:
+    """Render the per-case optimal configurations as text."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = (f"{'weights':<13s} {'scheme':<8s} {'selected case':<38s} "
+              f"{'time s':>8s} {'energy J':>9s} {'error %':>8s}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for case_name, scheme, record in selection_table(result, schemes):
+        lines.append(f"{case_name:<13s} {scheme:<8s} {record.label:<38s} "
+                     f"{record.forward_time_s:8.3f} {record.energy_j:9.2f} "
+                     f"{record.error_pct:8.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Pareto-front utilities over the study's three costs.
+
+The paper's Figures 5, 8, 11, 12 are scatter plots of (forward time,
+energy, error); the interesting design points are the non-dominated ones.
+These helpers compute fronts and dominance relations for the report
+renderers and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.records import MeasurementRecord
+
+
+def dominates(a: MeasurementRecord, b: MeasurementRecord) -> bool:
+    """True if ``a`` is no worse than ``b`` on all three costs and strictly
+    better on at least one (lower is better everywhere)."""
+    ao, bo = a.objectives, b.objectives
+    return all(x <= y for x, y in zip(ao, bo)) and any(x < y for x, y in zip(ao, bo))
+
+
+def pareto_front(records: Sequence[MeasurementRecord]) -> List[MeasurementRecord]:
+    """Non-dominated subset, preserving input order.
+
+    OOM records (NaN costs) are excluded — they are infeasible, not
+    merely dominated.
+    """
+    feasible = [r for r in records if not r.oom]
+    front = []
+    for candidate in feasible:
+        if not any(dominates(other, candidate) for other in feasible
+                   if other is not candidate):
+            front.append(candidate)
+    return front

@@ -1,0 +1,102 @@
+"""ASCII scatter plots for the trade-off figures.
+
+The paper's Figures 5/8/11/12 are scatter plots over (forward time,
+energy, error).  Terminals are our output device, so this module renders
+2-D ASCII scatters with optional log axes, point labels, and a marker
+legend — used by the report renderers and the codesign example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.records import MeasurementRecord
+
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass
+class ScatterSeries:
+    """One labeled point set for :func:`ascii_scatter`."""
+
+    label: str
+    points: List[Tuple[float, float]]
+
+
+def _transform(value: float, log: bool) -> float:
+    return math.log10(value) if log else value
+
+
+def ascii_scatter(series: Sequence[ScatterSeries], width: int = 64,
+                  height: int = 20, x_label: str = "x", y_label: str = "y",
+                  log_x: bool = False, log_y: bool = False,
+                  title: str = "") -> str:
+    """Render labeled point sets on a character grid.
+
+    Values must be positive when the corresponding axis is logarithmic.
+    Overlapping points from different series show the later series'
+    marker.
+    """
+    points = [(s_index, x, y) for s_index, s in enumerate(series)
+              for x, y in s.points]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [_transform(x, log_x) for _, x, _ in points]
+    ys = [_transform(y, log_y) for _, _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (s_index, x, y) in points:
+        col = int((_transform(x, log_x) - x_min) / x_span * (width - 1))
+        row = int((_transform(y, log_y) - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][col] = _MARKERS[s_index % len(_MARKERS)]
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{(10 ** y_max if log_y else y_max):.3g}"
+    bottom = f"{(10 ** y_min if log_y else y_min):.3g}"
+    margin = max(len(top), len(bottom), len(y_label)) + 1
+    lines.append(f"{top:>{margin}} +" + "-" * width + "+")
+    for i, row_chars in enumerate(grid):
+        prefix = y_label if i == height // 2 else ""
+        lines.append(f"{prefix:>{margin}} |" + "".join(row_chars) + "|")
+    lines.append(f"{bottom:>{margin}} +" + "-" * width + "+")
+    left = f"{(10 ** x_min if log_x else x_min):.3g}"
+    right = f"{(10 ** x_max if log_x else x_max):.3g}"
+    axis = f"{left}  {x_label}  {right}"
+    lines.append(" " * (margin + 2) + axis)
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} = {s.label}"
+                        for i, s in enumerate(series))
+    lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines)
+
+
+def scatter_records(records: Sequence[MeasurementRecord],
+                    group_by: Callable[[MeasurementRecord], str],
+                    x: Callable[[MeasurementRecord], float] = None,
+                    y: Callable[[MeasurementRecord], float] = None,
+                    **kwargs) -> str:
+    """Scatter study records, grouped into series by ``group_by``.
+
+    Defaults to the paper's primary projection: forward time (log x)
+    versus prediction error.  OOM records are skipped.
+    """
+    x = x or (lambda r: r.forward_time_s)
+    y = y or (lambda r: r.error_pct)
+    groups: dict[str, List[Tuple[float, float]]] = {}
+    for record in records:
+        if record.oom:
+            continue
+        groups.setdefault(group_by(record), []).append((x(record), y(record)))
+    series = [ScatterSeries(label=label, points=points)
+              for label, points in groups.items()]
+    kwargs.setdefault("log_x", True)
+    kwargs.setdefault("x_label", "forward time (s)")
+    kwargs.setdefault("y_label", "error %")
+    return ascii_scatter(series, **kwargs)

@@ -1,0 +1,127 @@
+"""Measurement records and the study-result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import Case, case_label
+
+
+@dataclass(frozen=True)
+class MeasurementRecord:
+    """One measured/simulated grid point (the paper's three objectives).
+
+    ``oom=True`` records mark configurations that exceed device memory;
+    their cost fields are meaningless and they are excluded from
+    objective scoring, exactly as the paper drops them from its figures.
+    """
+
+    model: str
+    method: str
+    batch_size: int
+    device: str
+    error_pct: float
+    forward_time_s: float
+    energy_j: float
+    memory_gb: float = 0.0
+    oom: bool = False
+    # phase decomposition (seconds), for the breakdown figures
+    adapt_overhead_s: float = 0.0
+    #: corruption type for per-corruption native records ("" = aggregate)
+    corruption: str = ""
+
+    @property
+    def case(self) -> Case:
+        return Case(self.model, self.method, self.batch_size, self.device)
+
+    @property
+    def label(self) -> str:
+        return case_label(self.model, self.batch_size, self.method, self.device)
+
+    @property
+    def objectives(self) -> tuple:
+        """(time s, energy J, error %) — the study's three costs."""
+        return (self.forward_time_s, self.energy_j, self.error_pct)
+
+
+@dataclass
+class StudyResult:
+    """A collection of grid-point records with filtering and rendering."""
+
+    records: List[MeasurementRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def add(self, record: MeasurementRecord) -> None:
+        self.records.append(record)
+
+    def filter(self, *, model: Optional[str] = None, method: Optional[str] = None,
+               batch_size: Optional[int] = None, device: Optional[str] = None,
+               corruption: Optional[str] = None,
+               include_oom: bool = True) -> "StudyResult":
+        """Sub-select records by any combination of grid coordinates."""
+        selected = []
+        for r in self.records:
+            if model is not None and r.model != model:
+                continue
+            if method is not None and r.method != method:
+                continue
+            if batch_size is not None and r.batch_size != batch_size:
+                continue
+            if device is not None and r.device != device:
+                continue
+            if corruption is not None and r.corruption != corruption:
+                continue
+            if not include_oom and r.oom:
+                continue
+            selected.append(r)
+        return StudyResult(selected)
+
+    def feasible(self) -> "StudyResult":
+        """Only the records that did not run out of memory."""
+        return StudyResult([r for r in self.records if not r.oom])
+
+    def one(self, model: str, method: str, batch_size: int,
+            device: Optional[str] = None,
+            corruption: str = "") -> MeasurementRecord:
+        """The unique record at a grid point (raises if absent/ambiguous).
+
+        ``corruption`` defaults to the aggregate record; pass a corruption
+        name to select a per-corruption native record.
+        """
+        matches = self.filter(model=model, method=method,
+                              batch_size=batch_size, device=device,
+                              corruption=corruption).records
+        if len(matches) != 1:
+            raise LookupError(
+                f"expected exactly one record for ({model}, {method}, "
+                f"{batch_size}, {device}); found {len(matches)}")
+        return matches[0]
+
+    def mean(self, getter: Callable[[MeasurementRecord], float]) -> float:
+        values = [getter(r) for r in self.records]
+        if not values:
+            raise ValueError("mean() over an empty result set")
+        return sum(values) / len(values)
+
+    def to_table(self, title: str = "") -> str:
+        """Aligned text table of all records."""
+        lines = []
+        if title:
+            lines.append(title)
+        header = (f"{'case':<38s} {'error %':>8s} {'time s':>9s} "
+                  f"{'energy J':>9s} {'mem GB':>7s} {'status':>7s}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in self.records:
+            status = "OOM" if r.oom else "ok"
+            time_str = "-" if r.oom else f"{r.forward_time_s:9.3f}"
+            energy_str = "-" if r.oom else f"{r.energy_j:9.2f}"
+            lines.append(f"{r.label:<38s} {r.error_pct:8.2f} {time_str:>9s} "
+                         f"{energy_str:>9s} {r.memory_gb:7.2f} {status:>7s}")
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Figure/table renderers: each paper figure as a text report.
+
+Every function returns a string; the benchmark modules print these so
+``pytest benchmarks/ -s`` regenerates the paper's tables and figures as
+text.  ASCII bar charts are used where the paper uses bar figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import PAPER_BATCH_SIZES, STUDY_METHODS, STUDY_MODELS, case_label
+from repro.core.objectives import format_selection_table
+from repro.core.pareto import pareto_front
+from repro.core.records import MeasurementRecord, StudyResult
+from repro.core.reference import BATCH_SIZES, reference_error_pct
+
+_BAR_WIDTH = 42
+
+
+def _bar(value: float, maximum: float, width: int = _BAR_WIDTH) -> str:
+    if maximum <= 0:
+        return ""
+    filled = int(round(width * value / maximum))
+    return "#" * max(filled, 1 if value > 0 else 0)
+
+
+def render_error_grid(errors: Optional[Dict] = None, title: str = "Fig. 2: "
+                      "average prediction error on the corrupted stream (%)"
+                      ) -> str:
+    """Fig. 2-style grid: models x methods x batch sizes.
+
+    ``errors`` maps (model, method, batch) -> error %; defaults to the
+    paper reference grid.
+    """
+    def get(model: str, method: str, batch: int) -> float:
+        if errors is not None:
+            return errors[(model, method, batch)]
+        return reference_error_pct(model, method, batch)
+
+    lines = [title]
+    header = f"{'model':<12s} {'batch':>6s} " + "".join(
+        f"{m:>10s}" for m in STUDY_METHODS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for model in STUDY_MODELS:
+        for batch in PAPER_BATCH_SIZES:
+            row = f"{model:<12s} {batch:>6d} "
+            row += "".join(f"{get(model, method, batch):>10.2f}"
+                           for method in STUDY_METHODS)
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def render_forward_times(result: StudyResult, device: str,
+                         title: str = "") -> str:
+    """Figs. 3/6/9-style report: per-case forward times with bars."""
+    subset = result.filter(device=device)
+    feasible_times = [r.forward_time_s for r in subset.records if not r.oom]
+    maximum = max(feasible_times) if feasible_times else 1.0
+    lines = [title or f"Forward times (inference + adaptation) on {device}"]
+    for r in subset.records:
+        label = case_label(r.model, r.batch_size, r.method)
+        if r.oom:
+            lines.append(f"{label:<34s}      OOM")
+        else:
+            lines.append(f"{label:<34s} {r.forward_time_s:8.3f}s "
+                         f"{_bar(r.forward_time_s, maximum)}")
+    return "\n".join(lines)
+
+
+def render_tradeoffs(result: StudyResult, device: str | None = None,
+                     title: str = "") -> str:
+    """Figs. 5/8/11/12-style report: all points + Pareto front + selections."""
+    from repro.core.plots import scatter_records
+
+    subset = result.filter(device=device) if device else result
+    lines = [title or f"Performance-energy-accuracy trade-offs "
+             f"({device or 'all devices'})"]
+    lines.append(subset.to_table())
+    lines.append("")
+    lines.append(scatter_records(subset.records,
+                                 group_by=lambda r: r.method,
+                                 width=56, height=14))
+    front = pareto_front(subset.records)
+    lines.append("")
+    lines.append("Pareto-optimal points:")
+    for r in front:
+        lines.append(f"  {r.label:<40s} ({r.forward_time_s:.3f}s, "
+                     f"{r.energy_j:.2f}J, {r.error_pct:.2f}%)")
+    lines.append("")
+    lines.append(format_selection_table(subset,
+                 title="Optimal configuration per weight case:"))
+    return "\n".join(lines)
+
+
+def render_overall(result: StudyResult) -> str:
+    """Fig. 12-style report: all devices pooled + the A1/A2/A3 points."""
+    feasible = result.feasible()
+    best_error = min(r.error_pct for r in feasible.records)
+    accuracy_champions = [r for r in feasible.records
+                          if abs(r.error_pct - best_error) < 1e-9]
+    a1 = min(accuracy_champions, key=lambda r: r.forward_time_s)
+    a2 = min(accuracy_champions, key=lambda r: r.energy_j)
+    lines = ["Fig. 12: overall results (all devices)"]
+    lines.append(feasible.to_table())
+    lines.append("")
+    lines.append(f"A1 (lowest runtime at best error {best_error:.2f}%): "
+                 f"{a1.label} — {a1.forward_time_s:.2f}s")
+    lines.append(f"A2 (lowest energy at best error {best_error:.2f}%): "
+                 f"{a2.label} — {a2.energy_j:.2f}J")
+    lines.append("")
+    lines.append(format_selection_table(feasible,
+                 title="A3 candidates (weighted objective over all devices):"))
+    return "\n".join(lines)
+
+
+def render_mobilenet_table(result: StudyResult, device: str = "xavier_nx_gpu"
+                           ) -> str:
+    """Table I: MobileNet forward times on the NX GPU."""
+    lines = [f"Table I: MobileNet-V2 forward time on {device} (s)"]
+    header = f"{'batch':>6s} {'BN-Opt':>9s} {'BN-Norm':>9s} {'No-Adapt':>9s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for batch in PAPER_BATCH_SIZES:
+        row = f"{batch:>6d} "
+        for method in ("bn_opt", "bn_norm", "no_adapt"):
+            record = result.one("mobilenet_v2", method, batch, device)
+            row += f"{record.forward_time_s:9.2f}"
+        lines.append(row)
+    return "\n".join(lines)

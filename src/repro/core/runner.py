@@ -1,0 +1,151 @@
+"""Study runners: simulated (device cost models) and native (real execution).
+
+``run_simulated_study`` sweeps the full paper grid: for every (model,
+method, batch, device) it combines the reference accuracy grid with the
+device latency/energy/memory models, marking OOM configurations exactly
+where the paper found them.  This powers every latency/energy figure
+(Figs. 3, 5, 6, 8, 9, 11, 12 and Table I).
+
+``run_native_study`` actually executes the adaptation algorithms on our
+numpy engine with tiny-profile robust models over corrupted SynthCIFAR
+streams, producing measured (not reference) prediction errors — the
+reproduction of Fig. 2's *phenomenon* rather than its absolute numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.adapt import build_method
+from repro.core.config import StudyConfig
+from repro.core.records import MeasurementRecord, StudyResult
+from repro.core.reference import reference_error_pct
+from repro.data.stream import CorruptionStream
+from repro.data.synthetic import make_synth_cifar
+from repro.devices.calibrate import METHOD_FLAGS
+from repro.devices.catalog import device_info
+from repro.devices.cost_model import forward_latency
+from repro.devices.energy import energy_per_batch
+from repro.devices.memory import estimate_memory
+from repro.models.registry import MODEL_NAMES, build_model
+from repro.models.summary import ModelSummary, summarize
+from repro.train.trainer import pretrain_robust
+
+
+_GRID_SUMMARY_CACHE: Dict[str, ModelSummary] = {}
+
+
+def _grid_summaries(models: Sequence[str]) -> Dict[str, ModelSummary]:
+    """Full-size summaries, built once per model name and reused — the
+    grid sweep itself is cheap; instantiating full models is not."""
+    for name in models:
+        if name not in _GRID_SUMMARY_CACHE:
+            _GRID_SUMMARY_CACHE[name] = summarize(build_model(name, "full"),
+                                                  name=name)
+    return {name: _GRID_SUMMARY_CACHE[name] for name in models}
+
+
+def run_simulated_study(config: Optional[StudyConfig] = None) -> StudyResult:
+    """Sweep the full grid through the device models (fast, deterministic)."""
+    config = config or StudyConfig()
+    summaries = _grid_summaries(config.models)
+    result = StudyResult()
+    for case in config.cases():
+        summary = summaries[case.model]
+        device = device_info(case.device)
+        adapts, backward = METHOD_FLAGS[case.method]
+        memory = estimate_memory(summary, case.batch_size, device,
+                                 does_backward=backward)
+        error = reference_error_pct(case.model, case.method, case.batch_size)
+        if not memory.fits:
+            result.add(MeasurementRecord(
+                model=case.model, method=case.method,
+                batch_size=case.batch_size, device=case.device,
+                error_pct=error, forward_time_s=float("nan"),
+                energy_j=float("nan"), memory_gb=memory.total_gb, oom=True))
+            continue
+        latency = forward_latency(summary, case.batch_size, device,
+                                  adapts_bn_stats=adapts, does_backward=backward)
+        baseline = forward_latency(summary, case.batch_size, device,
+                                   adapts_bn_stats=False, does_backward=False)
+        result.add(MeasurementRecord(
+            model=case.model, method=case.method, batch_size=case.batch_size,
+            device=case.device, error_pct=error,
+            forward_time_s=latency.forward_time_s,
+            energy_j=energy_per_batch(latency, device),
+            memory_gb=memory.total_gb, oom=False,
+            adapt_overhead_s=latency.forward_time_s - baseline.forward_time_s))
+    return result
+
+
+def run_native_study(config: Optional[StudyConfig] = None,
+                     models: Optional[Dict[str, object]] = None,
+                     per_corruption: bool = False) -> StudyResult:
+    """Execute the adaptation grid for real on tiny-profile models.
+
+    ``models`` may supply already-trained models keyed by name (else they
+    are pre-trained via :func:`repro.train.pretrain_robust`, which caches
+    to disk).  The returned records carry *measured* prediction errors
+    over the corrupted streams and host wall-clock forward times; device
+    and energy fields are not populated (device costs are the simulated
+    runner's job).
+
+    With ``per_corruption=True`` one extra record per corruption type is
+    emitted alongside each aggregate record (its ``corruption`` field set),
+    enabling mCE-style analysis via :mod:`repro.core.metrics`.
+    """
+    config = config or StudyConfig()
+    result = StudyResult()
+    test = make_synth_cifar(config.stream_samples, size=config.image_size,
+                            seed=config.seed + 12345)
+    streams = [CorruptionStream.from_dataset(test, corruption,
+                                             severity=config.severity,
+                                             seed=config.seed)
+               for corruption in config.corruptions]
+    for model_name in config.models:
+        if models is not None and model_name in models:
+            model = models[model_name]
+        else:
+            model = pretrain_robust(model_name, image_size=config.image_size,
+                                    train_samples=config.train_samples,
+                                    epochs=config.train_epochs, seed=config.seed)
+        for method_name in config.methods:
+            for batch_size in config.batch_sizes:
+                kwargs = dict(config.method_kwargs.get(method_name, {}))
+                if method_name == "bn_opt":
+                    kwargs.setdefault("lr", config.bn_opt_lr)
+                method = build_method(method_name, **kwargs)
+                errors = []
+                wall = 0.0
+                batches = 0
+                for stream in streams:
+                    method.prepare(model)
+                    correct = 0
+                    total = 0
+                    for images, labels in stream.batches(batch_size):
+                        start = time.perf_counter()
+                        logits = method.forward(images)
+                        wall += time.perf_counter() - start
+                        batches += 1
+                        correct += int((logits.argmax(axis=-1) == labels).sum())
+                        total += len(labels)
+                    method.reset()
+                    error = 100.0 * (1.0 - correct / total)
+                    errors.append(error)
+                    if per_corruption:
+                        result.add(MeasurementRecord(
+                            model=model_name, method=method_name,
+                            batch_size=batch_size, device="host",
+                            error_pct=error, forward_time_s=float("nan"),
+                            energy_j=float("nan"),
+                            corruption=stream.corruption))
+                result.add(MeasurementRecord(
+                    model=model_name, method=method_name,
+                    batch_size=batch_size, device="host",
+                    error_pct=float(np.mean(errors)),
+                    forward_time_s=wall / max(batches, 1),
+                    energy_j=float("nan")))
+    return result

@@ -1,0 +1,182 @@
+"""The reproduction scorecard: one command to audit the whole claim set.
+
+Aggregates every machine-checkable statement the paper makes into a
+single pass/fail report:
+
+- the 33 calibration anchors (times, energies, averages, Table I);
+- the 3 OOM events plus the profiler-OOM footnote;
+- the 12 weighted-objective selections (4 weight cases x 3 devices)
+  and the overall A1/A2/A3 points;
+- the Fig. 2 aggregate accuracy claims;
+- the 5 Section IV-G insights.
+
+Run via ``python -m repro scorecard``.  The examples and the native
+benches cover what this cannot (actually executing the algorithms);
+this is the fast, deterministic half of the audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.core.config import StudyConfig
+from repro.core.insights import derive_insights
+from repro.core.objectives import WEIGHT_CASES, select_best
+from repro.core.records import StudyResult
+from repro.core.reference import (
+    BN_NORM_ERROR_PCT,
+    BN_OPT_ERROR_PCT,
+    CLAIM_BN_NORM_MEAN_IMPROVEMENT,
+    CLAIM_BN_OPT_MEAN_IMPROVEMENT,
+    NO_ADAPT_ERROR_PCT,
+)
+from repro.core.runner import run_simulated_study
+from repro.devices.calibrate import anchor_report
+from repro.models.registry import MODEL_NAMES, build_model
+from repro.models.summary import summarize
+
+
+@dataclass(frozen=True)
+class Check:
+    """One audited claim."""
+
+    category: str
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+def _check_anchors() -> List[Check]:
+    return [Check("anchor", r.label, r.within_tolerance,
+                  f"paper {r.paper_value:g} vs model {r.predicted:.3f} "
+                  f"({r.rel_error:.1%})")
+            for r in anchor_report()]
+
+
+def _check_oom_events(study: StudyResult) -> List[Check]:
+    expected = {
+        "RXT-AM-100 + BN-Opt @ ultra96",
+        "RXT-AM-200 + BN-Opt @ ultra96",
+        "RXT-AM-200 + BN-Opt @ xavier_nx_gpu",
+    }
+    observed = {r.label for r in study if r.oom}
+    return [Check("memory", "the paper's three OOM events",
+                  observed == expected,
+                  f"observed {sorted(observed)}")]
+
+
+_EXPECTED_SELECTIONS = {
+    # (device, weight case, scheme) -> (model, method)
+    ("ultra96", "equal", "raw"): ("wrn40_2", "bn_norm"),
+    ("ultra96", "accuracy", "raw"): ("wrn40_2", "bn_opt"),
+    ("ultra96", "performance", "raw"): ("wrn40_2", "no_adapt"),
+    ("ultra96", "energy", "raw"): ("wrn40_2", "no_adapt"),
+    ("rpi4", "equal", "raw"): ("wrn40_2", "bn_norm"),
+    ("rpi4", "accuracy", "raw"): ("wrn40_2", "bn_opt"),
+    ("rpi4", "performance", "minmax"): ("wrn40_2", "bn_norm"),
+    ("rpi4", "energy", "raw"): ("wrn40_2", "no_adapt"),
+}
+
+
+def _check_selections(study: StudyResult) -> List[Check]:
+    checks = []
+    for (device, case, scheme), (model, method) in _EXPECTED_SELECTIONS.items():
+        best = select_best(study.filter(device=device), WEIGHT_CASES[case],
+                           scheme)
+        ok = (best.model, best.method, best.batch_size) == (model, method, 50)
+        checks.append(Check("selection", f"{device}/{case} ({scheme})", ok,
+                            best.label))
+    # NX pools CPU+GPU points
+    nx = StudyResult(study.filter(device="xavier_nx_cpu").records
+                     + study.filter(device="xavier_nx_gpu").records)
+    for case, method in (("equal", "bn_norm"), ("accuracy", "bn_opt"),
+                         ("performance", "no_adapt"), ("energy", "no_adapt")):
+        best = select_best(nx, WEIGHT_CASES[case], "raw")
+        ok = (best.device == "xavier_nx_gpu"
+              and (best.model, best.method, best.batch_size)
+              == ("wrn40_2", method, 50))
+        checks.append(Check("selection", f"xavier_nx/{case} (raw)", ok,
+                            best.label))
+    # the overall A1/A2/A3 points
+    feasible = study.feasible()
+    best_error = min(r.error_pct for r in feasible.records)
+    champions = [r for r in feasible.records if r.error_pct == best_error]
+    a1 = min(champions, key=lambda r: r.forward_time_s)
+    a2 = min(champions, key=lambda r: r.energy_j)
+    a3 = select_best(study, WEIGHT_CASES["equal"], "raw")
+    checks.append(Check("selection", "A1 point",
+                        a1.label == "RXT-AM-200 + BN-Opt @ xavier_nx_cpu",
+                        a1.label))
+    checks.append(Check("selection", "A2 point",
+                        a2.label == "RXT-AM-200 + BN-Opt @ rpi4", a2.label))
+    checks.append(Check("selection", "A3 point",
+                        a3.label == "WRN-AM-50 + BN-Norm @ xavier_nx_gpu",
+                        a3.label))
+    return checks
+
+
+def _check_accuracy_grid() -> List[Check]:
+    models = ("resnext29", "wrn40_2", "resnet18")
+    no_adapt = np.mean([NO_ADAPT_ERROR_PCT[m] for m in models
+                        for _ in range(3)])
+    bn_norm = np.mean([BN_NORM_ERROR_PCT[m][i] for m in models
+                       for i in range(3)])
+    bn_opt = np.mean([BN_OPT_ERROR_PCT[m][i] for m in models
+                      for i in range(3)])
+    return [
+        Check("accuracy", "mean BN-Norm improvement = 4.02",
+              abs((no_adapt - bn_norm) - CLAIM_BN_NORM_MEAN_IMPROVEMENT) < 0.05,
+              f"{no_adapt - bn_norm:.3f}"),
+        Check("accuracy", "mean BN-Opt improvement = 6.67",
+              abs((no_adapt - bn_opt) - CLAIM_BN_OPT_MEAN_IMPROVEMENT) < 0.05,
+              f"{no_adapt - bn_opt:.3f}"),
+        Check("accuracy", "best configuration is RXT-AM-200 + BN-Opt",
+              min(BN_OPT_ERROR_PCT, key=lambda m: BN_OPT_ERROR_PCT[m][2])
+              == "resnext29", ""),
+    ]
+
+
+def _check_insights(study: StudyResult) -> List[Check]:
+    summaries = {name: summarize(build_model(name, "full"), name=name)
+                 for name in MODEL_NAMES}
+    return [Check("insight", f"IV-G({i.number}) {i.claim[:60]}...",
+                  i.holds, i.evidence)
+            for i in derive_insights(study, summaries)]
+
+
+def run_scorecard() -> List[Check]:
+    """Run every deterministic claim check."""
+    study = run_simulated_study(StudyConfig())
+    checks: List[Check] = []
+    checks.extend(_check_anchors())
+    checks.extend(_check_oom_events(study))
+    checks.extend(_check_selections(study))
+    checks.extend(_check_accuracy_grid())
+    checks.extend(_check_insights(study))
+    return checks
+
+
+def format_scorecard(checks: List[Check]) -> str:
+    """Render the audit with per-category tallies."""
+    lines = ["Reproduction scorecard"]
+    lines.append("=" * 60)
+    categories = []
+    for check in checks:
+        if check.category not in categories:
+            categories.append(check.category)
+    for category in categories:
+        subset = [c for c in checks if c.category == category]
+        passed = sum(c.passed for c in subset)
+        lines.append(f"\n[{category}] {passed}/{len(subset)} checks pass")
+        for check in subset:
+            mark = "PASS" if check.passed else "FAIL"
+            lines.append(f"  [{mark}] {check.name}")
+            if not check.passed and check.detail:
+                lines.append(f"         {check.detail}")
+    total = sum(c.passed for c in checks)
+    lines.append("\n" + "=" * 60)
+    lines.append(f"TOTAL: {total}/{len(checks)} claims reproduced")
+    return "\n".join(lines)

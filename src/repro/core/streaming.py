@@ -1,0 +1,204 @@
+"""Real-time streaming simulation: accuracy meets latency on one clock.
+
+The paper measures accuracy and latency separately and warns that "the
+extra adaptation time ... can be a bottleneck for tight deadlines"
+(213 ms at the A3 point).  This module closes the loop: it plays a
+corrupted stream against a device in simulated real time —
+
+- frames arrive at a fixed rate and are grouped into adaptation batches;
+- the device processes one batch at a time, taking the cost model's
+  forward time (inference + adaptation) per batch;
+- a batch whose processing finishes after the *next* batch has fully
+  arrived causes backlog; backlog beyond ``queue_capacity`` batches
+  forces drops (frames answered by the stale model without processing);
+
+and reports an online scorecard: effective accuracy (dropped frames are
+scored with the pre-adaptation model's expected error), deadline-miss
+rate, mean latency per frame, and total energy.
+
+Accuracy inputs can come from either path: the reference grid (simulated
+studies) or measured per-batch accuracies (native runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.reference import reference_error_pct
+from repro.devices.cost_model import forward_latency
+from repro.devices.energy import energy_per_batch
+from repro.devices.memory import estimate_memory
+from repro.devices.spec import DeviceSpec
+from repro.models.summary import ModelSummary
+
+#: method name -> (adapts_bn_stats, does_backward)
+_METHOD_FLAGS = {
+    "no_adapt": (False, False),
+    "bn_norm": (True, False),
+    "bn_opt": (True, True),
+}
+
+
+@dataclass(frozen=True)
+class StreamScorecard:
+    """Outcome of one real-time streaming simulation."""
+
+    frames_total: int
+    frames_processed: int
+    frames_dropped: int
+    batches_late: int          # batches finished after their deadline
+    batches_total: int
+    mean_frame_latency_s: float   # arrival -> result, averaged
+    effective_error_pct: float    # processed at adapted error, drops at baseline
+    energy_j: float
+    wall_time_s: float
+
+    @property
+    def drop_rate(self) -> float:
+        return self.frames_dropped / self.frames_total if self.frames_total else 0.0
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        return self.batches_late / self.batches_total if self.batches_total else 0.0
+
+    def describe(self) -> str:
+        return (f"{self.frames_processed}/{self.frames_total} frames "
+                f"processed ({self.drop_rate:.0%} dropped), "
+                f"{self.deadline_miss_rate:.0%} batches late, "
+                f"latency {self.mean_frame_latency_s * 1e3:.0f} ms/frame, "
+                f"effective error {self.effective_error_pct:.2f}%, "
+                f"{self.energy_j:.1f} J")
+
+
+@dataclass
+class RealTimeStream:
+    """Configuration of a real-time run.
+
+    Parameters
+    ----------
+    fps:
+        Frame arrival rate of the sensor.
+    num_frames:
+        Total frames in the stream.
+    batch_size:
+        Adaptation batch size (frames per processing step).
+    queue_capacity:
+        Maximum *batches* of backlog the device buffers before dropping.
+    """
+
+    fps: float
+    num_frames: int
+    batch_size: int
+    queue_capacity: int = 2
+
+    def __post_init__(self):
+        if self.fps <= 0 or self.num_frames <= 0 or self.batch_size <= 0:
+            raise ValueError("fps, num_frames, batch_size must be positive")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
+                      method: str, stream: RealTimeStream,
+                      adapted_error_pct: Optional[float] = None,
+                      baseline_error_pct: Optional[float] = None
+                      ) -> StreamScorecard:
+    """Play ``stream`` through (model, device, method) in simulated time.
+
+    ``adapted_error_pct`` / ``baseline_error_pct`` default to the
+    reference grid values for the model (by summary name) and method.
+    Raises :class:`MemoryError` via the memory model if the
+    configuration cannot run at all.
+    """
+    if method not in _METHOD_FLAGS:
+        raise KeyError(f"unknown method {method!r}")
+    adapts, backward = _METHOD_FLAGS[method]
+    memory = estimate_memory(summary, stream.batch_size, device,
+                             does_backward=backward)
+    if not memory.fits:
+        raise MemoryError(
+            f"{summary.model_name}/{method} at batch {stream.batch_size} "
+            f"needs {memory.total_gb:.2f} GB on {device.display_name}")
+
+    if adapted_error_pct is None:
+        adapted_error_pct = reference_error_pct(summary.model_name, method,
+                                                _nearest_paper_batch(stream.batch_size))
+    if baseline_error_pct is None:
+        baseline_error_pct = reference_error_pct(summary.model_name,
+                                                 "no_adapt", 50)
+
+    latency = forward_latency(summary, stream.batch_size, device,
+                              adapts_bn_stats=adapts, does_backward=backward)
+    service_time = latency.forward_time_s
+    batch_energy = energy_per_batch(latency, device)
+    batch_period = stream.batch_size / stream.fps
+
+    num_batches = stream.num_frames // stream.batch_size
+    device_free_at = 0.0
+    frames_processed = 0
+    frames_dropped = 0
+    batches_late = 0
+    total_latency = 0.0
+    energy = 0.0
+    finish = 0.0
+
+    for index in range(num_batches):
+        arrival_complete = (index + 1) * batch_period
+        start = max(arrival_complete, device_free_at)
+        backlog_batches = (start - arrival_complete) / batch_period
+        if backlog_batches > stream.queue_capacity:
+            # queue overflow: answer this batch with the stale model
+            frames_dropped += stream.batch_size
+            # dropped frames are "served" instantly at arrival
+            finish = max(finish, arrival_complete)
+            continue
+        finish = start + service_time
+        device_free_at = finish
+        frames_processed += stream.batch_size
+        energy += batch_energy
+        # deadline: results should be ready before the *next* batch has
+        # fully arrived (one-period deadline)
+        if finish > arrival_complete + batch_period:
+            batches_late += 1
+        # frame latency: mean over the batch from each frame's arrival;
+        # frames arrive uniformly across the period
+        mean_arrival = arrival_complete - batch_period / 2
+        total_latency += (finish - mean_arrival) * stream.batch_size
+
+    frames_total = num_batches * stream.batch_size
+    processed_error = adapted_error_pct * frames_processed
+    dropped_error = baseline_error_pct * frames_dropped
+    effective_error = ((processed_error + dropped_error) / frames_total
+                       if frames_total else 0.0)
+    mean_latency = (total_latency / frames_processed
+                    if frames_processed else 0.0)
+    return StreamScorecard(
+        frames_total=frames_total,
+        frames_processed=frames_processed,
+        frames_dropped=frames_dropped,
+        batches_late=batches_late,
+        batches_total=num_batches,
+        mean_frame_latency_s=mean_latency,
+        effective_error_pct=effective_error,
+        energy_j=energy,
+        wall_time_s=finish,
+    )
+
+
+def _nearest_paper_batch(batch_size: int) -> int:
+    """Snap an arbitrary batch size to the paper's 50/100/200 grid."""
+    return min((50, 100, 200), key=lambda b: abs(b - batch_size))
+
+
+def max_sustainable_fps(summary: ModelSummary, device: DeviceSpec,
+                        method: str, batch_size: int) -> float:
+    """Highest frame rate the device sustains without growing backlog.
+
+    The device keeps up iff the per-batch service time does not exceed
+    the batch arrival period: ``fps <= batch_size / service_time``.
+    """
+    adapts, backward = _METHOD_FLAGS[method]
+    latency = forward_latency(summary, batch_size, device,
+                              adapts_bn_stats=adapts, does_backward=backward)
+    return batch_size / latency.forward_time_s

@@ -1,0 +1,40 @@
+"""Data substrate: synthetic CIFAR-10, CIFAR-10-C corruptions, AugMix, streams.
+
+The paper tests on CIFAR-10-C: the CIFAR-10 test set passed through 15
+common corruptions at 5 severity levels.  Neither dataset can be downloaded
+here, so this package provides:
+
+- :mod:`repro.data.synthetic` — a procedural class-conditional image
+  generator ("SynthCIFAR"): 10 classes with distinct spatial structure,
+  32x32x3 float images in [0, 1].
+- :mod:`repro.data.corruptions` — from-scratch implementations of all 15
+  CIFAR-10-C corruption types x 5 severities (noise, blur, weather,
+  digital; including a real DCT-quantization JPEG codec).
+- :mod:`repro.data.augment` — AugMix-style data augmentation used for
+  robust offline pre-training.
+- :mod:`repro.data.stream` — the streaming evaluation protocol of the
+  paper: 10000 unlabeled samples per corruption, consumed in adaptation
+  batches of 50 / 100 / 200.
+"""
+
+from repro.data.corruptions import (
+    CORRUPTION_NAMES,
+    SEVERITIES,
+    apply_corruption,
+    corrupt_batch,
+)
+from repro.data.synthetic import SynthCIFAR, make_synth_cifar
+from repro.data.stream import CorruptionStream, iter_batches
+from repro.data.augment import augmix
+
+__all__ = [
+    "SynthCIFAR",
+    "make_synth_cifar",
+    "CORRUPTION_NAMES",
+    "SEVERITIES",
+    "apply_corruption",
+    "corrupt_batch",
+    "CorruptionStream",
+    "iter_batches",
+    "augmix",
+]

@@ -1,0 +1,76 @@
+"""Corruption gallery: visual artifacts for documentation and debugging.
+
+Renders SynthCIFAR images and their corrupted variants as portable
+graymaps (PGM, universally viewable, dependency-free) and as terminal
+"ASCII art" previews, so the corruption suite can be eyeballed without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.corruptions import CORRUPTION_NAMES, apply_corruption
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """CHW RGB [0,1] -> HxW luminance [0,1] (Rec. 601 weights)."""
+    if image.ndim != 3 or image.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W) image, got {image.shape}")
+    weights = np.array([0.299, 0.587, 0.114], dtype=np.float32)
+    return np.tensordot(weights, image, axes=(0, 0))
+
+
+def save_pgm(image: np.ndarray, path: Union[str, Path]) -> None:
+    """Write a CHW RGB or HxW gray image as binary PGM (P5)."""
+    gray = to_grayscale(image) if image.ndim == 3 else image
+    pixels = np.clip(gray * 255.0, 0, 255).astype(np.uint8)
+    height, width = pixels.shape
+    header = f"P5\n{width} {height}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + pixels.tobytes())
+
+
+def load_pgm(path: Union[str, Path]) -> np.ndarray:
+    """Read a binary PGM written by :func:`save_pgm` back to [0,1]."""
+    blob = Path(path).read_bytes()
+    if not blob.startswith(b"P5"):
+        raise ValueError("not a binary PGM file")
+    parts = blob.split(b"\n", 3)
+    width, height = map(int, parts[1].split())
+    pixels = np.frombuffer(parts[3], dtype=np.uint8, count=width * height)
+    return (pixels.reshape(height, width) / 255.0).astype(np.float32)
+
+
+def ascii_preview(image: np.ndarray, width: int = 32) -> str:
+    """Terminal rendering of an image as luminance ASCII art."""
+    gray = to_grayscale(image) if image.ndim == 3 else image
+    h, w = gray.shape
+    step = max(w // width, 1)
+    sampled = gray[::step, ::step]
+    indices = np.clip((sampled * (len(_ASCII_RAMP) - 1)).astype(int),
+                      0, len(_ASCII_RAMP) - 1)
+    return "\n".join("".join(_ASCII_RAMP[i] for i in row) for row in indices)
+
+
+def write_gallery(image: np.ndarray, out_dir: Union[str, Path],
+                  corruptions: Optional[Sequence[str]] = None,
+                  severity: int = 5, seed: int = 0) -> list[Path]:
+    """Write ``clean.pgm`` plus one PGM per corruption; returns the paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    names = list(corruptions) if corruptions is not None else list(CORRUPTION_NAMES)
+    paths = []
+    clean_path = out / "clean.pgm"
+    save_pgm(image, clean_path)
+    paths.append(clean_path)
+    for name in names:
+        corrupted = apply_corruption(image, name, severity=severity, seed=seed)
+        path = out / f"{name}_s{severity}.pgm"
+        save_pgm(corrupted, path)
+        paths.append(path)
+    return paths

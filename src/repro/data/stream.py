@@ -1,0 +1,78 @@
+"""Streaming evaluation protocol (Section III-C of the paper).
+
+The paper streams 10000 unlabeled CIFAR-10-C samples per corruption type
+and lets the adaptation algorithms consume them in batches of recently-seen
+images (50 / 100 / 200).  :class:`CorruptionStream` reproduces that
+protocol over SynthCIFAR data: a clean test split is corrupted once
+(deterministically) and then served batch-by-batch; labels ride along for
+*scoring only* — the adaptation algorithms never see them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.corruptions import CORRUPTION_NAMES, corrupt_batch
+from repro.data.synthetic import SynthCIFAR
+
+PAPER_BATCH_SIZES = (50, 100, 200)
+
+
+def iter_batches(images: np.ndarray, labels: np.ndarray,
+                 batch_size: int, drop_last: bool = True
+                 ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield consecutive (images, labels) batches in stream order."""
+    total = len(labels)
+    limit = (total // batch_size) * batch_size if drop_last else total
+    for start in range(0, limit, batch_size):
+        stop = min(start + batch_size, total)
+        yield images[start:stop], labels[start:stop]
+
+
+@dataclass
+class CorruptionStream:
+    """A corrupted test stream for one corruption type.
+
+    Attributes
+    ----------
+    corruption:
+        One of :data:`~repro.data.corruptions.CORRUPTION_NAMES`, or
+        ``"clean"`` for the uncorrupted stream.
+    severity:
+        CIFAR-10-C severity level (the paper uses 5).
+    images / labels:
+        The full corrupted stream, precomputed for determinism.
+    """
+
+    corruption: str
+    severity: int
+    images: np.ndarray
+    labels: np.ndarray
+
+    @classmethod
+    def from_dataset(cls, dataset: SynthCIFAR, corruption: str,
+                     severity: int = 5, seed: int = 0) -> "CorruptionStream":
+        """Corrupt a clean split into a stream (``corruption="clean"`` skips)."""
+        if corruption == "clean":
+            images = dataset.images.copy()
+        else:
+            if corruption not in CORRUPTION_NAMES:
+                raise KeyError(f"unknown corruption {corruption!r}")
+            images = corrupt_batch(dataset.images, corruption,
+                                   severity=severity, seed=seed)
+        return cls(corruption=corruption, severity=severity,
+                   images=images, labels=dataset.labels.copy())
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def batches(self, batch_size: int,
+                drop_last: bool = True) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Stream batches in order (the 'recently seen' adaptation window)."""
+        return iter_batches(self.images, self.labels, batch_size, drop_last)
+
+    def num_batches(self, batch_size: int) -> int:
+        return len(self.labels) // batch_size

@@ -1,0 +1,41 @@
+"""Edge-device simulators: latency, energy, and memory models.
+
+The paper measures three physical devices (Ultra96-v2 FPGA PS, Raspberry
+Pi 4, Jetson Xavier NX CPU+GPU) with a wall-power meter.  This package
+replaces them with analytical models whose *workload side* is exact (driven
+by the per-layer summaries of the real model graphs,
+:mod:`repro.models.summary`) and whose *device side* is calibrated to the
+paper's own reported measurements (see :mod:`repro.devices.calibrate` and
+EXPERIMENTS.md for the anchor table and residuals).
+
+- :mod:`repro.devices.spec` / :mod:`repro.devices.catalog` — device
+  parameter sets (``ultra96``, ``rpi4``, ``xavier_nx_cpu``,
+  ``xavier_nx_gpu``).
+- :mod:`repro.devices.cost_model` — per-phase latency decomposition
+  (conv/BN/elementwise x forward/backward, statistics-recompute extras).
+- :mod:`repro.devices.energy` — per-phase power model and the simulated
+  wall-outlet power meter.
+- :mod:`repro.devices.memory` — memory high-water-mark model including the
+  PyTorch dynamic-graph footprint; raises :class:`OutOfMemoryError` for
+  the configurations the paper found infeasible.
+"""
+
+from repro.devices.catalog import DEVICE_NAMES, device_info, list_devices
+from repro.devices.cost_model import LatencyBreakdown, forward_latency
+from repro.devices.energy import PowerMeter, energy_per_batch
+from repro.devices.memory import MemoryEstimate, OutOfMemoryError, estimate_memory
+from repro.devices.spec import DeviceSpec
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICE_NAMES",
+    "device_info",
+    "list_devices",
+    "LatencyBreakdown",
+    "forward_latency",
+    "energy_per_batch",
+    "PowerMeter",
+    "MemoryEstimate",
+    "OutOfMemoryError",
+    "estimate_memory",
+]

@@ -1,0 +1,184 @@
+"""Calibration anchors: every numeric measurement the paper reports.
+
+The device constants in :mod:`repro.devices.catalog` were fitted against
+the anchor table below (each row is a number printed in the paper's text
+or Table I).  :func:`anchor_report` re-evaluates the frozen constants
+against every anchor and returns the residuals — tests assert they stay
+within per-anchor tolerances, and EXPERIMENTS.md embeds the report.
+
+Anchors marked with larger tolerances are averages over heterogeneous
+case sets or Table-I large-batch entries where the linear cost model is
+known to underestimate (see EXPERIMENTS.md "known deviations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.devices.catalog import device_info
+from repro.devices.cost_model import forward_latency
+from repro.devices.energy import energy_per_batch
+from repro.models.registry import MODEL_NAMES, build_model
+from repro.models.summary import ModelSummary, summarize
+
+#: method name -> (adapts_bn_stats, does_backward)
+METHOD_FLAGS: Dict[str, Tuple[bool, bool]] = {
+    "no_adapt": (False, False),
+    "bn_norm": (True, False),
+    "bn_opt": (True, True),
+}
+
+_PAPER_BATCHES = (50, 100, 200)
+
+
+def _summaries() -> Dict[str, ModelSummary]:
+    return {name: summarize(build_model(name, "full"), name=name)
+            for name in MODEL_NAMES}
+
+
+def predicted_time(summaries: Dict[str, ModelSummary], model: str,
+                   device: str, method: str, batch_size: int) -> float:
+    adapts, backward = METHOD_FLAGS[method]
+    breakdown = forward_latency(summaries[model], batch_size,
+                                device_info(device), adapts_bn_stats=adapts,
+                                does_backward=backward)
+    return breakdown.forward_time_s
+
+
+def predicted_energy(summaries: Dict[str, ModelSummary], model: str,
+                     device: str, method: str, batch_size: int) -> float:
+    adapts, backward = METHOD_FLAGS[method]
+    breakdown = forward_latency(summaries[model], batch_size,
+                                device_info(device), adapts_bn_stats=adapts,
+                                does_backward=backward)
+    return energy_per_batch(breakdown, device_info(device))
+
+
+def _mean_extra(summaries: Dict[str, ModelSummary], device: str,
+                method: str, skip: Sequence[Tuple[str, int]] = ()) -> float:
+    """Mean adaptation overhead over the 3x3 model/batch grid minus skips."""
+    extras = []
+    for model in ("wrn40_2", "resnet18", "resnext29"):
+        for batch in _PAPER_BATCHES:
+            if (model, batch) in skip:
+                continue
+            baseline = predicted_time(summaries, model, device, "no_adapt", batch)
+            extras.append(predicted_time(summaries, model, device, method, batch)
+                          - baseline)
+    return sum(extras) / len(extras)
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One paper-reported number and how to predict it."""
+
+    label: str
+    paper_value: float
+    rel_tolerance: float
+    predict: Callable[[Dict[str, ModelSummary]], float]
+
+
+def _wrn50(device: str, method: str, kind: str) -> Callable:
+    if kind == "time":
+        return lambda s: predicted_time(s, "wrn40_2", device, method, 50)
+    return lambda s: predicted_energy(s, "wrn40_2", device, method, 50)
+
+
+ANCHORS: List[Anchor] = [
+    # --- Ultra96-v2 (Section IV-B, Fig. 5) -------------------------------
+    Anchor("ultra96 WRN-50 no_adapt time (s)", 3.58, 0.05, _wrn50("ultra96", "no_adapt", "time")),
+    Anchor("ultra96 WRN-50 bn_norm time (s)", 3.95, 0.05, _wrn50("ultra96", "bn_norm", "time")),
+    Anchor("ultra96 WRN-50 bn_opt time (s)", 13.35, 0.05, _wrn50("ultra96", "bn_opt", "time")),
+    Anchor("ultra96 WRN-50 no_adapt energy (J)", 4.47, 0.05, _wrn50("ultra96", "no_adapt", "energy")),
+    Anchor("ultra96 WRN-50 bn_norm energy (J)", 4.93, 0.05, _wrn50("ultra96", "bn_norm", "energy")),
+    Anchor("ultra96 WRN-50 bn_opt energy (J)", 14.35, 0.05, _wrn50("ultra96", "bn_opt", "energy")),
+    Anchor("ultra96 mean BN-Norm overhead (s)", 1.40, 0.15,
+           lambda s: _mean_extra(s, "ultra96", "bn_norm")),
+    Anchor("ultra96 mean BN-Opt overhead (s)", 30.27, 0.15,
+           lambda s: _mean_extra(s, "ultra96", "bn_opt",
+                                 skip=(("resnext29", 100), ("resnext29", 200)))),
+    # --- Raspberry Pi 4 (Section IV-C, Fig. 8) ----------------------------
+    Anchor("rpi4 WRN-50 no_adapt time (s)", 2.04, 0.05, _wrn50("rpi4", "no_adapt", "time")),
+    Anchor("rpi4 WRN-50 bn_norm time (s)", 2.59, 0.05, _wrn50("rpi4", "bn_norm", "time")),
+    Anchor("rpi4 WRN-50 bn_opt time (s)", 7.97, 0.05, _wrn50("rpi4", "bn_opt", "time")),
+    Anchor("rpi4 WRN-50 no_adapt energy (J)", 5.04, 0.05, _wrn50("rpi4", "no_adapt", "energy")),
+    Anchor("rpi4 WRN-50 bn_norm energy (J)", 5.95, 0.05, _wrn50("rpi4", "bn_norm", "energy")),
+    Anchor("rpi4 WRN-50 bn_opt energy (J)", 19.12, 0.05, _wrn50("rpi4", "bn_opt", "energy")),
+    Anchor("rpi4 mean BN-Norm overhead (s)", 0.86, 0.15,
+           lambda s: _mean_extra(s, "rpi4", "bn_norm")),
+    Anchor("rpi4 mean BN-Opt overhead (s)", 24.9, 0.15,
+           lambda s: _mean_extra(s, "rpi4", "bn_opt")),
+    Anchor("rpi4 RXT-200 bn_opt energy (A2, J)", 337.43, 0.15,
+           lambda s: predicted_energy(s, "resnext29", "rpi4", "bn_opt", 200)),
+    # --- Xavier NX (Section IV-D/E, Figs. 9, 11, 12) ----------------------
+    Anchor("nx_gpu WRN-50 no_adapt time (s)", 0.10, 0.12, _wrn50("xavier_nx_gpu", "no_adapt", "time")),
+    Anchor("nx_gpu WRN-50 bn_norm time (s)", 0.315, 0.05, _wrn50("xavier_nx_gpu", "bn_norm", "time")),
+    Anchor("nx_gpu WRN-50 bn_opt time (s)", 0.82, 0.05, _wrn50("xavier_nx_gpu", "bn_opt", "time")),
+    Anchor("nx_gpu WRN-50 no_adapt energy (J)", 1.02, 0.12, _wrn50("xavier_nx_gpu", "no_adapt", "energy")),
+    Anchor("nx_gpu WRN-50 bn_norm energy (J)", 2.96, 0.05, _wrn50("xavier_nx_gpu", "bn_norm", "energy")),
+    Anchor("nx_gpu WRN-50 bn_opt energy (J)", 7.96, 0.08, _wrn50("xavier_nx_gpu", "bn_opt", "energy")),
+    Anchor("nx_cpu RXT-200 bn_opt time (A1, s)", 69.58, 0.05,
+           lambda s: predicted_time(s, "resnext29", "xavier_nx_cpu", "bn_opt", 200)),
+    # --- MobileNet Table I (NX GPU) ---------------------------------------
+    Anchor("TableI MNv2-50 no_adapt (s)", 0.07, 0.15,
+           lambda s: predicted_time(s, "mobilenet_v2", "xavier_nx_gpu", "no_adapt", 50)),
+    Anchor("TableI MNv2-100 no_adapt (s)", 0.13, 0.15,
+           lambda s: predicted_time(s, "mobilenet_v2", "xavier_nx_gpu", "no_adapt", 100)),
+    Anchor("TableI MNv2-200 no_adapt (s)", 0.25, 0.15,
+           lambda s: predicted_time(s, "mobilenet_v2", "xavier_nx_gpu", "no_adapt", 200)),
+    Anchor("TableI MNv2-50 bn_norm (s)", 0.58, 0.10,
+           lambda s: predicted_time(s, "mobilenet_v2", "xavier_nx_gpu", "bn_norm", 50)),
+    Anchor("TableI MNv2-100 bn_norm (s)", 1.18, 0.10,
+           lambda s: predicted_time(s, "mobilenet_v2", "xavier_nx_gpu", "bn_norm", 100)),
+    Anchor("TableI MNv2-200 bn_norm (s)", 2.95, 0.30,
+           lambda s: predicted_time(s, "mobilenet_v2", "xavier_nx_gpu", "bn_norm", 200)),
+    Anchor("TableI MNv2-50 bn_opt (s)", 1.63, 0.25,
+           lambda s: predicted_time(s, "mobilenet_v2", "xavier_nx_gpu", "bn_opt", 50)),
+    Anchor("TableI MNv2-100 bn_opt (s)", 3.7, 0.30,
+           lambda s: predicted_time(s, "mobilenet_v2", "xavier_nx_gpu", "bn_opt", 100)),
+    Anchor("TableI MNv2-200 bn_opt (s)", 8.28, 0.40,
+           lambda s: predicted_time(s, "mobilenet_v2", "xavier_nx_gpu", "bn_opt", 200)),
+]
+
+
+@dataclass(frozen=True)
+class AnchorResult:
+    label: str
+    paper_value: float
+    predicted: float
+    rel_error: float
+    tolerance: float
+
+    @property
+    def within_tolerance(self) -> bool:
+        return self.rel_error <= self.tolerance
+
+
+def anchor_report() -> List[AnchorResult]:
+    """Evaluate every anchor against the frozen device constants."""
+    summaries = _summaries()
+    results = []
+    for anchor in ANCHORS:
+        predicted = anchor.predict(summaries)
+        rel = abs(predicted - anchor.paper_value) / abs(anchor.paper_value)
+        results.append(AnchorResult(label=anchor.label,
+                                    paper_value=anchor.paper_value,
+                                    predicted=predicted, rel_error=rel,
+                                    tolerance=anchor.rel_tolerance))
+    return results
+
+
+def format_anchor_report(results: List[AnchorResult] | None = None) -> str:
+    """Render the anchor residuals as a markdown table."""
+    if results is None:
+        results = anchor_report()
+    lines = [
+        "| anchor | paper | model | rel. err | tol | ok |",
+        "|---|---|---|---|---|---|",
+    ]
+    for r in results:
+        lines.append(f"| {r.label} | {r.paper_value:g} | {r.predicted:.3f} "
+                     f"| {100 * r.rel_error:.1f}% | {100 * r.tolerance:.0f}% "
+                     f"| {'yes' if r.within_tolerance else 'NO'} |")
+    return "\n".join(lines)

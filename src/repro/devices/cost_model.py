@@ -1,0 +1,135 @@
+"""Latency model: per-phase forward/backward time decomposition.
+
+Mirrors the paper's measurement methodology: the reported "forward time"
+is inference *plus* any adaptation work (BN statistics recompute for
+BN-Norm/BN-Opt, plus one full backpropagation + optimizer step for
+BN-Opt).  The decomposition into conv/BN forward/backward phases is what
+the paper's Autograd-profiler figures (4, 7, 10) show, and what
+:mod:`repro.profiling` renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.devices.spec import DeviceSpec
+from repro.models.summary import ModelSummary
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-phase seconds for one adaptation batch.
+
+    ``forward_time`` (the paper's reported metric) is the sum of every
+    phase; the ``fw`` / ``adapt`` / ``bw`` groupings drive the per-phase
+    energy model.
+    """
+
+    batch_size: int
+    conv_fw_s: float
+    bn_fw_s: float            # BN normalization in inference
+    bn_adapt_s: float         # extra statistics-recompute work (0 for No-Adapt)
+    elementwise_fw_s: float
+    overhead_fw_s: float
+    conv_bw_s: float
+    bn_bw_s: float
+    elementwise_bw_s: float
+    optimizer_s: float
+    overhead_bw_s: float
+
+    # ------------------------------------------------------------------
+    @property
+    def forward_phase_s(self) -> float:
+        """Pure-inference forward work (powered at ``power_forward_w``)."""
+        return (self.conv_fw_s + self.bn_fw_s + self.elementwise_fw_s
+                + self.overhead_fw_s)
+
+    @property
+    def adapt_phase_s(self) -> float:
+        """Statistics-recompute work (powered at ``power_adapt_w``)."""
+        return self.bn_adapt_s
+
+    @property
+    def backward_phase_s(self) -> float:
+        """Backprop + optimizer work (powered at ``power_backward_w``)."""
+        return (self.conv_bw_s + self.bn_bw_s + self.elementwise_bw_s
+                + self.optimizer_s + self.overhead_bw_s)
+
+    @property
+    def forward_time_s(self) -> float:
+        """Total per-batch 'forward time' in the paper's sense."""
+        return self.forward_phase_s + self.adapt_phase_s + self.backward_phase_s
+
+    @property
+    def bn_fw_total_s(self) -> float:
+        """BN forward including adaptation — the 'bn fw' bar in Figs 4/7/10."""
+        return self.bn_fw_s + self.bn_adapt_s
+
+    def scaled(self, factor: float) -> "LatencyBreakdown":
+        """Uniformly scale every phase (used by profiler overhead modeling)."""
+        return LatencyBreakdown(
+            batch_size=self.batch_size,
+            **{name: getattr(self, name) * factor
+               for name in ("conv_fw_s", "bn_fw_s", "bn_adapt_s",
+                            "elementwise_fw_s", "overhead_fw_s", "conv_bw_s",
+                            "bn_bw_s", "elementwise_bw_s", "optimizer_s",
+                            "overhead_bw_s")},
+        )
+
+
+def _conv_forward_seconds(summary: ModelSummary, batch_size: int,
+                          device: DeviceSpec) -> float:
+    split = summary.macs_by_flavor()
+    thr = device.dense_gmacs_per_s * 1e9
+    per_sample = (split["dense"] / thr
+                  + split["grouped"] / (thr * device.grouped_efficiency)
+                  + split["depthwise"] / (thr * device.depthwise_efficiency))
+    return batch_size * per_sample
+
+
+def forward_latency(summary: ModelSummary, batch_size: int,
+                    device: DeviceSpec, *, adapts_bn_stats: bool,
+                    does_backward: bool) -> LatencyBreakdown:
+    """Latency of one streamed batch for a (model, device, method) triple.
+
+    ``adapts_bn_stats`` / ``does_backward`` are the two flags the
+    :class:`~repro.adapt.base.AdaptationMethod` classes expose:
+    (False, False) = No-Adapt, (True, False) = BN-Norm,
+    (True, True) = BN-Opt.
+    """
+    if does_backward and not adapts_bn_stats:
+        raise ValueError("backward without BN stat adaptation is not a "
+                         "method the study defines")
+    conv_fw = _conv_forward_seconds(summary, batch_size, device)
+    bn_fw = batch_size * summary.bn_elements / device.bn_elems_per_s
+    elementwise_fw = (batch_size * summary.act_elements
+                      / device.elementwise_elems_per_s)
+
+    bn_adapt = 0.0
+    if adapts_bn_stats:
+        bn_adapt = (batch_size * summary.bn_elements * device.bn_adapt_s_per_elem
+                    + summary.bn_channels * device.bn_adapt_s_per_channel
+                    + summary.bn_layer_count() * device.bn_adapt_s_per_layer)
+
+    conv_bw = bn_bw = elementwise_bw = optimizer = overhead_bw = 0.0
+    if does_backward:
+        conv_bw = device.conv_bw_factor * conv_fw
+        bn_bw = device.bn_bw_factor * (bn_fw + bn_adapt)
+        elementwise_bw = device.elementwise_bw_factor * elementwise_fw
+        optimizer = summary.bn_params * device.optimizer_s_per_param
+        overhead_bw = device.backward_overhead_s
+
+    return LatencyBreakdown(
+        batch_size=batch_size,
+        conv_fw_s=conv_fw,
+        bn_fw_s=bn_fw,
+        bn_adapt_s=bn_adapt,
+        elementwise_fw_s=elementwise_fw,
+        overhead_fw_s=device.forward_overhead_s,
+        conv_bw_s=conv_bw,
+        bn_bw_s=bn_bw,
+        elementwise_bw_s=elementwise_bw,
+        optimizer_s=optimizer,
+        overhead_bw_s=overhead_bw,
+    )

@@ -1,0 +1,99 @@
+"""Device specification: every constant of the latency/energy/memory models.
+
+A :class:`DeviceSpec` is the "device half" of the simulator.  The
+"workload half" comes from :class:`repro.models.summary.ModelSummary`.
+Constants are calibrated against the paper's reported measurements
+(see :mod:`repro.devices.calibrate`); the docstrings below say which
+observable each constant controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Analytical model of one edge device (or one accelerator on it).
+
+    Latency model (per adaptation batch of size B, model summary S):
+
+    - conv forward: ``B * [dense/thr + grouped/(thr*grouped_eff) +
+      depthwise/(thr*depthwise_eff)]`` with ``thr = dense_gmacs_per_s``.
+    - BN inference forward: ``B * S.bn_elements / bn_elems_per_s``.
+    - elementwise (activations/pooling): ``B * S.act_elements /
+      elementwise_elems_per_s``.
+    - BN statistics recompute (BN-Norm/BN-Opt only):
+      ``B * S.bn_elements * bn_adapt_s_per_elem +
+      S.bn_channels * bn_adapt_s_per_channel +
+      S.bn_layer_count * bn_adapt_s_per_layer``.
+    - backward (BN-Opt only): per-phase multiples of the forward times
+      (``conv_bw_factor``, ``bn_bw_factor``, ``elementwise_bw_factor``)
+      plus the optimizer update and dispatch overheads.
+    """
+
+    name: str
+    display_name: str
+    kind: str                      # "cpu" | "gpu"
+    description: str
+
+    # --- latency ---------------------------------------------------------
+    #: effective dense-convolution throughput (GMAC/s, fitted)
+    dense_gmacs_per_s: float
+    #: throughput derate for grouped convolutions (ResNeXt)
+    grouped_efficiency: float
+    #: throughput derate for depthwise convolutions (MobileNet)
+    depthwise_efficiency: float
+    #: BN normalization throughput in eval/inference (elements/s)
+    bn_elems_per_s: float
+    #: activation / pooling / residual-add throughput (elements/s)
+    elementwise_elems_per_s: float
+    #: BN statistics-recompute cost, per element (s)
+    bn_adapt_s_per_elem: float
+    #: BN statistics-recompute cost, per channel (s) — reduce/update tails
+    bn_adapt_s_per_channel: float
+    #: BN statistics-recompute cost, per BN layer (s) — dispatch
+    bn_adapt_s_per_layer: float
+    #: backward/forward time ratio for convolutions (paper Figs. 4/7/10)
+    conv_bw_factor: float
+    #: backward time relative to the *adapted* BN forward time
+    bn_bw_factor: float
+    #: backward/forward ratio for elementwise ops
+    elementwise_bw_factor: float
+    #: fixed per-batch forward dispatch overhead (s)
+    forward_overhead_s: float
+    #: fixed per-batch backward dispatch overhead (s)
+    backward_overhead_s: float
+    #: optimizer update cost per trainable parameter (s)
+    optimizer_s_per_param: float
+
+    # --- power (wall-meter deltas, W) -------------------------------------
+    #: power draw during forward compute
+    power_forward_w: float
+    #: power draw during the BN statistics-recompute phase (memory bound)
+    power_adapt_w: float
+    #: power draw during backward compute
+    power_backward_w: float
+
+    # --- memory ------------------------------------------------------------
+    #: physical DRAM (GB)
+    memory_total_gb: float
+    #: OS + background services reservation (GB)
+    os_reserved_gb: float
+    #: resident framework footprint (PyTorch for ARM etc.), bytes
+    framework_bytes: float
+    #: accelerator libraries loaded on first kernel launch (cuDNN), bytes
+    accel_library_bytes: float
+
+    @property
+    def memory_budget_bytes(self) -> float:
+        """Bytes available to the adaptation process."""
+        return (self.memory_total_gb - self.os_reserved_gb) * 1e9
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Copy with selected constants replaced (used for ablations)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        return f"{self.display_name} ({self.kind}, {self.memory_total_gb:g} GB)"

@@ -1,0 +1,110 @@
+"""What-if analysis: sensitivity of the cost model to device constants.
+
+The paper's co-design conclusions are qualitative ("additional MACs ...
+would make back propagation less costly").  This module makes them
+quantitative: sweep any :class:`DeviceSpec` constant and measure the
+elasticity of a metric — the fractional metric change per fractional
+constant change — so hardware proposals can be ranked by leverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.devices.cost_model import forward_latency
+from repro.devices.energy import energy_per_batch
+from repro.devices.spec import DeviceSpec
+from repro.models.summary import ModelSummary
+
+#: DeviceSpec fields that are legal sweep targets (numeric model knobs)
+SWEEPABLE_FIELDS = (
+    "dense_gmacs_per_s", "grouped_efficiency", "depthwise_efficiency",
+    "bn_elems_per_s", "elementwise_elems_per_s", "bn_adapt_s_per_elem",
+    "bn_adapt_s_per_channel", "bn_adapt_s_per_layer", "conv_bw_factor",
+    "bn_bw_factor", "elementwise_bw_factor", "forward_overhead_s",
+    "backward_overhead_s", "optimizer_s_per_param", "power_forward_w",
+    "power_adapt_w", "power_backward_w", "memory_total_gb",
+)
+
+MetricFn = Callable[[DeviceSpec], float]
+
+
+def latency_metric(summary: ModelSummary, batch_size: int, *,
+                   adapts_bn_stats: bool, does_backward: bool) -> MetricFn:
+    """Metric: per-batch forward time for one configuration."""
+    def metric(device: DeviceSpec) -> float:
+        return forward_latency(summary, batch_size, device,
+                               adapts_bn_stats=adapts_bn_stats,
+                               does_backward=does_backward).forward_time_s
+    return metric
+
+
+def energy_metric(summary: ModelSummary, batch_size: int, *,
+                  adapts_bn_stats: bool, does_backward: bool) -> MetricFn:
+    """Metric: per-batch energy for one configuration."""
+    def metric(device: DeviceSpec) -> float:
+        breakdown = forward_latency(summary, batch_size, device,
+                                    adapts_bn_stats=adapts_bn_stats,
+                                    does_backward=does_backward)
+        return energy_per_batch(breakdown, device)
+    return metric
+
+
+def sweep(device: DeviceSpec, field_name: str, factors: Sequence[float],
+          metric: MetricFn) -> List[Tuple[float, float]]:
+    """Evaluate ``metric`` with ``field_name`` scaled by each factor."""
+    if field_name not in SWEEPABLE_FIELDS:
+        raise KeyError(f"{field_name!r} is not sweepable; see SWEEPABLE_FIELDS")
+    baseline = getattr(device, field_name)
+    results = []
+    for factor in factors:
+        modified = device.with_overrides(**{field_name: baseline * factor})
+        results.append((factor, metric(modified)))
+    return results
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Elasticity of a metric w.r.t. one device constant."""
+
+    field_name: str
+    elasticity: float    # d(log metric) / d(log constant), ~0 = irrelevant
+
+    def __repr__(self) -> str:
+        return f"Sensitivity({self.field_name}: {self.elasticity:+.3f})"
+
+
+def sensitivities(device: DeviceSpec, metric: MetricFn,
+                  field_names: Sequence[str] = SWEEPABLE_FIELDS,
+                  epsilon: float = 0.05) -> List[Sensitivity]:
+    """Elasticity of ``metric`` to each constant, sorted by |elasticity|.
+
+    Central difference in log space with relative step ``epsilon``;
+    constants whose baseline is zero are reported with elasticity 0.
+    """
+    results = []
+    base_value = metric(device)
+    for field_name in field_names:
+        baseline = getattr(device, field_name)
+        if baseline == 0:
+            results.append(Sensitivity(field_name, 0.0))
+            continue
+        up = metric(device.with_overrides(
+            **{field_name: baseline * (1 + epsilon)}))
+        down = metric(device.with_overrides(
+            **{field_name: baseline * (1 - epsilon)}))
+        # d(log m)/d(log c) ~ (m+ - m-) / (2 eps m0)
+        elasticity = (up - down) / (2 * epsilon * base_value)
+        results.append(Sensitivity(field_name, elasticity))
+    return sorted(results, key=lambda s: abs(s.elasticity), reverse=True)
+
+
+def format_sensitivities(results: Sequence[Sensitivity],
+                         top: int = 8, title: str = "") -> str:
+    """Render the top sensitivities as text."""
+    lines = [title or "Cost-model sensitivities (elasticity of the metric):"]
+    for s in results[:top]:
+        bar = "#" * int(round(abs(s.elasticity) * 20))
+        lines.append(f"  {s.field_name:<26s} {s.elasticity:+7.3f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Model zoo: the paper's three robust DNNs plus MobileNet-V2.
+
+All four are faithful CIFAR-scale re-implementations whose analytical
+footprints match the numbers reported in Section III-B / IV-F of the paper
+(verified by `tests/test_models/test_paper_counts.py`):
+
+============== ======= ============ ========== =====================
+model          GMACs   total params BN params  factory
+============== ======= ============ ========== =====================
+ResNet-18      0.56    11.17 M      7808       :func:`resnet18`
+WRN-40-2       0.33    2.24 M       5408       :func:`wide_resnet40_2`
+ResNeXt-29     1.08    6.81 M       25216      :func:`resnext29_4x32d`
+MobileNet-V2   0.096   ~2.3 M       34112      :func:`mobilenet_v2`
+============== ======= ============ ========== =====================
+
+Each factory also exists in a reduced-width "tiny" profile used by the
+native (actually-executed) accuracy experiments; see
+:mod:`repro.models.registry`.
+"""
+
+from repro.models.mobilenet import MobileNetV2, mobilenet_v2
+from repro.models.registry import MODEL_NAMES, PROFILES, build_model, model_info
+from repro.models.resnet import ResNet18, resnet18
+from repro.models.resnext import ResNeXt29, resnext29_4x32d
+from repro.models.summary import ModelSummary, summarize
+from repro.models.wide_resnet import WideResNet, wide_resnet40_2
+
+__all__ = [
+    "ResNet18",
+    "WideResNet",
+    "ResNeXt29",
+    "MobileNetV2",
+    "resnet18",
+    "wide_resnet40_2",
+    "resnext29_4x32d",
+    "mobilenet_v2",
+    "build_model",
+    "model_info",
+    "MODEL_NAMES",
+    "PROFILES",
+    "ModelSummary",
+    "summarize",
+]

@@ -1,0 +1,67 @@
+"""Model checkpointing: save/load weights as ``.npz`` archives.
+
+The native experiments train models worth keeping; these helpers give a
+stable, framework-free on-disk format (flat name -> float32 array, plus
+a metadata channel for the builder configuration so a checkpoint can be
+rebuilt without external context).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.models.registry import build_model
+from repro.nn.module import Module
+
+_META_KEY = "__repro_meta__"
+
+
+def save_checkpoint(model: Module, path: Union[str, Path],
+                    model_name: Optional[str] = None,
+                    profile: Optional[str] = None, **extra_meta) -> None:
+    """Write ``model``'s state dict (and optional builder metadata) to npz.
+
+    When ``model_name``/``profile`` are given, :func:`load_checkpoint`
+    can rebuild the model from the registry without a pre-built instance.
+    """
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"state dict may not contain key {_META_KEY!r}")
+    meta = {"model_name": model_name, "profile": profile, **extra_meta}
+    meta_blob = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(Path(path), **state, **{_META_KEY: meta_blob})
+
+
+def read_checkpoint(path: Union[str, Path]) -> tuple[Dict[str, np.ndarray], dict]:
+    """Read a checkpoint's (state dict, metadata) without building a model."""
+    with np.load(Path(path)) as archive:
+        state = {name: archive[name] for name in archive.files
+                 if name != _META_KEY}
+        meta = {}
+        if _META_KEY in archive.files:
+            meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+    return state, meta
+
+
+def load_checkpoint(path: Union[str, Path],
+                    model: Optional[Module] = None) -> Module:
+    """Load weights into ``model``, or rebuild it from stored metadata.
+
+    Raises ``ValueError`` when no model is given and the checkpoint
+    carries no builder metadata.
+    """
+    state, meta = read_checkpoint(path)
+    if model is None:
+        name = meta.get("model_name")
+        profile = meta.get("profile")
+        if not name or not profile:
+            raise ValueError("checkpoint has no builder metadata; pass a "
+                             "model instance to load into")
+        model = build_model(name, profile)
+    model.load_state_dict(state)
+    model.eval()
+    return model

@@ -1,0 +1,107 @@
+"""MobileNet-V2 for CIFAR (Section IV-F of the paper).
+
+The paper reports 0.096 GMACs, a 9 MB model, and 34112 batch-norm
+parameters — "larger than the three robust ResNet models", which is what
+makes BN adaptation disproportionately expensive for it despite the tiny
+MAC count.  34112 = 2 x 17056 BN channels, which the standard MobileNet-V2
+inverted-residual schedule (t,c,n,s) = (1,16,1,1), (6,24,2,1), (6,32,3,2),
+(6,64,4,2), (6,96,3,1), (6,160,3,2), (6,320,1,1) with a stride-1 CIFAR stem
+and a 1280-channel head yields exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro import nn
+from repro.tensor.tensor import Tensor
+
+# (expansion t, output channels c, repeats n, first stride s);
+# strides of the first two stages are 1 for 32x32 inputs.
+CIFAR_INVERTED_RESIDUAL_SETTING: List[Tuple[int, int, int, int]] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 1),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+class ConvBNReLU(nn.Sequential):
+    """conv -> BN -> ReLU6, the MobileNet building brick."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, groups: int = 1):
+        padding = (kernel_size - 1) // 2
+        super().__init__(
+            nn.Conv2d(in_channels, out_channels, kernel_size, stride=stride,
+                      padding=padding, groups=groups, bias=False),
+            nn.BatchNorm2d(out_channels),
+            nn.ReLU6(),
+        )
+
+
+class InvertedResidual(nn.Module):
+    """Expand (1x1) -> depthwise (3x3) -> project (1x1, linear)."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int,
+                 expand_ratio: int):
+        super().__init__()
+        hidden = in_channels * expand_ratio
+        self.use_residual = stride == 1 and in_channels == out_channels
+        layers: List[nn.Module] = []
+        if expand_ratio != 1:
+            layers.append(ConvBNReLU(in_channels, hidden, kernel_size=1))
+        layers.append(ConvBNReLU(hidden, hidden, stride=stride, groups=hidden))
+        layers.append(nn.Conv2d(hidden, out_channels, 1, bias=False))
+        layers.append(nn.BatchNorm2d(out_channels))
+        self.block = nn.Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.block(x)
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileNetV2(nn.Module):
+    """CIFAR MobileNet-V2 with a width multiplier (1.0 = the paper's model)."""
+
+    def __init__(self, num_classes: int = 10, width_mult: float = 1.0,
+                 last_channel: int = 1280):
+        super().__init__()
+
+        def scaled(channels: int) -> int:
+            value = int(round(channels * width_mult))
+            return max(value, 8)
+
+        input_channel = scaled(32)
+        self.last_channel = scaled(last_channel) if width_mult > 1.0 else int(
+            round(last_channel * min(width_mult * 2, 1.0)))
+        self.stem = ConvBNReLU(3, input_channel, stride=1)
+        features: List[nn.Module] = []
+        for t, c, n, s in CIFAR_INVERTED_RESIDUAL_SETTING:
+            out_channel = scaled(c)
+            for block_index in range(n):
+                stride = s if block_index == 0 else 1
+                features.append(InvertedResidual(input_channel, out_channel,
+                                                 stride, expand_ratio=t))
+                input_channel = out_channel
+        self.features = nn.Sequential(*features)
+        self.head = ConvBNReLU(input_channel, self.last_channel, kernel_size=1)
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = nn.Linear(self.last_channel, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.features(out)
+        out = self.head(out)
+        out = self.pool(out)
+        return self.classifier(out)
+
+
+def mobilenet_v2(num_classes: int = 10, width_mult: float = 1.0) -> MobileNetV2:
+    """Build the paper's CIFAR MobileNet-V2 (``width_mult=1.0``)."""
+    return MobileNetV2(num_classes=num_classes, width_mult=width_mult)

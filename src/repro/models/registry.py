@@ -1,0 +1,110 @@
+"""Model registry: full-size (paper) and tiny (natively-executed) profiles.
+
+``full`` profiles reproduce the paper's architectures exactly and are used
+for analytical summaries and the device cost models.  ``tiny`` profiles
+keep the topology family (depth pattern, block types, BN placement) but
+shrink widths so that real training / adaptation on the numpy engine runs
+in seconds; they power the native accuracy experiments (Fig. 2 shape) and
+the algorithm test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.models.mobilenet import mobilenet_v2
+from repro.models.resnet import resnet18
+from repro.models.resnext import resnext29_4x32d
+from repro.models.wide_resnet import wide_resnet40_2
+from repro.nn.module import Module
+
+MODEL_NAMES = ("resnet18", "wrn40_2", "resnext29", "mobilenet_v2")
+PROFILES = ("full", "tiny")
+
+# Paper display names (Section IV-A).
+PAPER_LABELS: Dict[str, str] = {
+    "resnext29": "RXT-AM",
+    "wrn40_2": "WRN-AM",
+    "resnet18": "R18-AM-AT",
+    "mobilenet_v2": "MNetV2",
+}
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Registry entry: builders for both profiles plus paper metadata."""
+
+    name: str
+    paper_label: str
+    build_full: Callable[[], Module]
+    build_tiny: Callable[[], Module]
+    # Paper-reported analytical footprint of the full profile
+    # (Sections III-B, IV-F), asserted by tests.
+    paper_gmacs: float
+    paper_params_millions: float
+    paper_bn_params: int
+    paper_model_mb: int
+
+
+_REGISTRY: Dict[str, ModelInfo] = {
+    "resnet18": ModelInfo(
+        name="resnet18",
+        paper_label=PAPER_LABELS["resnet18"],
+        build_full=lambda: resnet18(),
+        build_tiny=lambda: resnet18(width=8),
+        paper_gmacs=0.56,
+        paper_params_millions=11.17,
+        paper_bn_params=7808,
+        paper_model_mb=86,
+    ),
+    "wrn40_2": ModelInfo(
+        name="wrn40_2",
+        paper_label=PAPER_LABELS["wrn40_2"],
+        build_full=lambda: wide_resnet40_2(),
+        build_tiny=lambda: wide_resnet40_2(depth=16, widen_factor=2, base=4),
+        paper_gmacs=0.33,
+        paper_params_millions=2.24,
+        paper_bn_params=5408,
+        paper_model_mb=9,
+    ),
+    "resnext29": ModelInfo(
+        name="resnext29",
+        paper_label=PAPER_LABELS["resnext29"],
+        build_full=lambda: resnext29_4x32d(),
+        build_tiny=lambda: resnext29_4x32d(cardinality=2, base_width=4,
+                                           stem_width=8),
+        paper_gmacs=1.08,
+        paper_params_millions=6.81,
+        paper_bn_params=25216,
+        paper_model_mb=26,
+    ),
+    "mobilenet_v2": ModelInfo(
+        name="mobilenet_v2",
+        paper_label=PAPER_LABELS["mobilenet_v2"],
+        build_full=lambda: mobilenet_v2(),
+        build_tiny=lambda: mobilenet_v2(width_mult=0.25),
+        paper_gmacs=0.096,
+        paper_params_millions=2.3,
+        paper_bn_params=34112,
+        paper_model_mb=9,
+    ),
+}
+
+
+def model_info(name: str) -> ModelInfo:
+    """Look up a registry entry by canonical name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; choose from {MODEL_NAMES}") from None
+
+
+def build_model(name: str, profile: str = "full") -> Module:
+    """Instantiate a model by name and profile ("full" or "tiny")."""
+    info = model_info(name)
+    if profile == "full":
+        return info.build_full()
+    if profile == "tiny":
+        return info.build_tiny()
+    raise ValueError(f"unknown profile {profile!r}; choose from {PROFILES}")

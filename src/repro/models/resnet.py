@@ -1,0 +1,79 @@
+"""CIFAR ResNet-18 ("R18-AM-AT" in the paper).
+
+The paper reports 0.56 GMACs, 11.17 M parameters, and 7808 batch-norm
+parameters.  7808 BN parameters = 2 x 3904 BN channels = 2 x (64 + 4x64 +
+4x128 + 4x256 + 4x512), which is a ResNet-18 whose downsampling shortcuts
+are 1x1 convolutions *without* batch norm — so that is what we build (the
+stock torchvision variant would have 9600).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro import nn
+from repro.tensor.tensor import Tensor
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convs with BN/ReLU and an (optionally convolutional) shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride,
+                               padding=1, bias=False)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.relu = nn.ReLU()
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            # Projection shortcut without BN (see module docstring).
+            self.shortcut: nn.Module = nn.Conv2d(in_channels, out_channels, 1,
+                                                 stride=stride, bias=False)
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        out = out + self.shortcut(x)
+        return self.relu(out)
+
+
+class ResNet18(nn.Module):
+    """CIFAR-style ResNet-18: 3x3 stem, four 2-block stages, widths w..8w."""
+
+    def __init__(self, num_classes: int = 10, width: int = 64):
+        super().__init__()
+        widths = [width, 2 * width, 4 * width, 8 * width]
+        self.conv1 = nn.Conv2d(3, widths[0], 3, padding=1, bias=False)
+        self.bn1 = nn.BatchNorm2d(widths[0])
+        self.relu = nn.ReLU()
+        self.layer1 = self._make_stage(widths[0], widths[0], stride=1)
+        self.layer2 = self._make_stage(widths[0], widths[1], stride=2)
+        self.layer3 = self._make_stage(widths[1], widths[2], stride=2)
+        self.layer4 = self._make_stage(widths[2], widths[3], stride=2)
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(widths[3], num_classes)
+
+    @staticmethod
+    def _make_stage(in_channels: int, out_channels: int, stride: int) -> nn.Sequential:
+        return nn.Sequential(
+            BasicBlock(in_channels, out_channels, stride=stride),
+            BasicBlock(out_channels, out_channels, stride=1),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.layer1(out)
+        out = self.layer2(out)
+        out = self.layer3(out)
+        out = self.layer4(out)
+        out = self.pool(out)
+        return self.fc(out)
+
+
+def resnet18(num_classes: int = 10, width: int = 64) -> ResNet18:
+    """Build the paper's ResNet-18 (``width=64``); smaller widths give the
+    reduced "tiny" profile used for natively-executed experiments."""
+    return ResNet18(num_classes=num_classes, width=width)

@@ -1,0 +1,232 @@
+"""Analytical model summaries: MACs, parameters, BN footprint, activations.
+
+A summary is produced by tracing one real forward pass (batch size 1) and
+deriving, per leaf layer:
+
+- multiply-accumulate operations (convolutions and linear layers),
+- learnable parameter count,
+- BN channels / BN parameters (gamma + beta, the paper's "BN parameters"),
+- BN *elements* per sample (``C*H*W`` summed over BN layers — the workload
+  of recomputing normalization statistics, which drives BN-Norm cost),
+- activation elements saved for backward (every conv/BN/activation input —
+  the PyTorch dynamic-graph memory the paper measures at 3.12 GB /
+  5.1 GB for ResNeXt at batch 100 / 200).
+
+These summaries are the *workload half* of the edge-device cost models in
+:mod:`repro.devices`; the numbers for the four paper models are pinned by
+tests against Section III-B / IV-F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Module, TraceRecord, trace_calls
+from repro.tensor.tensor import Tensor, no_grad
+
+
+@dataclass
+class LayerStats:
+    """Workload of one leaf layer for a single input sample."""
+
+    name: str
+    kind: str                      # "conv" | "linear" | "bn" | "act" | "pool" | "other"
+    macs: float                    # multiply-accumulates per sample
+    params: int                    # learnable parameters
+    bn_channels: int               # C for BN layers, else 0
+    input_elements: float          # elements of the input tensor per sample
+    output_elements: float         # elements of the output tensor per sample
+    conv_flavor: str = ""          # "dense" | "grouped" | "depthwise" for convs
+
+
+@dataclass
+class ModelSummary:
+    """Aggregate workload of a model for one input sample."""
+
+    model_name: str
+    input_shape: Tuple[int, int, int]
+    layers: List[LayerStats] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Aggregates (all per sample unless stated otherwise)
+    # ------------------------------------------------------------------
+    @property
+    def total_macs(self) -> float:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def gmacs(self) -> float:
+        return self.total_macs / 1e9
+
+    @property
+    def total_params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    @property
+    def bn_channels(self) -> int:
+        return sum(layer.bn_channels for layer in self.layers)
+
+    @property
+    def bn_params(self) -> int:
+        """gamma + beta across all BN layers (the paper's 'BN parameters')."""
+        return 2 * self.bn_channels
+
+    @property
+    def bn_elements(self) -> float:
+        """Per-sample elements flowing through BN layers (stat-recompute work)."""
+        return sum(l.input_elements for l in self.layers if l.kind == "bn")
+
+    @property
+    def conv_macs(self) -> float:
+        return sum(l.macs for l in self.layers if l.kind in ("conv", "linear"))
+
+    def macs_by_flavor(self) -> Dict[str, float]:
+        """Split conv/linear MACs into dense / grouped / depthwise.
+
+        Grouped and depthwise convolutions achieve a lower fraction of a
+        device's peak throughput (less reuse per memory access); the
+        device cost models apply per-flavor efficiency factors, which is
+        how ResNeXt's grouped 3x3 and MobileNet's depthwise stacks end up
+        disproportionately slow — as the paper observes.
+        """
+        split = {"dense": 0.0, "grouped": 0.0, "depthwise": 0.0}
+        for layer in self.layers:
+            if layer.kind == "linear":
+                split["dense"] += layer.macs
+            elif layer.kind == "conv":
+                split[layer.conv_flavor or "dense"] += layer.macs
+        return split
+
+    @property
+    def act_elements(self) -> float:
+        """Per-sample elements through activation and pooling layers."""
+        return sum(l.input_elements for l in self.layers
+                   if l.kind in ("act", "pool"))
+
+    @property
+    def saved_activation_elements(self) -> float:
+        """Per-sample elements the dynamic autograd graph retains for backward.
+
+        Every conv, BN, and activation keeps its input; BN additionally
+        keeps the normalized tensor (its output size).  This mirrors what
+        PyTorch retains when all parameters require grad, which is the
+        regime the paper profiles (BN-Opt leaves requires_grad enabled
+        during the forward pass that builds the graph).
+        """
+        total = 0.0
+        for layer in self.layers:
+            if layer.kind in ("conv", "act", "pool"):
+                total += layer.input_elements
+            elif layer.kind == "bn":
+                total += layer.input_elements + layer.output_elements
+        return total
+
+    @property
+    def peak_activation_elements(self) -> float:
+        """Largest single intermediate tensor (inference working set)."""
+        peak = 0.0
+        for layer in self.layers:
+            peak = max(peak, layer.input_elements, layer.output_elements)
+        return peak
+
+    def weight_bytes(self) -> int:
+        """float32 bytes of the learnable parameters."""
+        return self.total_params * 4
+
+    def bn_layer_count(self) -> int:
+        return sum(1 for l in self.layers if l.kind == "bn")
+
+    def describe(self) -> str:
+        """One-line human summary matching the paper's Section III-B style."""
+        return (f"{self.model_name}: {self.gmacs:.3f} GMACs, "
+                f"{self.total_params / 1e6:.2f}M params, "
+                f"{self.bn_params} BN params, "
+                f"{self.weight_bytes() / 1e6:.0f} MB weights")
+
+
+def _classify(module: Module) -> str:
+    if isinstance(module, nn.Conv2d):
+        return "conv"
+    if isinstance(module, nn.Linear):
+        return "linear"
+    if isinstance(module, nn.BatchNorm2d):
+        return "bn"
+    if isinstance(module, (nn.ReLU, nn.ReLU6)):
+        return "act"
+    if isinstance(module, (nn.MaxPool2d, nn.AvgPool2d, nn.GlobalAvgPool2d)):
+        return "pool"
+    return "other"
+
+
+def _layer_stats(name: str, record: TraceRecord) -> LayerStats:
+    module = record.module
+    kind = _classify(module)
+    in_elems = float(np.prod(record.input_shape[1:])) if record.input_shape else 0.0
+    out_elems = float(np.prod(record.output_shape[1:]))
+    macs = 0.0
+    params = sum(p.data.size for p in module._parameters.values()
+                 if p is not None)
+    conv_flavor = ""
+    if kind == "conv":
+        conv: nn.Conv2d = module  # type: ignore[assignment]
+        kh, kw = conv.kernel_size
+        per_output = (conv.in_channels // conv.groups) * kh * kw
+        macs = out_elems * per_output
+        if conv.groups == 1:
+            conv_flavor = "dense"
+        elif conv.groups == conv.in_channels:
+            conv_flavor = "depthwise"
+        else:
+            conv_flavor = "grouped"
+    elif kind == "linear":
+        linear: nn.Linear = module  # type: ignore[assignment]
+        macs = float(linear.in_features * linear.out_features)
+    bn_channels = module.num_features if kind == "bn" else 0
+    return LayerStats(name=name, kind=kind, macs=macs, params=params,
+                      bn_channels=bn_channels, input_elements=in_elems,
+                      output_elements=out_elems, conv_flavor=conv_flavor)
+
+
+# Cache entries hold a strong reference to the model: the key uses
+# id(model), and CPython reuses ids after garbage collection, so the
+# reference is what keeps the key valid for the cache's lifetime.
+_SUMMARY_CACHE: Dict[Tuple[int, Tuple[int, int, int]],
+                     Tuple[Module, ModelSummary]] = {}
+
+
+def summarize(model: Module, input_shape: Tuple[int, int, int] = (3, 32, 32),
+              name: Optional[str] = None) -> ModelSummary:
+    """Trace one forward pass and return the per-layer workload summary.
+
+    ``input_shape`` is (C, H, W); a single-sample forward in eval mode with
+    autograd disabled is executed to capture real shapes.  Results are
+    cached per (model instance, input shape).
+    """
+    key = (id(model), tuple(input_shape))
+    cached = _SUMMARY_CACHE.get(key)
+    if cached is not None:
+        return cached[1]
+
+    # Names for leaf modules, for readable reports.
+    names = {id(module): module_name or type(module).__name__
+             for module_name, module in model.named_modules()}
+
+    was_training = model.training
+    model.eval()
+    x = Tensor(np.zeros((1, *input_shape), dtype=np.float32))
+    with no_grad(), trace_calls() as records:
+        model(x)
+    if was_training:
+        model.train()
+
+    summary = ModelSummary(model_name=name or type(model).__name__,
+                           input_shape=tuple(input_shape))
+    for record in records:
+        layer_name = names.get(id(record.module), type(record.module).__name__)
+        summary.layers.append(_layer_stats(layer_name, record))
+    _SUMMARY_CACHE[key] = (model, summary)
+    return summary

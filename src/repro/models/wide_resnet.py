@@ -1,0 +1,88 @@
+"""Wide-ResNet-40-2 ("WRN-AM" in the paper).
+
+Pre-activation wide residual network (Zagoruyko & Komodakis 2016) with
+depth 40 and widening factor 2: 0.33 GMACs, 2.24 M parameters, and 5408
+batch-norm parameters (= 2 x 2704 BN channels, which the standard
+pre-activation topology yields exactly; the projection shortcuts carry no
+BN).
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.tensor.tensor import Tensor
+
+
+class PreActBlock(nn.Module):
+    """Pre-activation basic block: BN-ReLU-conv, BN-ReLU-conv, + shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1):
+        super().__init__()
+        self.bn1 = nn.BatchNorm2d(in_channels)
+        self.relu = nn.ReLU()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride,
+                               padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, bias=False)
+        self.needs_projection = stride != 1 or in_channels != out_channels
+        if self.needs_projection:
+            self.shortcut: nn.Module = nn.Conv2d(in_channels, out_channels, 1,
+                                                 stride=stride, bias=False)
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        pre = self.relu(self.bn1(x))
+        # Pre-activation networks feed the *activated* tensor to a
+        # projection shortcut, and the raw input to an identity shortcut.
+        residual = self.shortcut(pre) if self.needs_projection else x
+        out = self.conv1(pre)
+        out = self.conv2(self.relu(self.bn2(out)))
+        return out + residual
+
+
+class WideResNet(nn.Module):
+    """WRN-d-k: ``(d - 4) / 6`` pre-activation blocks per stage, widths
+    ``base*k, 2*base*k, 4*base*k``, final BN-ReLU before pooling."""
+
+    def __init__(self, depth: int = 40, widen_factor: int = 2,
+                 num_classes: int = 10, base: int = 16):
+        super().__init__()
+        if (depth - 4) % 6 != 0:
+            raise ValueError("WideResNet depth must satisfy depth = 6n + 4")
+        n = (depth - 4) // 6
+        widths = [base, base * widen_factor, 2 * base * widen_factor,
+                  4 * base * widen_factor]
+        self.conv1 = nn.Conv2d(3, widths[0], 3, padding=1, bias=False)
+        self.stage1 = self._make_stage(widths[0], widths[1], n, stride=1)
+        self.stage2 = self._make_stage(widths[1], widths[2], n, stride=2)
+        self.stage3 = self._make_stage(widths[2], widths[3], n, stride=2)
+        self.bn_final = nn.BatchNorm2d(widths[3])
+        self.relu = nn.ReLU()
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(widths[3], num_classes)
+
+    @staticmethod
+    def _make_stage(in_channels: int, out_channels: int, blocks: int,
+                    stride: int) -> nn.Sequential:
+        stage = nn.Sequential(PreActBlock(in_channels, out_channels, stride=stride))
+        for _ in range(blocks - 1):
+            stage.append(PreActBlock(out_channels, out_channels, stride=1))
+        return stage
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv1(x)
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        out = self.relu(self.bn_final(out))
+        out = self.pool(out)
+        return self.fc(out)
+
+
+def wide_resnet40_2(num_classes: int = 10, depth: int = 40,
+                    widen_factor: int = 2, base: int = 16) -> WideResNet:
+    """Build the paper's WRN-40-2; pass smaller ``depth``/``base`` for the
+    reduced "tiny" profile."""
+    return WideResNet(depth=depth, widen_factor=widen_factor,
+                      num_classes=num_classes, base=base)

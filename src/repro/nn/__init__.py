@@ -1,0 +1,43 @@
+"""Neural-network module system built on :mod:`repro.tensor`.
+
+Mirrors the subset of ``torch.nn`` the paper's experiments rely on:
+module tree with named parameters/buffers, ``train()``/``eval()`` modes
+(which switch :class:`BatchNorm2d` between batch and running statistics —
+the exact switch BN-Norm and BN-Opt exploit), convolution / linear / BN /
+activation / pooling layers, standard initializers, and SGD / Adam
+optimizers.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+)
+from repro.nn.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "Identity",
+    "Flatten",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Optimizer",
+    "SGD",
+    "Adam",
+]

@@ -1,0 +1,43 @@
+"""Weight initializers (seedable, numpy-based)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_rng = np.random.default_rng(0)
+
+
+def seed(value: int) -> None:
+    """Re-seed the global initializer RNG (for reproducible model builds)."""
+    global _rng
+    _rng = np.random.default_rng(value)
+
+
+def _fan_in(shape: Tuple[int, ...]) -> int:
+    if len(shape) == 2:          # Linear: (out, in)
+        return shape[1]
+    if len(shape) == 4:          # Conv: (out, in/g, kh, kw)
+        return shape[1] * shape[2] * shape[3]
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal(shape: Tuple[int, ...]) -> np.ndarray:
+    """He-normal initialization (gain for ReLU)."""
+    std = np.sqrt(2.0 / _fan_in(shape))
+    return (_rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def xavier_uniform(shape: Tuple[int, ...]) -> np.ndarray:
+    """Glorot-uniform initialization."""
+    fan_in = _fan_in(shape)
+    fan_out = shape[0] if len(shape) == 2 else shape[0] * shape[2] * shape[3]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return _rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def uniform_fan_in(shape: Tuple[int, ...], fan_in: int) -> np.ndarray:
+    """PyTorch-style bias init: uniform in +-1/sqrt(fan_in)."""
+    bound = 1.0 / np.sqrt(fan_in) if fan_in > 0 else 0.0
+    return _rng.uniform(-bound, bound, size=shape).astype(np.float32)

@@ -1,0 +1,185 @@
+"""Standard layers: Conv2d, Linear, BatchNorm2d, activations, pooling."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.init import kaiming_normal, uniform_fan_in
+from repro.nn.module import Module, Parameter
+from repro.tensor import conv as conv_ops
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW input.
+
+    Matches ``torch.nn.Conv2d`` semantics for the features used in the
+    paper's models: square/rect kernels, stride, symmetric zero padding,
+    groups (including depthwise), optional bias (the ResNet-family models
+    use ``bias=False`` because BN follows every conv).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, groups: int = 1, bias: bool = True):
+        super().__init__()
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        shape = (out_channels, in_channels // groups, *kernel_size)
+        self.weight = Parameter(kaiming_normal(shape))
+        self.bias: Optional[Parameter]
+        if bias:
+            fan_in = (in_channels // groups) * kernel_size[0] * kernel_size[1]
+            self.bias = Parameter(uniform_fan_in((out_channels,), fan_in))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv_ops.conv2d(x, self.weight, self.bias,
+                               stride=self.stride, padding=self.padding,
+                               groups=self.groups)
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride}, "
+                f"padding={self.padding}, groups={self.groups})")
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b`` over (N, in_features)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(kaiming_normal((out_features, in_features)))
+        self.bias = Parameter(uniform_fan_in((out_features,), in_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.transpose())
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel dimension of NCHW input.
+
+    In ``train`` mode the layer normalizes with the statistics of the
+    current batch and updates exponential-moving-average running buffers
+    with ``momentum`` — this is the behaviour BN-Norm and BN-Opt switch on
+    at test time.  In ``eval`` mode it uses the frozen running statistics
+    (No-Adapt).  ``gamma``/``beta`` are the transformation parameters the
+    paper's BN-Opt optimizes by entropy minimization (2 per channel, hence
+    the paper's "BN parameter" counts: 7808 / 5408 / 25216 / 34112).
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))   # gamma
+        self.bias = Parameter(np.zeros(num_features))    # beta
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+        # Count of batches seen while adapting; exposed for diagnostics.
+        self.batches_tracked = 0
+
+    def reset_running_stats(self) -> None:
+        """Restore the buffers to their initial (identity) state."""
+        self.set_buffer("running_mean", np.zeros(self.num_features))
+        self.set_buffer("running_var", np.ones(self.num_features))
+        self.batches_tracked = 0
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.data.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got {x.data.shape}")
+        if x.data.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d({self.num_features}) got {x.data.shape[1]} channels")
+        if self.training:
+            out, batch_mean, batch_var = F.batch_norm_train(
+                x, self.weight, self.bias, eps=self.eps)
+            m = self.momentum
+            self.running_mean *= (1.0 - m)
+            self.running_mean += m * batch_mean.astype(np.float32)
+            self.running_var *= (1.0 - m)
+            self.running_var += m * batch_var.astype(np.float32)
+            self.batches_tracked += 1
+            return out
+        return F.batch_norm_eval(x, self.weight, self.bias,
+                                 self.running_mean, self.running_var, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class ReLU6(Module):
+    """ReLU clipped at 6 (MobileNetV2's activation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.clip(0.0, 6.0)
+
+
+class Identity(Module):
+    """Pass-through module (used for parameter-free shortcuts)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=1)
+
+
+class MaxPool2d(Module):
+    """Max pooling."""
+
+    def __init__(self, kernel_size, stride=None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv_ops.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    """Average pooling."""
+
+    def __init__(self, kernel_size, stride=None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv_ops.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Adaptive average pooling to 1x1, squeezed to (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv_ops.global_avg_pool2d(x)

@@ -1,0 +1,241 @@
+"""Module base class: parameter registry, buffers, train/eval state."""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class TraceRecord:
+    """One leaf-module invocation captured by :func:`trace_calls`."""
+
+    module: "Module"
+    input_shape: Optional[Tuple[int, ...]]
+    output_shape: Tuple[int, ...]
+    duration_s: float = 0.0
+
+
+_TRACE_STACK: List[List[TraceRecord]] = []
+
+
+def _active_trace() -> Optional[List[TraceRecord]]:
+    return _TRACE_STACK[-1] if _TRACE_STACK else None
+
+
+@contextlib.contextmanager
+def trace_calls():
+    """Record every leaf-module call inside the block.
+
+    Yields the list that will be filled with :class:`TraceRecord` entries
+    in execution order — the raw material for the model summaries
+    (:mod:`repro.models.summary`) and the op-level profiler
+    (:mod:`repro.profiling`).
+    """
+    records: List[TraceRecord] = []
+    _TRACE_STACK.append(records)
+    try:
+        yield records
+    finally:
+        _TRACE_STACK.pop()
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a learnable parameter.
+
+    Parameters default to ``requires_grad=True``; adaptation algorithms
+    selectively freeze them (BN-Opt freezes everything except BN affine
+    parameters, exactly as TENT does in PyTorch).
+    """
+
+    def __init__(self, data, requires_grad: bool = True):
+        super().__init__(np.asarray(data, dtype=np.float32), requires_grad=requires_grad)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Assigning a :class:`Parameter`, a :class:`Module`, or calling
+    :meth:`register_buffer` records the child in insertion order so that
+    ``named_parameters`` / ``state_dict`` walk the tree deterministically.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-learnable state (e.g. BN running statistics)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float32)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Overwrite a registered buffer in place (keeps registry coherent)."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = np.asarray(value, dtype=np.float32)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for module_name, module in self.named_modules(prefix):
+            for param_name, param in module._parameters.items():
+                full = f"{module_name}.{param_name}" if module_name else param_name
+                yield full, param
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for module_name, module in self.named_modules(prefix):
+            for buffer_name in module._buffers:
+                full = f"{module_name}.{buffer_name}" if module_name else buffer_name
+                yield full, module._buffers[buffer_name]
+
+    # ------------------------------------------------------------------
+    # Mode and gradient management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set train/eval mode recursively (BN switches statistics source)."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def requires_grad_(self, flag: bool) -> "Module":
+        for param in self.parameters():
+            param.requires_grad = flag
+        return self
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat name -> array snapshot of parameters and buffers (copies)."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buffer in self.named_buffers():
+            state[name] = buffer.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load a snapshot produced by :meth:`state_dict` (strict)."""
+        params = dict(self.named_parameters())
+        buffer_owners: Dict[str, Tuple[Module, str]] = {}
+        for module_name, module in self.named_modules():
+            for buffer_name in module._buffers:
+                full = f"{module_name}.{buffer_name}" if module_name else buffer_name
+                buffer_owners[full] = (module, buffer_name)
+        expected = set(params) | set(buffer_owners)
+        provided = set(state)
+        if expected != provided:
+            missing = sorted(expected - provided)
+            unexpected = sorted(provided - expected)
+            raise KeyError(f"state mismatch: missing={missing}, unexpected={unexpected}")
+        for name, value in state.items():
+            if name in params:
+                if params[name].data.shape != value.shape:
+                    raise ValueError(f"shape mismatch for {name}")
+                params[name].data = value.astype(np.float32).copy()
+            else:
+                owner, buffer_name = buffer_owners[name]
+                owner.set_buffer(buffer_name, value.copy())
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        trace = _active_trace()
+        if trace is None:
+            return self.forward(*args, **kwargs)
+        start = time.perf_counter()
+        output = self.forward(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        if not self._modules:
+            # Only leaf modules are recorded: composites would double count.
+            input_shape = args[0].shape if args and isinstance(args[0], Tensor) else None
+            trace.append(TraceRecord(module=self, input_shape=input_shape,
+                                     output_shape=output.shape,
+                                     duration_s=elapsed))
+        return output
+
+    def num_parameters(self) -> int:
+        """Total learnable parameter count."""
+        return sum(p.data.size for p in self.parameters())
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"
+
+
+class Sequential(Module):
+    """A chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order = []
+        for i, module in enumerate(modules):
+            setattr(self, str(i), module)
+            self._order.append(str(i))
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self):
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = self._modules[name](x)
+        return x

@@ -1,0 +1,30 @@
+"""Op-level profiling: the reproduction of the paper's Autograd-profiler
+figures (4, 7, 10) plus a native profiler for real executions.
+
+- :mod:`repro.profiling.breakdown` — simulated conv/BN forward/backward
+  decomposition from the device cost model, including the profiler's own
+  memory overhead (which is what makes ResNeXt unprofilable on the
+  Ultra96-v2, as the paper reports).
+- :mod:`repro.profiling.profiler` — wall-clock per-op profiler for native
+  numpy executions (used in tests and examples to sanity-check that the
+  simulated decomposition has the same shape as a real one).
+"""
+
+from repro.profiling.breakdown import (
+    BreakdownRow,
+    ProfilerOOM,
+    breakdown_for,
+    breakdown_table,
+    format_breakdown,
+)
+from repro.profiling.profiler import NativeProfile, profile_native
+
+__all__ = [
+    "BreakdownRow",
+    "ProfilerOOM",
+    "breakdown_for",
+    "breakdown_table",
+    "format_breakdown",
+    "NativeProfile",
+    "profile_native",
+]

@@ -1,0 +1,72 @@
+"""Native wall-clock profiler for real numpy executions.
+
+Where :mod:`repro.profiling.breakdown` *simulates* the paper's profiler
+figures from the device cost model, this module measures actual leaf-op
+times of our numpy engine via the :func:`repro.nn.module.trace_calls`
+hook.  It is used by tests to check that the simulated decomposition has
+the same qualitative shape as a real one (conv dominates forward; BN
+forward grows under adaptation) and by examples for diagnostics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.models.summary import _classify
+from repro.nn.module import Module, trace_calls
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class NativeProfile:
+    """Aggregated per-kind forward times plus total backward time."""
+
+    forward_s_by_kind: Dict[str, float] = field(default_factory=dict)
+    backward_s: float = 0.0
+    total_forward_s: float = 0.0
+
+    @property
+    def conv_fw_s(self) -> float:
+        return (self.forward_s_by_kind.get("conv", 0.0)
+                + self.forward_s_by_kind.get("linear", 0.0))
+
+    @property
+    def bn_fw_s(self) -> float:
+        return self.forward_s_by_kind.get("bn", 0.0)
+
+    def describe(self) -> str:
+        parts = [f"{kind}={seconds * 1e3:.1f}ms"
+                 for kind, seconds in sorted(self.forward_s_by_kind.items())]
+        parts.append(f"backward={self.backward_s * 1e3:.1f}ms")
+        return ", ".join(parts)
+
+
+def profile_native(model: Module, x: np.ndarray,
+                   loss_fn=None) -> NativeProfile:
+    """Profile one forward (and optional backward) pass of ``model``.
+
+    ``loss_fn`` maps logits (a Tensor) to a scalar Tensor; when given,
+    the backward pass is timed as a whole (per-op backward attribution is
+    not separable in our closure-based engine, so the profile reports a
+    single backward figure — tests compare it against the cost model's
+    total backward time instead of per-kind).
+    """
+    profile = NativeProfile()
+    start = time.perf_counter()
+    with trace_calls() as records:
+        logits = model(Tensor(x))
+    profile.total_forward_s = time.perf_counter() - start
+    for record in records:
+        kind = _classify(record.module)
+        profile.forward_s_by_kind[kind] = (
+            profile.forward_s_by_kind.get(kind, 0.0) + record.duration_s)
+    if loss_fn is not None:
+        loss = loss_fn(logits)
+        start = time.perf_counter()
+        loss.backward()
+        profile.backward_s = time.perf_counter() - start
+    return profile

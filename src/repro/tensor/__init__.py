@@ -1,0 +1,23 @@
+"""From-scratch numpy autograd engine.
+
+This subpackage provides the dynamic-graph tensor substrate the paper's
+adaptation algorithms run on (the paper used PyTorch 1.8; see DESIGN.md for
+the substitution rationale).  The public surface is:
+
+- :class:`~repro.tensor.tensor.Tensor` — a numpy-backed tensor that records
+  a dynamic computation graph and supports reverse-mode autodiff via
+  :meth:`~repro.tensor.tensor.Tensor.backward`.
+- :func:`~repro.tensor.tensor.no_grad` / :func:`~repro.tensor.tensor.is_grad_enabled`
+  — context manager mirroring ``torch.no_grad()``.
+- :mod:`repro.tensor.conv` — im2col convolution (stride / padding / groups /
+  depthwise) and pooling with hand-written backward passes.
+- :mod:`repro.tensor.functional` — fused neural-net ops (batch-norm in
+  train/eval mode, softmax, log-softmax, cross-entropy, Shannon entropy).
+- :func:`~repro.tensor.gradcheck.gradcheck` — finite-difference gradient
+  verification used throughout the test suite.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.tensor.gradcheck import gradcheck
+
+__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled", "gradcheck"]

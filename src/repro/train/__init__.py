@@ -1,0 +1,18 @@
+"""Offline robust pre-training (the paper's Section II-A).
+
+The paper's three DNNs arrive pre-trained with AugMix data augmentation
+(all three) and LPIPS-bounded adversarial training (ResNet-18 only).  This
+package provides the equivalent pipeline for our models:
+
+- :class:`Trainer` — SGD training loop with cosine learning-rate decay,
+  AugMix augmentation, and optional PGD adversarial training (the
+  classical proxy for the paper's LPIPS-based method; see DESIGN.md).
+- :func:`evaluate` — top-1 error of a model on a labeled split.
+- :func:`pretrain_robust` — one-call "make me a robust tiny model"
+  used by the native accuracy experiments, with an in-process cache.
+"""
+
+from repro.train.adversarial import pgd_attack
+from repro.train.trainer import Trainer, TrainConfig, evaluate, pretrain_robust
+
+__all__ = ["Trainer", "TrainConfig", "evaluate", "pgd_attack", "pretrain_robust"]

@@ -1,0 +1,48 @@
+"""Adversarial example generation for robust training.
+
+The paper's ResNet-18 is adversarially trained with perturbations bounded
+in LPIPS distance (Kireev et al. 2021).  LPIPS requires a reference
+perceptual network; as the closest classical equivalent we implement
+projected gradient descent (PGD) in an L-infinity ball — the substitution
+is documented in DESIGN.md and preserves what the experiment needs: a
+model whose decision surface is locally flattened against small
+worst-case input perturbations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+def pgd_attack(model: Module, images: np.ndarray, labels: np.ndarray,
+               epsilon: float = 4.0 / 255.0, step_size: float = 1.5 / 255.0,
+               steps: int = 3, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Generate L-infinity PGD adversarial examples.
+
+    The model's parameters are not modified; only the input gradient is
+    used.  Inputs and outputs are float32 NCHW in [0, 1].
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    was_training = model.training
+    model.eval()
+
+    perturbed = images + rng.uniform(-epsilon, epsilon,
+                                     size=images.shape).astype(np.float32)
+    perturbed = np.clip(perturbed, 0.0, 1.0)
+    for _ in range(steps):
+        x = Tensor(perturbed, requires_grad=True)
+        loss = F.cross_entropy(model(x), labels)
+        loss.backward()
+        assert x.grad is not None
+        perturbed = perturbed + step_size * np.sign(x.grad)
+        perturbed = np.clip(perturbed, images - epsilon, images + epsilon)
+        perturbed = np.clip(perturbed, 0.0, 1.0).astype(np.float32)
+
+    if was_training:
+        model.train()
+    return perturbed

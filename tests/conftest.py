@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (full-size model summaries, the simulated study grid, a
+briefly-trained micro model) are session-scoped so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.runner import run_simulated_study
+from repro.models.registry import MODEL_NAMES, build_model
+from repro.models.summary import summarize
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def full_summaries():
+    """Analytical summaries of the four full-size paper models."""
+    return {name: summarize(build_model(name, "full"), name=name)
+            for name in MODEL_NAMES}
+
+
+@pytest.fixture(scope="session")
+def simulated_study():
+    """The full simulated paper grid (108 records)."""
+    return run_simulated_study(StudyConfig())
+
+
+@pytest.fixture(scope="session")
+def micro_trained_model():
+    """A very small WRN trained briefly on tiny synthetic data.
+
+    Used by integration tests that need a model with genuinely learned
+    BN statistics; kept small so the whole suite trains it in seconds.
+    """
+    from repro.data.synthetic import make_synth_cifar
+    from repro.models.wide_resnet import wide_resnet40_2
+    from repro.train.trainer import TrainConfig, Trainer
+
+    model = wide_resnet40_2(depth=10, widen_factor=1, base=4)
+    data = make_synth_cifar(1500, size=16, seed=3)
+    Trainer(model, TrainConfig(epochs=8, batch_size=64, lr=0.08,
+                               use_augmix=False, seed=3)).fit(data)
+    return model, data

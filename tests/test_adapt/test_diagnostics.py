@@ -1,0 +1,80 @@
+"""Adaptation monitoring: drift, entropy, churn signals."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import BNNorm, BNOpt, NoAdapt
+from repro.adapt.diagnostics import AdaptationMonitor
+from repro.models import build_model
+
+
+@pytest.fixture
+def model():
+    return build_model("wrn40_2", "tiny")
+
+
+@pytest.fixture
+def batches(rng):
+    return [rng.standard_normal((16, 3, 16, 16)).astype(np.float32) + 2.0
+            for _ in range(3)]
+
+
+class TestMonitor:
+    def test_records_per_batch(self, model, batches):
+        monitor = AdaptationMonitor(BNNorm()).prepare(model)
+        for batch in batches:
+            monitor.forward(batch)
+        assert len(monitor.history) == 3
+        assert [d.batch_index for d in monitor.history] == [0, 1, 2]
+
+    def test_no_adapt_has_zero_drift(self, model, batches):
+        monitor = AdaptationMonitor(NoAdapt()).prepare(model)
+        monitor.forward(batches[0])
+        assert monitor.history[0].stats_drift == pytest.approx(0.0)
+
+    def test_bn_norm_drifts_under_shift(self, model, batches):
+        monitor = AdaptationMonitor(BNNorm()).prepare(model)
+        monitor.forward(batches[0])    # batches are shifted by +2
+        assert monitor.history[0].stats_drift > 0.1
+
+    def test_entropy_recorded_and_bounded(self, model, batches):
+        monitor = AdaptationMonitor(BNOpt(lr=1e-3)).prepare(model)
+        monitor.forward(batches[0])
+        entropy = monitor.history[0].mean_entropy
+        assert 0.0 <= entropy <= np.log(10) + 1e-6
+
+    def test_churn_requires_probe(self, model, batches):
+        monitor = AdaptationMonitor(BNNorm()).prepare(model)
+        monitor.forward(batches[0])
+        assert monitor.history[0].prediction_churn is None
+
+    def test_churn_with_probe(self, model, batches, rng):
+        probe = rng.standard_normal((32, 3, 16, 16)).astype(np.float32)
+        monitor = AdaptationMonitor(BNOpt(lr=5e-2), probe=probe).prepare(model)
+        monitor.forward(batches[0])
+        assert monitor.history[0].prediction_churn is None  # first batch
+        monitor.forward(batches[1])
+        churn = monitor.history[1].prediction_churn
+        assert churn is not None and 0.0 <= churn <= 1.0
+
+    def test_reset_clears_history(self, model, batches):
+        monitor = AdaptationMonitor(BNNorm()).prepare(model)
+        monitor.forward(batches[0])
+        monitor.reset()
+        assert monitor.history == []
+
+    def test_trajectories(self, model, batches):
+        monitor = AdaptationMonitor(BNNorm()).prepare(model)
+        for batch in batches:
+            monitor.forward(batch)
+        assert len(monitor.drift_trajectory()) == 3
+        assert len(monitor.entropy_trajectory()) == 3
+        assert monitor.max_churn() == 0.0   # no probe set
+
+    def test_name(self):
+        assert AdaptationMonitor(BNNorm()).name == "monitored(bn_norm)"
+
+    def test_forward_returns_logits(self, model, batches):
+        monitor = AdaptationMonitor(BNNorm()).prepare(model)
+        logits = monitor.forward(batches[0])
+        assert logits.shape == (16, 10)

@@ -1,0 +1,136 @@
+"""Extension adaptation methods: source-blend BN and entropy-gated TENT."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import (
+    BNNorm,
+    BNNormSourceBlend,
+    BNOptSelective,
+    EXTENSION_METHOD_NAMES,
+    NoAdapt,
+    bn_layers,
+    bn_parameters,
+    build_method,
+)
+from repro.models import build_model
+
+
+@pytest.fixture
+def model():
+    return build_model("wrn40_2", "tiny")
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.standard_normal((16, 3, 16, 16)).astype(np.float32)
+
+
+class TestFactory:
+    def test_extensions_registered(self):
+        for name in EXTENSION_METHOD_NAMES:
+            assert build_method(name).name == name
+
+
+class TestBNNormSourceBlend:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BNNormSourceBlend(source_count=-1)
+
+    def test_zero_source_count_matches_bn_norm(self, model, batch):
+        blend = BNNormSourceBlend(source_count=0).prepare(model)
+        blend_logits = blend.forward(batch)
+        blend.reset()
+        norm = BNNorm(momentum=1.0).prepare(model)
+        norm_logits = norm.forward(batch)
+        norm.reset()
+        # logits agree up to the biased (train-mode) vs unbiased (buffer)
+        # variance convention compounding through the depth
+        np.testing.assert_allclose(blend_logits, norm_logits, atol=0.05)
+        np.testing.assert_array_equal(blend_logits.argmax(-1),
+                                      norm_logits.argmax(-1))
+
+    def test_huge_source_count_approaches_no_adapt(self, model, batch):
+        blend = BNNormSourceBlend(source_count=10 ** 9).prepare(model)
+        blend_logits = blend.forward(batch)
+        blend.reset()
+        frozen = NoAdapt().prepare(model)
+        frozen_logits = frozen.forward(batch)
+        np.testing.assert_allclose(blend_logits, frozen_logits, atol=1e-2)
+
+    def test_buffers_blend_between_source_and_batch(self, model, batch):
+        layers = bn_layers(model)
+        source_means = [l.running_mean.copy() for l in layers]
+        blend = BNNormSourceBlend(source_count=16).prepare(model)
+        blend.forward(batch + 1.0)
+        # the first BN layer's buffer moved toward the (shifted) batch
+        # mean but not all the way
+        moved = np.abs(layers[0].running_mean - source_means[0]).mean()
+        assert moved > 1e-4
+        blend.reset()
+        np.testing.assert_allclose(layers[0].running_mean, source_means[0])
+
+    def test_weights_untouched(self, model, batch):
+        blend = BNNormSourceBlend().prepare(model)
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        blend.forward(batch)
+        for name, p in model.named_parameters():
+            np.testing.assert_array_equal(p.data, before[name])
+
+    def test_no_backward_flag(self):
+        assert not BNNormSourceBlend().does_backward
+
+
+class TestBNOptSelective:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BNOptSelective(entropy_threshold=0.0)
+        with pytest.raises(ValueError):
+            BNOptSelective(entropy_threshold=1.5)
+
+    def test_threshold_one_selects_everything(self, model, batch):
+        method = BNOptSelective(entropy_threshold=1.0).prepare(model)
+        method.forward(batch)
+        assert method.last_selected_fraction == pytest.approx(1.0)
+
+    def test_tiny_threshold_selects_nothing_and_freezes(self, model, batch):
+        method = BNOptSelective(entropy_threshold=1e-6).prepare(model)
+        affine_before = [p.data.copy() for p in bn_parameters(model)]
+        method.forward(batch)
+        assert method.last_selected_fraction == 0.0
+        for p, before in zip(bn_parameters(model), affine_before):
+            np.testing.assert_array_equal(p.data, before)
+
+    def test_partial_selection_updates_affine(self, model, batch):
+        method = BNOptSelective(lr=1e-2, entropy_threshold=0.95).prepare(model)
+        affine_before = [p.data.copy() for p in bn_parameters(model)]
+        method.forward(batch)
+        if method.last_selected_fraction and method.last_selected_fraction > 0:
+            changed = any(not np.allclose(p.data, before)
+                          for p, before in zip(bn_parameters(model),
+                                               affine_before))
+            assert changed
+
+    def test_only_bn_affine_trainable(self, model, batch):
+        method = BNOptSelective().prepare(model)
+        affine_ids = {id(p) for p in bn_parameters(model)}
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        method.forward(batch)
+        for name, p in model.named_parameters():
+            if id(p) not in affine_ids:
+                np.testing.assert_array_equal(p.data, before[name])
+
+    def test_forward_before_prepare_raises(self, batch):
+        with pytest.raises(RuntimeError):
+            BNOptSelective().forward(batch)
+
+    def test_gated_loss_is_mean_over_selected(self, model, batch):
+        """With threshold 1.0 the gated loss equals plain mean entropy."""
+        from repro.adapt import BNOpt
+        gated = BNOptSelective(lr=1e-3, entropy_threshold=1.0).prepare(model)
+        gated.forward(batch)
+        gated_entropy = gated.last_entropy
+        gated.reset()
+        plain = BNOpt(lr=1e-3).prepare(model)
+        plain.forward(batch)
+        assert gated_entropy == pytest.approx(plain.last_entropy, rel=1e-4)

@@ -1,0 +1,201 @@
+"""Adaptation-method semantics: what each method may and may not touch."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.adapt import (
+    BNNorm,
+    BNOpt,
+    NoAdapt,
+    METHOD_NAMES,
+    bn_layers,
+    bn_parameters,
+    build_method,
+    configure_bn_only_grads,
+)
+from repro.models import build_model
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def model():
+    return build_model("wrn40_2", "tiny")
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.standard_normal((16, 3, 16, 16)).astype(np.float32)
+
+
+class TestUtilities:
+    def test_bn_layers_found(self, model):
+        layers = bn_layers(model)
+        assert layers and all(isinstance(l, nn.BatchNorm2d) for l in layers)
+
+    def test_bn_parameters_are_affine_pairs(self, model):
+        params = list(bn_parameters(model))
+        assert len(params) == 2 * len(bn_layers(model))
+
+    def test_configure_bn_only_grads_count(self, model):
+        count = configure_bn_only_grads(model)
+        expected = sum(2 * l.num_features for l in bn_layers(model))
+        assert count == expected
+        for name, p in model.named_parameters():
+            is_bn_affine = any(p is q for q in bn_parameters(model))
+            assert p.requires_grad == is_bn_affine
+
+    def test_build_method_factory(self):
+        for name in METHOD_NAMES:
+            assert build_method(name).name == name
+        with pytest.raises(KeyError):
+            build_method("bn_magic")
+
+
+class TestNoAdapt:
+    def test_flags(self):
+        method = NoAdapt()
+        assert not method.does_backward and not method.adapts_bn_stats
+
+    def test_model_state_untouched(self, model, batch):
+        method = NoAdapt().prepare(model)
+        before = model.state_dict()
+        method.forward(batch)
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_model_in_eval_mode(self, model, batch):
+        NoAdapt().prepare(model)
+        assert not model.training
+
+    def test_forward_before_prepare_raises(self, batch):
+        with pytest.raises(RuntimeError):
+            NoAdapt().forward(batch)
+
+    def test_returns_logits(self, model, batch):
+        logits = NoAdapt().prepare(model).forward(batch)
+        assert logits.shape == (16, 10)
+
+    def test_deterministic(self, model, batch):
+        method = NoAdapt().prepare(model)
+        np.testing.assert_array_equal(method.forward(batch),
+                                      method.forward(batch))
+
+
+class TestBNNorm:
+    def test_flags(self):
+        method = BNNorm()
+        assert method.adapts_bn_stats and not method.does_backward
+
+    def test_updates_running_stats_only(self, model, batch):
+        method = BNNorm().prepare(model)
+        weights_before = {name: p.data.copy()
+                          for name, p in model.named_parameters()}
+        stats_before = [l.running_mean.copy() for l in bn_layers(model)]
+        method.forward(batch + 2.0)   # shifted batch
+        for name, p in model.named_parameters():
+            np.testing.assert_array_equal(p.data, weights_before[name])
+        changed = any(not np.allclose(l.running_mean, s)
+                      for l, s in zip(bn_layers(model), stats_before))
+        assert changed
+        assert method.batches_adapted == 1
+
+    def test_momentum_validation(self):
+        with pytest.raises(ValueError):
+            BNNorm(momentum=0.0)
+        with pytest.raises(ValueError):
+            BNNorm(momentum=1.5)
+
+    def test_momentum_one_tracks_current_batch(self, model, batch):
+        method = BNNorm(momentum=1.0).prepare(model)
+        method.forward(batch)
+        first_bn = bn_layers(model)[0]
+        # running mean equals the batch mean of its input exactly
+        assert first_bn.momentum == 1.0
+
+    def test_model_in_train_mode(self, model):
+        BNNorm().prepare(model)
+        assert model.training
+
+    def test_reset_restores_stats(self, model, batch):
+        method = BNNorm().prepare(model)
+        original = [l.running_mean.copy() for l in bn_layers(model)]
+        method.forward(batch + 3.0)
+        method.reset()
+        for layer, before in zip(bn_layers(model), original):
+            np.testing.assert_allclose(layer.running_mean, before)
+        assert method.batches_adapted == 0
+
+
+class TestBNOpt:
+    def test_flags(self):
+        method = BNOpt()
+        assert method.adapts_bn_stats and method.does_backward
+
+    def test_only_bn_affine_parameters_change(self, model, batch):
+        method = BNOpt(lr=1e-2).prepare(model)
+        affine_ids = {id(p) for p in bn_parameters(model)}
+        before = {name: p.data.copy() for name, p in model.named_parameters()}
+        method.forward(batch)
+        for name, p in model.named_parameters():
+            if id(p) in affine_ids:
+                continue
+            np.testing.assert_array_equal(p.data, before[name],
+                                          err_msg=f"{name} changed")
+        changed = any(not np.allclose(p.data, before[name])
+                      for name, p in model.named_parameters()
+                      if id(p) in affine_ids)
+        assert changed
+
+    def test_trainable_params_matches_bn_count(self, model):
+        method = BNOpt().prepare(model)
+        expected = sum(2 * l.num_features for l in bn_layers(model))
+        assert method.trainable_params == expected
+
+    def test_entropy_recorded(self, model, batch):
+        method = BNOpt().prepare(model)
+        method.forward(batch)
+        assert method.last_entropy is not None
+        assert 0.0 <= method.last_entropy <= np.log(10) + 1e-5
+
+    def test_repeated_adaptation_reduces_entropy_on_fixed_batch(self, model, batch):
+        method = BNOpt(lr=5e-3).prepare(model)
+        entropies = []
+        for _ in range(6):
+            method.forward(batch)
+            entropies.append(method.last_entropy)
+        assert entropies[-1] < entropies[0]
+
+    def test_steps_validation(self):
+        with pytest.raises(ValueError):
+            BNOpt(steps=0)
+
+    def test_multi_step_runs(self, model, batch):
+        method = BNOpt(steps=2).prepare(model)
+        method.forward(batch)
+        assert method.batches_adapted == 1
+
+    def test_update_before_predict_gives_fresh_logits(self, model, batch):
+        base = BNOpt(lr=1e-2, update_before_predict=False).prepare(model)
+        logits_stale = base.forward(batch)
+        base.reset()
+        fresh = BNOpt(lr=1e-2, update_before_predict=True).prepare(model)
+        logits_fresh = fresh.forward(batch)
+        assert not np.allclose(logits_stale, logits_fresh)
+
+    def test_reset_restores_affine(self, model, batch):
+        method = BNOpt(lr=1e-2).prepare(model)
+        before = [p.data.copy() for p in bn_parameters(model)]
+        method.forward(batch)
+        method.reset()
+        for p, b in zip(bn_parameters(model), before):
+            np.testing.assert_allclose(p.data, b)
+
+    def test_forward_before_prepare_raises(self, batch):
+        with pytest.raises(RuntimeError):
+            BNOpt().forward(batch)
+
+    def test_reset_before_prepare_raises(self):
+        with pytest.raises(RuntimeError):
+            BNOpt().reset()

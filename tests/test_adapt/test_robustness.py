@@ -1,0 +1,107 @@
+"""Failure injection: degenerate inputs through the adaptation stack.
+
+Edge deployments see pathological batches — dead sensors (constant
+frames), saturated pixels, single-sample batches.  The adaptation
+algorithms must stay finite and recoverable through all of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adapt import BNNorm, BNOpt, NoAdapt, bn_parameters
+from repro.models import build_model
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+@pytest.fixture
+def model():
+    return build_model("wrn40_2", "tiny")
+
+
+class TestDegenerateBatches:
+    def test_constant_batch_stays_finite(self, model):
+        """A dead sensor: every pixel identical (zero variance input)."""
+        batch = np.full((8, 3, 16, 16), 0.5, dtype=np.float32)
+        for method in (NoAdapt(), BNNorm(), BNOpt(lr=1e-3)):
+            method.prepare(model)
+            logits = method.forward(batch)
+            assert np.isfinite(logits).all(), method.name
+            method.reset()
+
+    def test_saturated_batch(self, model):
+        batch = np.ones((8, 3, 16, 16), dtype=np.float32)
+        method = BNOpt(lr=1e-3).prepare(model)
+        logits = method.forward(batch)
+        assert np.isfinite(logits).all()
+        for p in bn_parameters(model):
+            assert np.isfinite(p.data).all()
+        method.reset()
+
+    def test_single_sample_batch(self, model):
+        """Batch statistics from one sample: spatial variance only."""
+        batch = np.random.default_rng(0).standard_normal(
+            (1, 3, 16, 16)).astype(np.float32)
+        for method in (BNNorm(), BNOpt(lr=1e-3)):
+            method.prepare(model)
+            logits = method.forward(batch)
+            assert logits.shape == (1, 10)
+            assert np.isfinite(logits).all()
+            method.reset()
+
+    def test_recovery_after_pathological_batch(self, model, rng):
+        """A garbage batch must not leave the model permanently broken
+        when episodic reset is used."""
+        good = rng.standard_normal((8, 3, 16, 16)).astype(np.float32)
+        garbage = np.zeros((8, 3, 16, 16), dtype=np.float32)
+        method = BNOpt(lr=1e-2).prepare(model)
+        reference = method.forward(good).copy()
+        method.reset()
+        method.forward(garbage)
+        method.reset()
+        after = method.forward(good)
+        np.testing.assert_allclose(after, reference, atol=1e-4)
+
+    def test_extreme_scale_input(self, model):
+        """Inputs far outside [0, 1]: BN normalization absorbs the scale."""
+        batch = np.random.default_rng(0).standard_normal(
+            (8, 3, 16, 16)).astype(np.float32) * 1e3
+        method = BNNorm().prepare(model)
+        logits = method.forward(batch)
+        assert np.isfinite(logits).all()
+        method.reset()
+
+
+class TestEntropyEdgeCases:
+    def test_entropy_of_huge_logits_finite(self):
+        logits = Tensor(np.array([[1e4, -1e4, 0.0]]), requires_grad=True)
+        loss = F.entropy_loss(logits)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.isfinite(logits.grad).all()
+
+    def test_entropy_of_identical_logits(self):
+        logits = Tensor(np.zeros((4, 10)), requires_grad=True)
+        loss = F.entropy_loss(logits)
+        loss.backward()
+        # gradient of entropy at the uniform point is zero
+        np.testing.assert_allclose(logits.grad, 0.0, atol=1e-7)
+
+
+class TestBNStatEdgeCases:
+    def test_bn_train_zero_variance_channel(self):
+        from repro import nn
+        bn = nn.BatchNorm2d(2)
+        x = np.zeros((4, 2, 3, 3), dtype=np.float32)
+        x[:, 1] = 7.0   # constant but nonzero channel
+        out = bn(Tensor(x))
+        assert np.isfinite(out.data).all()
+        # constant channel normalizes to beta (zero)
+        np.testing.assert_allclose(out.data[:, 1], 0.0, atol=1e-3)
+
+    def test_bn_opt_step_with_zero_variance_input(self, model):
+        method = BNOpt(lr=1e-3).prepare(model)
+        method.forward(np.zeros((4, 3, 16, 16), dtype=np.float32))
+        for p in bn_parameters(model):
+            assert np.isfinite(p.data).all()
+        method.reset()

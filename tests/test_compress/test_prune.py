@@ -1,0 +1,104 @@
+"""Pruning: masks, sparsity accounting, structured channel removal."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.compress import magnitude_prune, sparsity, structured_channel_prune
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad
+
+
+class TestSparsity:
+    def test_fresh_model_dense(self):
+        assert sparsity(build_model("wrn40_2", "tiny")) < 0.01
+
+    def test_counts_zeros(self):
+        model = nn.Sequential(nn.Linear(4, 4, bias=False))
+        model[0].weight.data[:] = 0.0
+        assert sparsity(model) == 1.0
+
+
+class TestMagnitudePrune:
+    def test_achieves_target(self):
+        model = build_model("wrn40_2", "tiny")
+        report = magnitude_prune(model, 0.5)
+        assert report.achieved_sparsity == pytest.approx(0.5, abs=0.02)
+        assert not report.structured
+
+    def test_removes_smallest_weights(self, rng):
+        model = nn.Sequential(nn.Linear(10, 10, bias=False))
+        weight = model[0].weight
+        weight.data = rng.standard_normal((10, 10)).astype(np.float32)
+        kept_threshold = np.quantile(np.abs(weight.data), 0.3)
+        magnitude_prune(model, 0.3)
+        surviving = np.abs(weight.data[weight.data != 0])
+        assert surviving.min() >= kept_threshold - 1e-6
+
+    def test_zero_sparsity_noop(self):
+        model = build_model("wrn40_2", "tiny")
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        magnitude_prune(model, 0.0)
+        for name, p in model.named_parameters():
+            np.testing.assert_array_equal(p.data, before[name])
+
+    def test_validation(self):
+        model = build_model("wrn40_2", "tiny")
+        with pytest.raises(ValueError):
+            magnitude_prune(model, 1.0)
+        with pytest.raises(ValueError):
+            magnitude_prune(model, -0.1)
+
+    def test_no_prunable_layers_raises(self):
+        with pytest.raises(ValueError):
+            magnitude_prune(nn.Sequential(nn.ReLU()), 0.5)
+
+    def test_model_still_runs(self, rng):
+        model = build_model("wrn40_2", "tiny")
+        magnitude_prune(model, 0.7)
+        model.eval()
+        with no_grad():
+            out = model(Tensor(rng.standard_normal((2, 3, 16, 16))
+                               .astype(np.float32)))
+        assert np.isfinite(out.data).all()
+
+
+class TestStructuredPrune:
+    def test_whole_channels_zeroed(self):
+        model = build_model("wrn40_2", "tiny")
+        report = structured_channel_prune(model, 0.25)
+        found_zero_channel = False
+        for module in model.modules():
+            if isinstance(module, nn.Conv2d):
+                channel_norms = np.abs(module.weight.data).reshape(
+                    module.weight.data.shape[0], -1).sum(axis=1)
+                if (channel_norms == 0).any():
+                    found_zero_channel = True
+        assert found_zero_channel
+        assert 0.0 < report.mean_channel_sparsity <= 0.30
+
+    def test_at_least_one_channel_survives(self):
+        model = nn.Sequential(nn.Conv2d(3, 2, 3, bias=False))
+        structured_channel_prune(model, 0.9)
+        norms = np.abs(model[0].weight.data).reshape(2, -1).sum(axis=1)
+        assert (norms > 0).any()
+
+    def test_mac_factor(self):
+        model = build_model("wrn40_2", "tiny")
+        report = structured_channel_prune(model, 0.5)
+        factor = report.structured_mac_factor()
+        assert factor == pytest.approx(1.0 - report.mean_channel_sparsity)
+        assert 0.4 < factor < 0.7
+
+    def test_bias_zeroed_with_channel(self, rng):
+        model = nn.Sequential(nn.Conv2d(3, 4, 3, bias=True))
+        model[0].weight.data = rng.standard_normal(
+            model[0].weight.shape).astype(np.float32)
+        structured_channel_prune(model, 0.5)
+        weight_norms = np.abs(model[0].weight.data).reshape(4, -1).sum(axis=1)
+        for channel in np.where(weight_norms == 0)[0]:
+            assert model[0].bias.data[channel] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            structured_channel_prune(build_model("wrn40_2", "tiny"), 1.0)

@@ -1,0 +1,182 @@
+"""Quantization: numerics, model pass, cost projection."""
+
+import numpy as np
+import pytest
+
+from repro.compress import QuantReport, quantize_model_weights, quantize_tensor, quantized_cost
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad
+
+
+class TestQuantizeTensor:
+    def test_round_trip_error_bounded_by_half_step(self, rng):
+        values = rng.standard_normal(1000).astype(np.float32)
+        out = quantize_tensor(values, bits=8)
+        step = np.abs(values).max() / 127
+        assert np.abs(out - values).max() <= step / 2 + 1e-7
+
+    def test_more_bits_less_error(self, rng):
+        values = rng.standard_normal(500).astype(np.float32)
+        errors = [np.abs(quantize_tensor(values, bits) - values).mean()
+                  for bits in (4, 6, 8)]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_idempotent(self, rng):
+        values = rng.standard_normal(100).astype(np.float32)
+        once = quantize_tensor(values, 8)
+        twice = quantize_tensor(once, 8)
+        np.testing.assert_allclose(once, twice, atol=1e-6)
+
+    def test_per_channel_beats_per_tensor(self, rng):
+        # channels with very different ranges: per-tensor wastes levels
+        values = np.concatenate([
+            rng.standard_normal((1, 64)) * 10.0,
+            rng.standard_normal((1, 64)) * 0.01,
+        ]).astype(np.float32)
+        per_tensor = np.abs(quantize_tensor(values, 4) - values).mean()
+        per_channel = np.abs(quantize_tensor(values, 4, channel_axis=0)
+                             - values).mean()
+        assert per_channel < per_tensor
+
+    def test_zeros_stay_zero(self):
+        values = np.zeros(10, dtype=np.float32)
+        np.testing.assert_array_equal(quantize_tensor(values, 8), values)
+
+    def test_bits_validation(self, rng):
+        with pytest.raises(ValueError):
+            quantize_tensor(rng.standard_normal(4), 1)
+        with pytest.raises(ValueError):
+            quantize_tensor(rng.standard_normal(4), 17)
+
+    def test_symmetric(self, rng):
+        values = rng.standard_normal(200).astype(np.float32)
+        out_pos = quantize_tensor(values, 6)
+        out_neg = quantize_tensor(-values, 6)
+        np.testing.assert_allclose(out_pos, -out_neg, atol=1e-6)
+
+
+class TestQuantizeModel:
+    def test_quantizes_all_conv_linear(self, rng):
+        model = build_model("wrn40_2", "tiny")
+        report = quantize_model_weights(model, bits=8)
+        from repro import nn
+        prunable = sum(1 for m in model.modules()
+                       if isinstance(m, (nn.Conv2d, nn.Linear)))
+        assert len(report.layers) == prunable
+        assert report.mean_rmse > 0
+
+    def test_bn_affine_untouched(self):
+        model = build_model("wrn40_2", "tiny")
+        from repro.adapt import bn_parameters
+        before = [p.data.copy() for p in bn_parameters(model)]
+        quantize_model_weights(model, bits=4)
+        for p, b in zip(bn_parameters(model), before):
+            np.testing.assert_array_equal(p.data, b)
+
+    def test_model_still_runs_and_predicts_similarly_at_8_bits(self, rng):
+        model = build_model("wrn40_2", "tiny")
+        x = rng.standard_normal((4, 3, 16, 16)).astype(np.float32)
+        model.eval()
+        with no_grad():
+            before = model(Tensor(x)).data
+        quantize_model_weights(model, bits=8)
+        with no_grad():
+            after = model(Tensor(x)).data
+        # int8 per-channel quantization barely perturbs the logits
+        assert np.abs(after - before).max() < 0.5 * np.abs(before).max() + 0.5
+
+    def test_lower_bits_larger_rmse(self):
+        rmse = {}
+        for bits in (4, 8):
+            model = build_model("wrn40_2", "tiny")
+            rmse[bits] = quantize_model_weights(model, bits=bits).mean_rmse
+        assert rmse[4] > rmse[8]
+
+
+class TestQuantizedCost:
+    def test_speedup_and_memory(self, full_summaries):
+        from repro.devices import device_info, forward_latency
+        summary = full_summaries["wrn40_2"]
+        device = device_info("rpi4")
+        base = forward_latency(summary, 50, device, adapts_bn_stats=False,
+                               does_backward=False).forward_time_s
+        t8, e8, mb8 = quantized_cost(summary, 50, device,
+                                     adapts_bn_stats=False,
+                                     does_backward=False, bits=8)
+        assert t8 < base
+        assert mb8 == pytest.approx(summary.total_params / 1e6, rel=1e-6)
+
+    def test_bnopt_benefits_less_than_noadapt(self, full_summaries):
+        """Backward stays fp32, so BN-Opt's relative gain is smaller —
+        the asymmetry insight iv warns about."""
+        from repro.devices import device_info, forward_latency
+        summary = full_summaries["wrn40_2"]
+        device = device_info("rpi4")
+
+        def relative_gain(adapts, backward):
+            base = forward_latency(summary, 50, device,
+                                   adapts_bn_stats=adapts,
+                                   does_backward=backward).forward_time_s
+            t, _, _ = quantized_cost(summary, 50, device,
+                                     adapts_bn_stats=adapts,
+                                     does_backward=backward, bits=8)
+            return (base - t) / base
+
+        assert relative_gain(False, False) > 2 * relative_gain(True, True)
+
+    def test_32_bits_is_identity(self, full_summaries):
+        from repro.devices import device_info, forward_latency
+        summary = full_summaries["wrn40_2"]
+        device = device_info("ultra96")
+        base = forward_latency(summary, 50, device, adapts_bn_stats=True,
+                               does_backward=False).forward_time_s
+        t32, _, _ = quantized_cost(summary, 50, device, adapts_bn_stats=True,
+                                   does_backward=False, bits=32)
+        assert t32 == pytest.approx(base)
+
+    def test_unsupported_bits(self, full_summaries):
+        from repro.devices import device_info
+        with pytest.raises(ValueError):
+            quantized_cost(full_summaries["wrn40_2"], 50,
+                           device_info("rpi4"), adapts_bn_stats=False,
+                           does_backward=False, bits=5)
+
+
+class TestFloat16:
+    """Section I's open question: float16 weights (IEEE round trip)."""
+
+    def test_fp16_is_ieee_round_trip(self, rng):
+        values = rng.standard_normal(200).astype(np.float32)
+        out = quantize_tensor(values, bits=16)
+        np.testing.assert_array_equal(
+            out, values.astype(np.float16).astype(np.float32))
+
+    def test_fp16_error_below_int8(self, rng):
+        values = rng.standard_normal(500).astype(np.float32)
+        err16 = np.abs(quantize_tensor(values, 16) - values).mean()
+        err8 = np.abs(quantize_tensor(values, 8) - values).mean()
+        assert err16 < err8
+
+    def test_fp16_model_predictions_nearly_identical(self, rng):
+        model = build_model("wrn40_2", "tiny")
+        x = rng.standard_normal((4, 3, 16, 16)).astype(np.float32)
+        model.eval()
+        with no_grad():
+            before = model(Tensor(x)).data
+        quantize_model_weights(model, bits=16)
+        with no_grad():
+            after = model(Tensor(x)).data
+        assert np.abs(after - before).max() < 0.05
+
+    def test_fp16_cost_projection(self, full_summaries):
+        from repro.devices import device_info, forward_latency
+        summary = full_summaries["wrn40_2"]
+        device = device_info("xavier_nx_gpu")
+        base = forward_latency(summary, 50, device, adapts_bn_stats=False,
+                               does_backward=False).forward_time_s
+        t16, _, mb16 = quantized_cost(summary, 50, device,
+                                      adapts_bn_stats=False,
+                                      does_backward=False, bits=16)
+        assert t16 < base
+        assert mb16 == pytest.approx(summary.total_params * 2 / 1e6,
+                                     rel=1e-6)

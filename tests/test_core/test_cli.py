@@ -1,0 +1,70 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_study_device_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--device", "tpu"])
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "WRN-AM" in out and "5408 BN params" in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "ultra96" in out and "Volta" in out
+
+    def test_study_single_device(self, capsys):
+        assert main(["study", "--device", "rpi4"]) == 0
+        out = capsys.readouterr().out
+        assert "Optimal configurations on rpi4" in out
+        assert "ultra96" not in out
+
+    def test_study_writes_json_and_csv(self, tmp_path, capsys):
+        json_path = tmp_path / "grid.json"
+        csv_path = tmp_path / "grid.csv"
+        assert main(["study", "--device", "xavier_nx_gpu",
+                     "--json", str(json_path), "--csv", str(csv_path)]) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["format"] == "repro.study_result"
+        assert len(payload["records"]) == 27
+        assert csv_path.read_text().startswith("model,method")
+
+    def test_anchors_exit_code(self, capsys):
+        assert main(["anchors"]) == 0
+        out = capsys.readouterr().out
+        assert "within tolerance" in out
+
+    def test_scatter(self, capsys):
+        assert main(["scatter", "--device", "ultra96"]) == 0
+        out = capsys.readouterr().out
+        assert "forward time" in out and "bn_opt" in out
+
+    def test_insights(self, capsys):
+        assert main(["insights"]) == 0
+        out = capsys.readouterr().out
+        assert "HOLDS" in out and "FAILS" not in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "A1" in out and "Fig. 2" in out

@@ -1,0 +1,84 @@
+"""Study configuration, case labels, and measurement records."""
+
+import math
+
+import pytest
+
+from repro.core.config import Case, StudyConfig, case_label
+from repro.core.records import MeasurementRecord, StudyResult
+
+
+def record(model="wrn40_2", method="bn_norm", batch=50, device="rpi4",
+           error=15.0, t=1.0, e=2.0, oom=False):
+    return MeasurementRecord(model=model, method=method, batch_size=batch,
+                             device=device, error_pct=error,
+                             forward_time_s=float("nan") if oom else t,
+                             energy_j=float("nan") if oom else e, oom=oom)
+
+
+class TestConfig:
+    def test_default_grid_is_paper_grid(self):
+        cases = StudyConfig().cases()
+        assert len(cases) == 3 * 3 * 3 * 4   # models x methods x batches x devices
+
+    def test_cases_cover_axes(self):
+        config = StudyConfig(models=("wrn40_2",), devices=("rpi4",))
+        cases = config.cases()
+        assert len(cases) == 9
+        assert {c.method for c in cases} == {"no_adapt", "bn_norm", "bn_opt"}
+
+    def test_case_label_paper_style(self):
+        label = case_label("wrn40_2", 50, "bn_norm", "xavier_nx_gpu")
+        assert label == "WRN-AM-50 + BN-Norm @ xavier_nx_gpu"
+
+    def test_case_label_partial(self):
+        assert case_label("resnext29", 200) == "RXT-AM-200"
+
+    def test_case_dataclass_label(self):
+        case = Case("resnet18", "bn_opt", 100, "ultra96")
+        assert "R18-AM-AT-100" in case.label
+
+
+class TestStudyResult:
+    def test_filter_by_axes(self):
+        result = StudyResult([record(device="rpi4"), record(device="ultra96")])
+        assert len(result.filter(device="rpi4")) == 1
+
+    def test_filter_excludes_oom(self):
+        result = StudyResult([record(), record(oom=True)])
+        assert len(result.filter(include_oom=False)) == 1
+        assert len(result.feasible()) == 1
+
+    def test_one_returns_unique(self):
+        result = StudyResult([record()])
+        r = result.one("wrn40_2", "bn_norm", 50)
+        assert r.error_pct == 15.0
+
+    def test_one_raises_on_missing(self):
+        with pytest.raises(LookupError):
+            StudyResult([]).one("wrn40_2", "bn_norm", 50)
+
+    def test_one_raises_on_ambiguous(self):
+        result = StudyResult([record(), record()])
+        with pytest.raises(LookupError):
+            result.one("wrn40_2", "bn_norm", 50)
+
+    def test_mean(self):
+        result = StudyResult([record(t=1.0), record(t=3.0)])
+        assert result.mean(lambda r: r.forward_time_s) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            StudyResult([]).mean(lambda r: r.forward_time_s)
+
+    def test_objectives_tuple(self):
+        r = record(t=1.5, e=2.5, error=10.0)
+        assert r.objectives == (1.5, 2.5, 10.0)
+
+    def test_table_marks_oom(self):
+        text = StudyResult([record(oom=True)]).to_table("title")
+        assert "OOM" in text and "title" in text
+
+    def test_iteration(self):
+        result = StudyResult([record(), record()])
+        assert len(list(result)) == 2

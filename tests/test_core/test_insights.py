@@ -1,0 +1,30 @@
+"""Section IV-G insights must all hold on the simulated grid."""
+
+import pytest
+
+from repro.core.insights import derive_insights, format_insights
+
+
+@pytest.fixture(scope="module")
+def insights(simulated_study, full_summaries):
+    return derive_insights(simulated_study, full_summaries)
+
+
+class TestInsights:
+    def test_five_insights_derived(self, insights):
+        assert [i.number for i in insights] == [1, 2, 3, 5, 6]
+
+    @pytest.mark.parametrize("number", [1, 2, 3, 5, 6])
+    def test_each_insight_holds(self, insights, number):
+        insight = next(i for i in insights if i.number == number)
+        assert insight.holds, f"insight {number}: {insight.evidence}"
+
+    def test_evidence_is_concrete(self, insights):
+        for insight in insights:
+            # every evidence string carries at least one number
+            assert any(ch.isdigit() for ch in insight.evidence)
+
+    def test_format(self, insights):
+        text = format_insights(insights)
+        assert "HOLDS" in text and "FAILS" not in text
+        assert text.count("evidence:") == len(insights)

@@ -1,0 +1,81 @@
+"""Study-result serialization: JSON round trip and CSV export."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import io as study_io
+from repro.core.records import MeasurementRecord, StudyResult
+
+
+def record(oom=False, **kw):
+    defaults = dict(model="wrn40_2", method="bn_norm", batch_size=50,
+                    device="rpi4", error_pct=15.21,
+                    forward_time_s=float("nan") if oom else 2.59,
+                    energy_j=float("nan") if oom else 5.95,
+                    memory_gb=0.5, oom=oom, adapt_overhead_s=0.55)
+    defaults.update(kw)
+    return MeasurementRecord(**defaults)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_fields(self):
+        original = StudyResult([record(), record(method="bn_opt")])
+        restored = study_io.loads(study_io.dumps(original))
+        assert len(restored) == 2
+        for a, b in zip(original.records, restored.records):
+            assert a == b
+
+    def test_oom_encoded_as_null_and_restored_as_nan(self):
+        text = study_io.dumps(StudyResult([record(oom=True)]))
+        payload = json.loads(text)
+        assert payload["records"][0]["forward_time_s"] is None
+        restored = study_io.loads(text)
+        assert math.isnan(restored.records[0].forward_time_s)
+        assert restored.records[0].oom
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "study.json"
+        original = StudyResult([record()])
+        study_io.save_json(original, path)
+        assert study_io.load_json(path).records == original.records
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ValueError):
+            study_io.loads(json.dumps({"format": "something_else"}))
+
+    def test_rejects_wrong_version(self):
+        payload = json.loads(study_io.dumps(StudyResult([record()])))
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            study_io.loads(json.dumps(payload))
+
+    def test_rejects_unknown_fields(self):
+        payload = json.loads(study_io.dumps(StudyResult([record()])))
+        payload["records"][0]["extra"] = 1
+        with pytest.raises(ValueError):
+            study_io.loads(json.dumps(payload))
+
+    def test_full_grid_round_trip(self, simulated_study):
+        restored = study_io.loads(study_io.dumps(simulated_study))
+        assert len(restored) == len(simulated_study)
+        assert sum(r.oom for r in restored) == 3
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = study_io.to_csv(StudyResult([record(), record(oom=True)]))
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("model,method,batch_size")
+        assert len(lines) == 3
+
+    def test_oom_costs_blank(self):
+        text = study_io.to_csv(StudyResult([record(oom=True)]))
+        row = text.strip().splitlines()[1]
+        assert ",,," in row or ",," in row
+
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "study.csv"
+        study_io.save_csv(StudyResult([record()]), path)
+        assert path.read_text().count("\n") == 2

@@ -1,0 +1,67 @@
+"""Corruption-robustness metrics (mCE family)."""
+
+import pytest
+
+from repro.core.metrics import corruption_errors, mce, relative_mce
+
+
+ERRORS = {"fog": 20.0, "snow": 30.0}
+BASELINE = {"fog": 40.0, "snow": 60.0}
+
+
+class TestMeanError:
+    def test_mean(self):
+        assert corruption_errors(ERRORS) == 25.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            corruption_errors({})
+
+
+class TestMCE:
+    def test_half_as_fragile(self):
+        assert mce(ERRORS, BASELINE) == pytest.approx(50.0)
+
+    def test_identical_model_is_100(self):
+        assert mce(BASELINE, BASELINE) == pytest.approx(100.0)
+
+    def test_mixed_ratios_average(self):
+        model = {"fog": 40.0, "snow": 30.0}   # ratios 1.0 and 0.5
+        assert mce(model, BASELINE) == pytest.approx(75.0)
+
+    def test_mismatched_corruptions_raise(self):
+        with pytest.raises(ValueError):
+            mce(ERRORS, {"fog": 40.0})
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError):
+            mce(ERRORS, {"fog": 0.0, "snow": 60.0})
+
+
+class TestRelativeMCE:
+    def test_same_degradation_is_100(self):
+        assert relative_mce(BASELINE, 10.0, BASELINE, 10.0) == \
+            pytest.approx(100.0)
+
+    def test_half_the_degradation(self):
+        model = {"fog": 25.0, "snow": 35.0}   # gaps 15, 25 vs 30, 50
+        assert relative_mce(model, 10.0, BASELINE, 10.0) == \
+            pytest.approx(100 * (15 / 30 + 25 / 50) / 2)
+
+    def test_non_degrading_baseline_raises(self):
+        with pytest.raises(ValueError):
+            relative_mce(ERRORS, 5.0, {"fog": 4.0, "snow": 60.0}, 5.0)
+
+
+class TestOnReferenceGrid:
+    def test_adapted_models_beat_no_adapt_in_mce_terms(self):
+        """Using No-Adapt as the baseline, BN-Norm's mCE must be well
+        under 100 (here the reference grid is flat across corruptions,
+        so mCE reduces to the error ratio — still a sanity anchor)."""
+        from repro.core.reference import reference_error_pct
+        baseline = {f"c{i}": reference_error_pct("wrn40_2", "no_adapt", 50)
+                    for i in range(15)}
+        adapted = {f"c{i}": reference_error_pct("wrn40_2", "bn_norm", 50)
+                   for i in range(15)}
+        assert mce(adapted, baseline) == pytest.approx(
+            100 * 15.21 / 18.26, rel=1e-6)

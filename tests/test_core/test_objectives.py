@@ -1,0 +1,150 @@
+"""Weighted multi-objective selection and the paper's optimal picks."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import (
+    WEIGHT_CASES,
+    format_selection_table,
+    normalize_records,
+    score_records,
+    select_best,
+    selection_table,
+)
+from repro.core.records import MeasurementRecord, StudyResult
+
+
+def record(t, e, err, **kw):
+    defaults = dict(model="wrn40_2", method="bn_norm", batch_size=50,
+                    device="rpi4")
+    defaults.update(kw)
+    return MeasurementRecord(error_pct=err, forward_time_s=t, energy_j=e,
+                             **defaults)
+
+
+class TestWeightCases:
+    def test_four_cases_sum_to_one(self):
+        assert set(WEIGHT_CASES) == {"equal", "performance", "accuracy",
+                                     "energy"}
+        for case in WEIGHT_CASES.values():
+            assert sum(case.weights) == pytest.approx(1.0)
+
+    def test_priorities(self):
+        assert WEIGHT_CASES["performance"].w_time == 0.8
+        assert WEIGHT_CASES["accuracy"].w_error == 0.8
+        assert WEIGHT_CASES["energy"].w_energy == 0.8
+
+
+class TestNormalization:
+    def test_raw_passthrough(self):
+        records = [record(1, 2, 3), record(4, 5, 6)]
+        values = normalize_records(records, "raw")
+        np.testing.assert_allclose(values, [[1, 2, 3], [4, 5, 6]])
+
+    def test_max_scheme(self):
+        records = [record(1, 2, 10), record(2, 4, 20)]
+        values = normalize_records(records, "max")
+        np.testing.assert_allclose(values[1], [1, 1, 1])
+        np.testing.assert_allclose(values[0], [0.5, 0.5, 0.5])
+
+    def test_minmax_scheme(self):
+        records = [record(1, 2, 10), record(3, 6, 30)]
+        values = normalize_records(records, "minmax")
+        np.testing.assert_allclose(values[0], [0, 0, 0])
+        np.testing.assert_allclose(values[1], [1, 1, 1])
+
+    def test_minmax_degenerate_axis(self):
+        records = [record(1, 2, 10), record(1, 4, 20)]
+        values = normalize_records(records, "minmax")
+        assert np.isfinite(values).all()
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError):
+            normalize_records([record(1, 2, 3)], "zscore")
+
+    def test_nan_records_rejected(self):
+        bad = MeasurementRecord(model="m", method="bn_opt", batch_size=50,
+                                device="d", error_pct=10.0,
+                                forward_time_s=float("nan"),
+                                energy_j=float("nan"), oom=True)
+        with pytest.raises(ValueError):
+            normalize_records([bad], "raw")
+
+
+class TestSelection:
+    def test_select_best_minimizes(self):
+        slow_accurate = record(10, 10, 5, method="bn_opt")
+        fast_sloppy = record(1, 1, 20, method="no_adapt")
+        result = StudyResult([slow_accurate, fast_sloppy])
+        perf = select_best(result, WEIGHT_CASES["performance"], "raw")
+        acc = select_best(result, WEIGHT_CASES["accuracy"], "raw")
+        assert perf.method == "no_adapt"
+        assert acc.method == "bn_opt"
+
+    def test_select_skips_oom(self):
+        oom = MeasurementRecord(model="m", method="bn_opt", batch_size=50,
+                                device="d", error_pct=1.0,
+                                forward_time_s=float("nan"),
+                                energy_j=float("nan"), oom=True)
+        ok = record(1, 1, 50)
+        best = select_best(StudyResult([oom, ok]), WEIGHT_CASES["equal"])
+        assert best is ok
+
+    def test_select_empty_raises(self):
+        with pytest.raises(ValueError):
+            select_best(StudyResult([]), WEIGHT_CASES["equal"])
+
+    def test_scores_length_matches(self):
+        records = [record(1, 2, 3), record(4, 5, 6)]
+        assert len(score_records(records, WEIGHT_CASES["equal"])) == 2
+
+    def test_selection_table_covers_cases_and_schemes(self):
+        result = StudyResult([record(1, 2, 3), record(4, 5, 6)])
+        rows = selection_table(result, schemes=("raw", "minmax"))
+        assert len(rows) == 8
+
+    def test_format_selection_table(self):
+        result = StudyResult([record(1, 2, 3)])
+        text = format_selection_table(result)
+        assert "equal" in text and "raw" in text
+
+
+class TestPaperSelections:
+    """The study-level assertions: our simulated grid must produce the
+    paper's chosen configurations (Sections IV-B/C/D)."""
+
+    @pytest.mark.parametrize("device,case,scheme,model,method", [
+        ("ultra96", "equal", "raw", "wrn40_2", "bn_norm"),
+        ("ultra96", "accuracy", "raw", "wrn40_2", "bn_opt"),
+        ("ultra96", "performance", "raw", "wrn40_2", "no_adapt"),
+        ("ultra96", "energy", "raw", "wrn40_2", "no_adapt"),
+        ("rpi4", "equal", "raw", "wrn40_2", "bn_norm"),
+        ("rpi4", "accuracy", "raw", "wrn40_2", "bn_opt"),
+        # the paper's RPi performance-priority pick needs normalization
+        ("rpi4", "performance", "minmax", "wrn40_2", "bn_norm"),
+        ("rpi4", "energy", "raw", "wrn40_2", "no_adapt"),
+    ])
+    def test_per_device_selection(self, simulated_study, device, case,
+                                  scheme, model, method):
+        best = select_best(simulated_study.filter(device=device),
+                           WEIGHT_CASES[case], scheme)
+        assert (best.model, best.method, best.batch_size) == (model, method, 50)
+
+    @pytest.mark.parametrize("case,method", [
+        ("equal", "bn_norm"),
+        ("accuracy", "bn_opt"),
+        ("performance", "no_adapt"),
+        ("energy", "no_adapt"),
+    ])
+    def test_xavier_selects_gpu_wrn50(self, simulated_study, case, method):
+        nx = StudyResult(
+            simulated_study.filter(device="xavier_nx_gpu").records
+            + simulated_study.filter(device="xavier_nx_cpu").records)
+        best = select_best(nx, WEIGHT_CASES[case], "raw")
+        assert best.device == "xavier_nx_gpu"
+        assert (best.model, best.method, best.batch_size) == \
+            ("wrn40_2", method, 50)
+
+    def test_overall_a3(self, simulated_study):
+        best = select_best(simulated_study, WEIGHT_CASES["equal"], "raw")
+        assert best.label == "WRN-AM-50 + BN-Norm @ xavier_nx_gpu"

@@ -1,0 +1,86 @@
+"""Pareto-front utilities, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import dominates, pareto_front
+from repro.core.records import MeasurementRecord
+
+
+def record(t, e, err, oom=False):
+    return MeasurementRecord(model="m", method="bn_norm", batch_size=50,
+                             device="d", error_pct=err,
+                             forward_time_s=float("nan") if oom else t,
+                             energy_j=float("nan") if oom else e, oom=oom)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates(record(1, 1, 1), record(2, 2, 2))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(record(1, 1, 1), record(1, 1, 1))
+
+    def test_tradeoff_points_incomparable(self):
+        fast = record(1, 5, 20)
+        accurate = record(5, 1, 10)
+        assert not dominates(fast, accurate)
+        assert not dominates(accurate, fast)
+
+    def test_partial_improvement_dominates(self):
+        assert dominates(record(1, 2, 3), record(1, 2, 4))
+
+
+class TestFront:
+    def test_single_point_is_front(self):
+        r = record(1, 1, 1)
+        assert pareto_front([r]) == [r]
+
+    def test_dominated_point_excluded(self):
+        good, bad = record(1, 1, 1), record(2, 2, 2)
+        assert pareto_front([good, bad]) == [good]
+
+    def test_oom_points_excluded(self):
+        good = record(1, 1, 1)
+        assert pareto_front([good, record(0, 0, 0, oom=True)]) == [good]
+
+    def test_duplicates_both_kept(self):
+        a, b = record(1, 1, 1), record(1, 1, 1)
+        assert pareto_front([a, b]) == [a, b]
+
+
+points = st.lists(
+    st.tuples(st.floats(0.1, 100), st.floats(0.1, 100), st.floats(0.1, 100)),
+    min_size=1, max_size=12)
+
+
+@given(points)
+@settings(max_examples=60, deadline=None)
+def test_front_members_are_mutually_nondominated(values):
+    records = [record(*v) for v in values]
+    front = pareto_front(records)
+    assert front
+    for a in front:
+        for b in front:
+            if a is not b:
+                assert not dominates(a, b)
+
+
+@given(points)
+@settings(max_examples=60, deadline=None)
+def test_every_excluded_point_is_dominated_by_a_front_member(values):
+    records = [record(*v) for v in values]
+    front = pareto_front(records)
+    for r in records:
+        if r not in front:
+            assert any(dominates(f, r) for f in front)
+
+
+@given(points)
+@settings(max_examples=40, deadline=None)
+def test_front_is_idempotent(values):
+    records = [record(*v) for v in values]
+    front = pareto_front(records)
+    assert pareto_front(front) == front

@@ -1,0 +1,71 @@
+"""ASCII scatter plots."""
+
+import pytest
+
+from repro.core.plots import ScatterSeries, ascii_scatter, scatter_records
+from repro.core.records import MeasurementRecord
+
+
+def record(t, err, method="bn_norm", oom=False):
+    return MeasurementRecord(model="m", method=method, batch_size=50,
+                             device="d", error_pct=err,
+                             forward_time_s=float("nan") if oom else t,
+                             energy_j=float("nan") if oom else 1.0, oom=oom)
+
+
+class TestAsciiScatter:
+    def test_renders_markers_and_legend(self):
+        text = ascii_scatter([ScatterSeries("a", [(1, 1), (2, 2)]),
+                              ScatterSeries("b", [(3, 1)])],
+                             width=20, height=5, title="demo")
+        assert "demo" in text
+        assert "o = a" in text and "x = b" in text
+        assert text.count("o") >= 2 + 1   # points + legend
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([ScatterSeries("a", [])])
+
+    def test_log_axis_labels(self):
+        text = ascii_scatter([ScatterSeries("a", [(0.1, 1), (100, 2)])],
+                             log_x=True, width=30, height=4,
+                             x_label="time")
+        assert "0.1" in text and "100" in text
+
+    def test_degenerate_single_point(self):
+        text = ascii_scatter([ScatterSeries("a", [(5, 5)])], width=10,
+                             height=3)
+        assert "o" in text
+
+    def test_grid_dimensions(self):
+        text = ascii_scatter([ScatterSeries("a", [(1, 1), (2, 2)])],
+                             width=12, height=4)
+        interior = [line for line in text.splitlines() if "|" in line]
+        assert len(interior) == 4
+        assert all(line.rstrip().endswith("|") for line in interior)
+
+
+class TestScatterRecords:
+    def test_groups_by_method(self):
+        records = [record(1, 10), record(2, 12, method="bn_opt")]
+        text = scatter_records(records, group_by=lambda r: r.method,
+                               width=20, height=5)
+        assert "o = bn_norm" in text and "x = bn_opt" in text
+
+    def test_skips_oom(self):
+        records = [record(1, 10), record(0, 0, oom=True)]
+        text = scatter_records(records, group_by=lambda r: r.method,
+                               width=20, height=5)
+        assert text   # renders with the single feasible point
+
+    def test_default_labels(self):
+        text = scatter_records([record(1, 10), record(10, 12)],
+                               group_by=lambda r: r.method,
+                               width=20, height=5)
+        assert "forward time (s)" in text and "error %" in text
+
+    def test_study_grid_renders(self, simulated_study):
+        text = scatter_records(
+            simulated_study.filter(device="rpi4").records,
+            group_by=lambda r: r.method, width=40, height=10)
+        assert "bn_opt" in text

@@ -1,0 +1,118 @@
+"""Property-based tests for the study harness and device models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objectives import WeightCase, score_records, select_best
+from repro.core.records import MeasurementRecord, StudyResult
+from repro.core.streaming import RealTimeStream, simulate_realtime
+from repro.devices import device_info, forward_latency
+from repro.devices.energy import energy_per_batch
+
+
+def record(t, e, err):
+    return MeasurementRecord(model="m", method="bn_norm", batch_size=50,
+                             device="d", error_pct=err, forward_time_s=t,
+                             energy_j=e)
+
+
+positive = st.floats(0.01, 1000.0)
+records_strategy = st.lists(
+    st.tuples(positive, positive, st.floats(0.1, 100.0)),
+    min_size=1, max_size=10)
+weights_strategy = st.tuples(st.floats(0.01, 1.0), st.floats(0.01, 1.0),
+                             st.floats(0.01, 1.0))
+
+
+@given(records_strategy, weights_strategy, st.sampled_from(["raw", "max",
+                                                            "minmax"]))
+@settings(max_examples=80, deadline=None)
+def test_selection_is_argmin_of_scores(values, weights, scheme):
+    total = sum(weights)
+    case = WeightCase("w", *(w / total for w in weights))
+    result = StudyResult([record(*v) for v in values])
+    best = select_best(result, case, scheme)
+    scores = score_records(result.records, case, scheme)
+    assert scores[result.records.index(best)] == pytest.approx(min(scores))
+
+
+@given(records_strategy, weights_strategy)
+@settings(max_examples=60, deadline=None)
+def test_dominated_record_never_selected(values, weights):
+    total = sum(weights)
+    case = WeightCase("w", *(w / total for w in weights))
+    better = record(*[v * 0.5 for v in values[0]])
+    worse = record(*[v * 2.0 for v in values[0]])
+    result = StudyResult([better, worse])
+    assert select_best(result, case, "raw") is better
+
+
+@given(st.integers(1, 400), st.integers(8, 256),
+       st.floats(0.5, 200.0), st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_streaming_conserves_frames(num_batches, batch_size, fps, capacity):
+    """processed + dropped == total, for any stream configuration."""
+    from repro.models import build_model, summarize
+    summary = _cached_wrn()
+    stream = RealTimeStream(fps=fps, num_frames=num_batches * batch_size,
+                            batch_size=batch_size, queue_capacity=capacity)
+    card = simulate_realtime(summary, device_info("rpi4"), "bn_norm", stream,
+                             adapted_error_pct=15.0, baseline_error_pct=18.0)
+    assert card.frames_processed + card.frames_dropped == card.frames_total
+    assert 15.0 - 1e-6 <= card.effective_error_pct <= 18.0 + 1e-6
+    assert card.batches_late <= card.batches_total
+
+
+_WRN_SUMMARY = None
+
+
+def _cached_wrn():
+    global _WRN_SUMMARY
+    if _WRN_SUMMARY is None:
+        from repro.models import build_model, summarize
+        _WRN_SUMMARY = summarize(build_model("wrn40_2", "full"),
+                                 name="wrn40_2")
+    return _WRN_SUMMARY
+
+
+@given(st.integers(1, 500), st.sampled_from(["ultra96", "rpi4",
+                                             "xavier_nx_gpu"]))
+@settings(max_examples=40, deadline=None)
+def test_latency_and_energy_positive_and_monotone_in_batch(batch, device_name):
+    summary = _cached_wrn()
+    device = device_info(device_name)
+    small = forward_latency(summary, batch, device, adapts_bn_stats=True,
+                            does_backward=True)
+    large = forward_latency(summary, batch + 1, device, adapts_bn_stats=True,
+                            does_backward=True)
+    assert 0 < small.forward_time_s < large.forward_time_s
+    assert 0 < energy_per_batch(small, device) < energy_per_batch(large, device)
+
+
+@given(st.floats(0.0, 0.95))
+@settings(max_examples=30, deadline=None)
+def test_prune_sparsity_close_to_target(target):
+    from repro.compress import magnitude_prune, sparsity
+    from repro.models import build_model
+    model = build_model("wrn40_2", "tiny")
+    report = magnitude_prune(model, target)
+    assert abs(report.achieved_sparsity - target) < 0.05
+    assert sparsity(model) == pytest.approx(report.achieved_sparsity)
+
+
+@given(st.integers(2, 16), st.integers(1, 64))
+@settings(max_examples=40, deadline=None)
+def test_quantize_preserves_sign_and_bound(bits, size):
+    from repro.compress import quantize_tensor
+    rng = np.random.default_rng(size)
+    values = rng.standard_normal(size).astype(np.float32)
+    out = quantize_tensor(values, bits)
+    # uniform quantization never exceeds the input range; the fp16
+    # round trip (bits=16) may round a magnitude up by half a ulp
+    # (relative 2^-11)
+    max_abs = float(np.abs(values).max())
+    assert np.abs(out).max() <= max_abs * (1 + 2 ** -11) + 1e-6
+    nonzero = out != 0
+    assert (np.sign(out[nonzero]) == np.sign(values[nonzero])).all()

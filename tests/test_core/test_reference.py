@@ -1,0 +1,112 @@
+"""The reconstructed Fig. 2 grid must satisfy every stated paper aggregate."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import (
+    BATCH_SIZES,
+    BN_NORM_ERROR_PCT,
+    BN_OPT_ERROR_PCT,
+    CLAIM_BN_NORM_MEAN_IMPROVEMENT,
+    CLAIM_BN_OPT_MEAN_IMPROVEMENT,
+    CLAIM_BN_OPT_OVER_BN_NORM,
+    MOBILENET_BN_OPT_200_ERROR_PCT,
+    MOBILENET_NO_ADAPT_ERROR_PCT,
+    NO_ADAPT_ERROR_PCT,
+    reference_error_pct,
+)
+
+MODELS = ("resnext29", "wrn40_2", "resnet18")
+
+
+def grid(method):
+    table = {"bn_norm": BN_NORM_ERROR_PCT, "bn_opt": BN_OPT_ERROR_PCT}[method]
+    return [table[m][i] for m in MODELS for i in range(3)]
+
+
+class TestStatedValues:
+    def test_wrn50_triplet(self):
+        assert reference_error_pct("wrn40_2", "no_adapt", 50) == 18.26
+        assert reference_error_pct("wrn40_2", "bn_norm", 50) == 15.21
+        assert reference_error_pct("wrn40_2", "bn_opt", 50) == 12.37
+
+    def test_best_configuration_is_rxt_200_bn_opt(self):
+        all_values = {(m, meth, b): reference_error_pct(m, meth, b)
+                      for m in MODELS for meth in ("no_adapt", "bn_norm", "bn_opt")
+                      for b in BATCH_SIZES}
+        best = min(all_values, key=all_values.get)
+        assert best == ("resnext29", "bn_opt", 200)
+        assert all_values[best] == 10.15
+
+    def test_bn_opt_range_matches_section_iv_f(self):
+        values = grid("bn_opt")
+        assert min(values) == 10.15
+        assert max(values) == 12.97
+
+    def test_mobilenet_values(self):
+        assert reference_error_pct("mobilenet_v2", "no_adapt", 100) == \
+            MOBILENET_NO_ADAPT_ERROR_PCT
+        assert reference_error_pct("mobilenet_v2", "bn_opt", 200) == \
+            MOBILENET_BN_OPT_200_ERROR_PCT
+
+
+class TestStatedAggregates:
+    def test_bn_norm_mean_improvement(self):
+        no_adapt_mean = np.mean([NO_ADAPT_ERROR_PCT[m] for m in MODELS
+                                 for _ in BATCH_SIZES])
+        improvement = no_adapt_mean - np.mean(grid("bn_norm"))
+        assert improvement == pytest.approx(CLAIM_BN_NORM_MEAN_IMPROVEMENT,
+                                            abs=0.05)
+
+    def test_bn_opt_mean_improvement(self):
+        no_adapt_mean = np.mean([NO_ADAPT_ERROR_PCT[m] for m in MODELS
+                                 for _ in BATCH_SIZES])
+        improvement = no_adapt_mean - np.mean(grid("bn_opt"))
+        assert improvement == pytest.approx(CLAIM_BN_OPT_MEAN_IMPROVEMENT,
+                                            abs=0.05)
+
+    def test_bn_opt_over_bn_norm(self):
+        improvement = np.mean(grid("bn_norm")) - np.mean(grid("bn_opt"))
+        assert improvement == pytest.approx(CLAIM_BN_OPT_OVER_BN_NORM, abs=0.05)
+
+
+class TestStructuralProperties:
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("method", ["bn_norm", "bn_opt"])
+    def test_diminishing_returns_with_batch_size(self, model, method):
+        e50 = reference_error_pct(model, method, 50)
+        e100 = reference_error_pct(model, method, 100)
+        e200 = reference_error_pct(model, method, 200)
+        assert e50 > e100 > e200
+        assert (e50 - e100) > (e100 - e200)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_no_adapt_batch_size_independent(self, model):
+        values = {reference_error_pct(model, "no_adapt", b) for b in BATCH_SIZES}
+        assert len(values) == 1
+
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_method_ordering(self, model, batch):
+        assert (reference_error_pct(model, "bn_opt", batch)
+                < reference_error_pct(model, "bn_norm", batch)
+                < reference_error_pct(model, "no_adapt", batch))
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_resnext_best_adapted_model(self, batch):
+        # most BN parameters -> best post-adaptation accuracy (insight i)
+        assert (reference_error_pct("resnext29", "bn_opt", batch)
+                == min(reference_error_pct(m, "bn_opt", batch) for m in MODELS))
+
+    def test_mobilenet_worst_overall(self):
+        # robust offline training matters (insight vi)
+        assert reference_error_pct("mobilenet_v2", "bn_opt", 200) > \
+            max(grid("bn_opt"))
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            reference_error_pct("wrn40_2", "fine_tune", 50)
+
+    def test_unknown_batch_raises(self):
+        with pytest.raises(ValueError):
+            reference_error_pct("wrn40_2", "bn_norm", 64)

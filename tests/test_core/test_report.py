@@ -1,0 +1,69 @@
+"""Figure/table renderers."""
+
+import pytest
+
+from repro.core.report import (
+    render_error_grid,
+    render_forward_times,
+    render_mobilenet_table,
+    render_overall,
+    render_tradeoffs,
+)
+from repro.core.config import StudyConfig
+from repro.core.runner import run_simulated_study
+
+
+class TestErrorGrid:
+    def test_contains_all_models_and_batches(self):
+        text = render_error_grid()
+        for model in ("resnext29", "wrn40_2", "resnet18"):
+            assert model in text
+        assert "18.26" in text and "10.15" in text
+
+    def test_custom_errors(self):
+        errors = {(m, meth, b): 1.0
+                  for m in ("resnext29", "wrn40_2", "resnet18")
+                  for meth in ("no_adapt", "bn_norm", "bn_opt")
+                  for b in (50, 100, 200)}
+        text = render_error_grid(errors, title="custom")
+        assert "custom" in text and "1.00" in text
+
+
+class TestForwardTimes:
+    def test_bars_and_oom_markers(self, simulated_study):
+        text = render_forward_times(simulated_study, "ultra96")
+        assert "OOM" in text             # RXT + BN-Opt rows
+        assert "#" in text               # bars
+        assert "WRN-AM-50" in text
+
+    def test_gpu_report_no_oom_except_rxt200(self, simulated_study):
+        text = render_forward_times(simulated_study, "xavier_nx_gpu")
+        assert text.count("OOM") == 1
+
+
+class TestTradeoffs:
+    def test_contains_selections_and_pareto(self, simulated_study):
+        text = render_tradeoffs(simulated_study, "rpi4")
+        assert "Pareto-optimal" in text
+        assert "equal" in text and "minmax" in text
+
+    def test_all_devices_mode(self, simulated_study):
+        text = render_tradeoffs(simulated_study)
+        assert "all devices" in text
+
+
+class TestOverall:
+    def test_a1_a2_a3(self, simulated_study):
+        text = render_overall(simulated_study)
+        assert "A1" in text and "RXT-AM-200 + BN-Opt @ xavier_nx_cpu" in text
+        assert "A2" in text and "RXT-AM-200 + BN-Opt @ rpi4" in text
+        assert "10.15%" in text
+
+
+class TestMobilenetTable:
+    def test_table_shape(self):
+        result = run_simulated_study(StudyConfig(models=("mobilenet_v2",),
+                                                 devices=("xavier_nx_gpu",)))
+        text = render_mobilenet_table(result)
+        assert "Table I" in text
+        assert text.count("\n") == 5   # title + header + rule + 3 rows

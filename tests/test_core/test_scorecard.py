@@ -1,0 +1,37 @@
+"""The reproduction scorecard must pass every machine-checkable claim."""
+
+import pytest
+
+from repro.core.scorecard import Check, format_scorecard, run_scorecard
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return run_scorecard()
+
+
+class TestScorecard:
+    def test_total_claim_count(self, checks):
+        # 33 anchors + 1 OOM + 15 selections + 3 accuracy + 5 insights
+        assert len(checks) == 57
+
+    def test_every_claim_passes(self, checks):
+        failures = [c for c in checks if not c.passed]
+        detail = "\n".join(f"{c.category}/{c.name}: {c.detail}"
+                           for c in failures)
+        assert not failures, f"claims failing:\n{detail}"
+
+    def test_categories_present(self, checks):
+        assert {c.category for c in checks} == {
+            "anchor", "memory", "selection", "accuracy", "insight"}
+
+    def test_format_tallies(self, checks):
+        text = format_scorecard(checks)
+        assert "57/57 claims reproduced" in text
+        assert "[anchor] 33/33" in text
+
+    def test_format_shows_failures(self):
+        failing = [Check("demo", "broken claim", False, "evidence here")]
+        text = format_scorecard(failing)
+        assert "FAIL" in text and "evidence here" in text
+        assert "0/1" in text

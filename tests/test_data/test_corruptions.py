@@ -1,0 +1,130 @@
+"""CIFAR-10-C corruption suite: 15 types x 5 severities."""
+
+import numpy as np
+import pytest
+
+from repro.data.corruptions import (
+    CORRUPTION_NAMES,
+    CORRUPTIONS,
+    SEVERITIES,
+    apply_corruption,
+    corrupt_batch,
+)
+from repro.data.synthetic import make_synth_cifar
+
+
+@pytest.fixture(scope="module")
+def image():
+    return make_synth_cifar(1, size=32, seed=0).images[0]
+
+
+class TestSuiteContract:
+    def test_fifteen_corruptions(self):
+        assert len(CORRUPTION_NAMES) == 15
+
+    def test_expected_families_present(self):
+        expected = {"gaussian_noise", "shot_noise", "impulse_noise",
+                    "defocus_blur", "glass_blur", "motion_blur", "zoom_blur",
+                    "snow", "frost", "fog", "brightness", "contrast",
+                    "elastic_transform", "pixelate", "jpeg_compression"}
+        assert set(CORRUPTION_NAMES) == expected
+
+    @pytest.mark.parametrize("name", CORRUPTION_NAMES)
+    def test_shape_range_dtype(self, image, name):
+        out = apply_corruption(image, name, severity=5, seed=0)
+        assert out.shape == image.shape
+        assert out.dtype == np.float32
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    @pytest.mark.parametrize("name", CORRUPTION_NAMES)
+    def test_deterministic(self, image, name):
+        a = apply_corruption(image, name, severity=3, seed=5)
+        b = apply_corruption(image, name, severity=3, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("name", CORRUPTION_NAMES)
+    def test_actually_changes_the_image(self, image, name):
+        out = apply_corruption(image, name, severity=5, seed=0)
+        assert np.abs(out - image).mean() > 1e-3
+
+    @pytest.mark.parametrize("name", CORRUPTION_NAMES)
+    def test_severity_monotone_on_average(self, name):
+        """Across several images, severity 5 must distort more than 1."""
+        images = make_synth_cifar(6, size=32, seed=3).images
+        def mean_shift(severity):
+            return np.mean([np.abs(apply_corruption(im, name, severity, seed=9)
+                                   - im).mean() for im in images])
+        assert mean_shift(5) > mean_shift(1)
+
+    def test_unknown_corruption_raises(self, image):
+        with pytest.raises(KeyError):
+            apply_corruption(image, "vignette")
+
+    def test_bad_severity_raises(self, image):
+        with pytest.raises(ValueError):
+            apply_corruption(image, "gaussian_noise", severity=6)
+
+    def test_batch_requires_4d(self, image):
+        with pytest.raises(ValueError):
+            corrupt_batch(image, "fog")
+
+    def test_single_requires_3d(self):
+        with pytest.raises(ValueError):
+            apply_corruption(np.zeros((1, 3, 8, 8), dtype=np.float32), "fog")
+
+
+class TestBatchAPI:
+    def test_batch_uses_per_image_seeds(self):
+        images = make_synth_cifar(2, size=16, seed=0).images
+        # duplicate image -> different noise per position in the batch
+        batch = np.stack([images[0], images[0]])
+        out = corrupt_batch(batch, "gaussian_noise", severity=5, seed=0)
+        assert not np.array_equal(out[0], out[1])
+
+    def test_batch_deterministic(self):
+        images = make_synth_cifar(3, size=16, seed=0).images
+        a = corrupt_batch(images, "fog", seed=4)
+        b = corrupt_batch(images, "fog", seed=4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpecificSemantics:
+    def test_brightness_raises_mean(self, image):
+        out = apply_corruption(image, "brightness", severity=5)
+        assert out.mean() > image.mean()
+
+    def test_contrast_reduces_std(self, image):
+        out = apply_corruption(image, "contrast", severity=5)
+        assert out.std() < image.std()
+
+    def test_blur_reduces_high_frequency_energy(self, image):
+        def hf_energy(im):
+            return np.abs(np.diff(im, axis=-1)).mean()
+        out = apply_corruption(image, "defocus_blur", severity=5)
+        assert hf_energy(out) < hf_energy(image)
+
+    def test_pixelate_creates_blocks(self, image):
+        out = apply_corruption(image, "pixelate", severity=5)
+        # nearest-neighbour upsampling duplicates adjacent columns somewhere
+        repeats = (np.abs(np.diff(out, axis=-1)) < 1e-7).mean()
+        baseline = (np.abs(np.diff(image, axis=-1)) < 1e-7).mean()
+        assert repeats > baseline
+
+    def test_jpeg_high_quality_close_to_identity(self, image):
+        out = apply_corruption(image, "jpeg_compression", severity=1)
+        worst = apply_corruption(image, "jpeg_compression", severity=5)
+        assert np.abs(out - image).mean() < np.abs(worst - image).mean()
+
+    def test_impulse_noise_sets_extreme_pixels(self, image):
+        out = apply_corruption(image, "impulse_noise", severity=5, seed=0)
+        changed = np.abs(out - image).max(axis=0) > 0.2
+        extremes = (out.min(axis=0) <= 1e-6) | (out.max(axis=0) >= 1 - 1e-6)
+        assert (changed & extremes).sum() > 0
+
+    def test_snow_brightens(self, image):
+        out = apply_corruption(image, "snow", severity=5)
+        assert out.mean() > image.mean()
+
+    def test_shot_noise_preserves_mean_roughly(self, image):
+        out = apply_corruption(image, "shot_noise", severity=3, seed=1)
+        assert abs(out.mean() - image.mean()) < 0.05

@@ -1,0 +1,91 @@
+"""Corruption gallery: PGM round trips and ASCII previews."""
+
+import numpy as np
+import pytest
+
+from repro.data.gallery import (
+    ascii_preview,
+    load_pgm,
+    save_pgm,
+    to_grayscale,
+    write_gallery,
+)
+from repro.data.synthetic import make_synth_cifar
+
+
+@pytest.fixture(scope="module")
+def image():
+    return make_synth_cifar(1, size=32, seed=0).images[0]
+
+
+class TestGrayscale:
+    def test_weights_sum_to_one(self, image):
+        gray = to_grayscale(image)
+        assert gray.shape == (32, 32)
+        assert 0.0 <= gray.min() and gray.max() <= 1.0
+
+    def test_white_maps_to_one(self):
+        white = np.ones((3, 4, 4), dtype=np.float32)
+        np.testing.assert_allclose(to_grayscale(white), 1.0, atol=1e-6)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            to_grayscale(np.zeros((4, 4), dtype=np.float32)[None])
+
+
+class TestPgm:
+    def test_round_trip(self, image, tmp_path):
+        path = tmp_path / "img.pgm"
+        save_pgm(image, path)
+        restored = load_pgm(path)
+        np.testing.assert_allclose(restored, to_grayscale(image), atol=1 / 255)
+
+    def test_gray_input_accepted(self, tmp_path):
+        gray = np.linspace(0, 1, 16, dtype=np.float32).reshape(4, 4)
+        path = tmp_path / "gray.pgm"
+        save_pgm(gray, path)
+        np.testing.assert_allclose(load_pgm(path), gray, atol=1 / 255)
+
+    def test_header(self, image, tmp_path):
+        path = tmp_path / "img.pgm"
+        save_pgm(image, path)
+        assert path.read_bytes().startswith(b"P5\n32 32\n255\n")
+
+    def test_load_rejects_non_pgm(self, tmp_path):
+        path = tmp_path / "not.pgm"
+        path.write_bytes(b"hello")
+        with pytest.raises(ValueError):
+            load_pgm(path)
+
+
+class TestAsciiPreview:
+    def test_dimensions(self, image):
+        art = ascii_preview(image, width=16)
+        lines = art.splitlines()
+        assert 8 <= len(lines) <= 32
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_dark_vs_bright(self):
+        dark = np.zeros((3, 8, 8), dtype=np.float32)
+        bright = np.ones((3, 8, 8), dtype=np.float32)
+        assert set(ascii_preview(dark)) <= {" ", "\n"}
+        assert "@" in ascii_preview(bright)
+
+
+class TestGallery:
+    def test_writes_all_files(self, image, tmp_path):
+        paths = write_gallery(image, tmp_path, corruptions=("fog", "snow"))
+        assert len(paths) == 3
+        assert all(p.exists() for p in paths)
+        assert (tmp_path / "clean.pgm").exists()
+        assert (tmp_path / "fog_s5.pgm").exists()
+
+    def test_default_covers_all_corruptions(self, image, tmp_path):
+        paths = write_gallery(image, tmp_path)
+        assert len(paths) == 16   # clean + 15 corruptions
+
+    def test_corrupted_files_differ_from_clean(self, image, tmp_path):
+        write_gallery(image, tmp_path, corruptions=("gaussian_noise",))
+        clean = load_pgm(tmp_path / "clean.pgm")
+        noisy = load_pgm(tmp_path / "gaussian_noise_s5.pgm")
+        assert np.abs(clean - noisy).mean() > 0.01

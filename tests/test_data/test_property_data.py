@@ -1,0 +1,50 @@
+"""Property-based tests for the data substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.corruptions import CORRUPTION_NAMES, apply_corruption
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0,
+                        allow_nan=False, allow_infinity=False, width=32)
+
+
+def random_images():
+    return arrays(np.float32, st.tuples(st.just(3), st.integers(8, 20),
+                                        st.integers(8, 20)),
+                  elements=unit_floats)
+
+
+@given(random_images(), st.sampled_from(CORRUPTION_NAMES),
+       st.integers(1, 5), st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_corruptions_preserve_contract_on_any_image(image, name, severity, seed):
+    """For arbitrary unit-range images of arbitrary (small) size, every
+    corruption must preserve shape, dtype, value range, and finiteness."""
+    out = apply_corruption(image, name, severity=severity, seed=seed)
+    assert out.shape == image.shape
+    assert out.dtype == np.float32
+    assert np.isfinite(out).all()
+    assert out.min() >= 0.0
+    assert out.max() <= 1.0
+
+
+@given(random_images(), st.sampled_from(CORRUPTION_NAMES), st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_corruptions_are_pure_functions(image, name, seed):
+    before = image.copy()
+    apply_corruption(image, name, severity=5, seed=seed)
+    np.testing.assert_array_equal(image, before)
+
+
+@given(st.integers(1, 40), st.integers(8, 20), st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_synthetic_generator_contract(n, size, seed):
+    from repro.data.synthetic import make_synth_cifar
+    ds = make_synth_cifar(n, size=size, seed=seed)
+    assert ds.images.shape == (n, 3, size, size)
+    assert np.isfinite(ds.images).all()
+    assert 0.0 <= ds.images.min() and ds.images.max() <= 1.0
+    assert ((ds.labels >= 0) & (ds.labels < 10)).all()

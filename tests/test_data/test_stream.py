@@ -1,0 +1,67 @@
+"""Streaming protocol: corrupted streams and batch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.data.stream import PAPER_BATCH_SIZES, CorruptionStream, iter_batches
+from repro.data.synthetic import make_synth_cifar
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_synth_cifar(130, size=16, seed=0)
+
+
+class TestIterBatches:
+    def test_batches_in_order(self, dataset):
+        batches = list(iter_batches(dataset.images, dataset.labels, 50))
+        assert len(batches) == 2
+        np.testing.assert_array_equal(batches[0][0], dataset.images[:50])
+        np.testing.assert_array_equal(batches[1][1], dataset.labels[50:100])
+
+    def test_drop_last_true_drops_remainder(self, dataset):
+        batches = list(iter_batches(dataset.images, dataset.labels, 50))
+        assert sum(len(lbl) for _, lbl in batches) == 100
+
+    def test_drop_last_false_keeps_remainder(self, dataset):
+        batches = list(iter_batches(dataset.images, dataset.labels, 50,
+                                    drop_last=False))
+        assert sum(len(lbl) for _, lbl in batches) == 130
+        assert len(batches[-1][1]) == 30
+
+
+class TestCorruptionStream:
+    def test_clean_stream_is_identity(self, dataset):
+        stream = CorruptionStream.from_dataset(dataset, "clean")
+        np.testing.assert_array_equal(stream.images, dataset.images)
+
+    def test_corrupted_stream_differs(self, dataset):
+        stream = CorruptionStream.from_dataset(dataset, "fog", severity=5)
+        assert not np.array_equal(stream.images, dataset.images)
+        assert stream.images.shape == dataset.images.shape
+
+    def test_labels_preserved(self, dataset):
+        stream = CorruptionStream.from_dataset(dataset, "gaussian_noise")
+        np.testing.assert_array_equal(stream.labels, dataset.labels)
+
+    def test_deterministic(self, dataset):
+        a = CorruptionStream.from_dataset(dataset, "snow", seed=3)
+        b = CorruptionStream.from_dataset(dataset, "snow", seed=3)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_unknown_corruption_raises(self, dataset):
+        with pytest.raises(KeyError):
+            CorruptionStream.from_dataset(dataset, "sepia")
+
+    def test_num_batches(self, dataset):
+        stream = CorruptionStream.from_dataset(dataset, "clean")
+        assert stream.num_batches(50) == 2
+        assert len(stream) == 130
+
+    def test_paper_batch_sizes_constant(self):
+        assert PAPER_BATCH_SIZES == (50, 100, 200)
+
+    def test_stream_does_not_mutate_dataset(self, dataset):
+        before = dataset.images.copy()
+        CorruptionStream.from_dataset(dataset, "impulse_noise")
+        np.testing.assert_array_equal(dataset.images, before)

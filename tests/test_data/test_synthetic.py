@@ -1,0 +1,68 @@
+"""SynthCIFAR generator: determinism, balance, ranges, class structure."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import NUM_CLASSES, SynthCIFAR, make_synth_cifar
+
+
+class TestGeneration:
+    def test_shapes_and_dtype(self):
+        ds = make_synth_cifar(20, size=16, seed=0)
+        assert ds.images.shape == (20, 3, 16, 16)
+        assert ds.images.dtype == np.float32
+        assert ds.labels.shape == (20,)
+        assert ds.labels.dtype == np.int64
+
+    def test_value_range(self):
+        ds = make_synth_cifar(50, size=16, seed=1)
+        assert ds.images.min() >= 0.0
+        assert ds.images.max() <= 1.0
+
+    def test_deterministic(self):
+        a = make_synth_cifar(30, size=16, seed=7)
+        b = make_synth_cifar(30, size=16, seed=7)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_synth_cifar(30, size=16, seed=1)
+        b = make_synth_cifar(30, size=16, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_class_balance(self):
+        ds = make_synth_cifar(100, size=12, seed=0, class_balance=True)
+        counts = np.bincount(ds.labels, minlength=NUM_CLASSES)
+        assert counts.min() == counts.max() == 10
+
+    def test_unbalanced_mode_uses_all_classes_eventually(self):
+        ds = make_synth_cifar(500, size=8, seed=0, class_balance=False)
+        assert len(np.unique(ds.labels)) == NUM_CLASSES
+
+    def test_len_and_subset(self):
+        ds = make_synth_cifar(40, size=8, seed=0)
+        assert len(ds) == 40
+        sub = ds.subset(10)
+        assert len(sub) == 10
+        np.testing.assert_array_equal(sub.images, ds.images[:10])
+
+
+class TestClassStructure:
+    def test_classes_are_visually_distinct(self):
+        """Mean images of different classes should differ substantially —
+        otherwise no classifier could learn the task."""
+        ds = make_synth_cifar(400, size=16, seed=0)
+        means = np.stack([ds.images[ds.labels == c].mean(axis=0)
+                          for c in range(NUM_CLASSES)])
+        # pairwise distance between class means
+        dists = []
+        for i in range(NUM_CLASSES):
+            for j in range(i + 1, NUM_CLASSES):
+                dists.append(np.abs(means[i] - means[j]).mean())
+        assert min(dists) > 0.01
+
+    def test_instances_within_class_vary(self):
+        ds = make_synth_cifar(60, size=16, seed=0)
+        images = ds.images[ds.labels == 0]
+        assert len(images) >= 2
+        assert np.abs(images[0] - images[1]).mean() > 0.01

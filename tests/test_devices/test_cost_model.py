@@ -1,0 +1,134 @@
+"""Latency cost model: structure, monotonicity, method/device orderings."""
+
+import pytest
+
+from repro.devices import device_info, forward_latency
+from repro.devices.catalog import ULTRA96
+
+
+@pytest.fixture(scope="module")
+def wrn(full_summaries):
+    return full_summaries["wrn40_2"]
+
+
+@pytest.fixture(scope="module")
+def rxt(full_summaries):
+    return full_summaries["resnext29"]
+
+
+def lat(summary, device_name, method, batch=50):
+    flags = {"no_adapt": (False, False), "bn_norm": (True, False),
+             "bn_opt": (True, True)}[method]
+    return forward_latency(summary, batch, device_info(device_name),
+                           adapts_bn_stats=flags[0], does_backward=flags[1])
+
+
+class TestStructure:
+    def test_no_adapt_has_no_adaptation_phases(self, wrn):
+        b = lat(wrn, "rpi4", "no_adapt")
+        assert b.bn_adapt_s == 0.0
+        assert b.backward_phase_s == 0.0
+
+    def test_bn_norm_adds_only_stat_recompute(self, wrn):
+        base = lat(wrn, "rpi4", "no_adapt")
+        norm = lat(wrn, "rpi4", "bn_norm")
+        assert norm.bn_adapt_s > 0
+        assert norm.backward_phase_s == 0.0
+        assert norm.forward_phase_s == pytest.approx(base.forward_phase_s)
+
+    def test_bn_opt_adds_backward(self, wrn):
+        opt = lat(wrn, "rpi4", "bn_opt")
+        assert opt.conv_bw_s > 0 and opt.bn_bw_s > 0 and opt.optimizer_s > 0
+
+    def test_total_is_sum_of_phases(self, wrn):
+        b = lat(wrn, "ultra96", "bn_opt")
+        assert b.forward_time_s == pytest.approx(
+            b.forward_phase_s + b.adapt_phase_s + b.backward_phase_s)
+
+    def test_backward_without_stats_rejected(self, wrn):
+        with pytest.raises(ValueError):
+            forward_latency(wrn, 50, ULTRA96, adapts_bn_stats=False,
+                            does_backward=True)
+
+    def test_scaled_breakdown(self, wrn):
+        b = lat(wrn, "ultra96", "bn_opt")
+        doubled = b.scaled(2.0)
+        assert doubled.forward_time_s == pytest.approx(2 * b.forward_time_s)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("method", ["no_adapt", "bn_norm", "bn_opt"])
+    def test_time_increases_with_batch(self, wrn, method):
+        times = [lat(wrn, "rpi4", method, batch).forward_time_s
+                 for batch in (50, 100, 200)]
+        assert times[0] < times[1] < times[2]
+
+    def test_method_ordering_every_device(self, wrn):
+        for device in ("ultra96", "rpi4", "xavier_nx_cpu", "xavier_nx_gpu"):
+            na = lat(wrn, device, "no_adapt").forward_time_s
+            norm = lat(wrn, device, "bn_norm").forward_time_s
+            opt = lat(wrn, device, "bn_opt").forward_time_s
+            assert na < norm < opt, device
+
+    def test_faster_device_is_faster(self, wrn):
+        assert (lat(wrn, "xavier_nx_gpu", "no_adapt").forward_time_s
+                < lat(wrn, "xavier_nx_cpu", "no_adapt").forward_time_s
+                < lat(wrn, "rpi4", "no_adapt").forward_time_s
+                < lat(wrn, "ultra96", "no_adapt").forward_time_s)
+
+
+class TestFlavorEfficiency:
+    def test_grouped_convs_are_derated(self, rxt):
+        """ResNeXt's effective time exceeds what its MACs alone predict."""
+        split = rxt.macs_by_flavor()
+        device = device_info("rpi4")
+        b = lat(rxt, "rpi4", "no_adapt")
+        dense_only_estimate = 50 * rxt.conv_macs / (device.dense_gmacs_per_s * 1e9)
+        assert b.conv_fw_s > dense_only_estimate
+        assert split["grouped"] > 0
+
+    def test_depthwise_derate_largest_on_gpu(self, full_summaries):
+        mnv2 = full_summaries["mobilenet_v2"]
+        gpu = device_info("xavier_nx_gpu")
+        cpu = device_info("rpi4")
+        assert gpu.depthwise_efficiency < gpu.grouped_efficiency
+        # sanity: model exposes both efficiencies in (0, 1]
+        for d in (gpu, cpu):
+            assert 0 < d.depthwise_efficiency <= 1
+            assert 0 < d.grouped_efficiency <= 1
+
+
+class TestPaperOrderings:
+    def test_resnext_slowest_model_per_batch(self, full_summaries):
+        # "RXT also shows significantly higher forward time" (Section IV-B)
+        times = {name: lat(s, "ultra96", "no_adapt").forward_time_s
+                 for name, s in full_summaries.items()}
+        assert times["resnext29"] == max(times.values())
+
+    def test_mobilenet_fastest_inference_but_slow_adaptation(self, full_summaries):
+        # Section IV-F: MobileNet wins No-Adapt but pays ~2x BN overhead
+        times_na = {name: lat(s, "xavier_nx_gpu", "no_adapt").forward_time_s
+                    for name, s in full_summaries.items()}
+        assert times_na["mobilenet_v2"] == min(times_na.values())
+        wrn_overhead = (lat(full_summaries["wrn40_2"], "xavier_nx_gpu",
+                            "bn_norm").forward_time_s
+                        - times_na["wrn40_2"])
+        mnv2_overhead = (lat(full_summaries["mobilenet_v2"], "xavier_nx_gpu",
+                             "bn_norm").forward_time_s
+                         - times_na["mobilenet_v2"])
+        assert mnv2_overhead > 1.8 * wrn_overhead
+
+    def test_a3_adaptation_overhead_213ms(self, full_summaries):
+        # the paper's headline: 213 ms BN-Norm overhead on NX GPU for WRN-50
+        wrn = full_summaries["wrn40_2"]
+        overhead = (lat(wrn, "xavier_nx_gpu", "bn_norm").forward_time_s
+                    - lat(wrn, "xavier_nx_gpu", "no_adapt").forward_time_s)
+        assert overhead == pytest.approx(0.213, rel=0.05)
+
+    def test_bn_norm_vs_bn_opt_gpu_reduction(self, full_summaries):
+        # Section IV-E: BN-Norm is ~61.6% lower latency than BN-Opt on GPU
+        wrn = full_summaries["wrn40_2"]
+        norm = lat(wrn, "xavier_nx_gpu", "bn_norm").forward_time_s
+        opt = lat(wrn, "xavier_nx_gpu", "bn_opt").forward_time_s
+        reduction = 100 * (opt - norm) / opt
+        assert reduction == pytest.approx(61.6, abs=5.0)

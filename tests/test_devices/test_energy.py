@@ -1,0 +1,89 @@
+"""Energy model and the simulated wall power meter."""
+
+import numpy as np
+import pytest
+
+from repro.devices import PowerMeter, device_info, energy_per_batch, forward_latency
+
+
+@pytest.fixture(scope="module")
+def wrn_breakdown(full_summaries):
+    return forward_latency(full_summaries["wrn40_2"], 50,
+                           device_info("rpi4"), adapts_bn_stats=True,
+                           does_backward=True)
+
+
+class TestEnergyModel:
+    def test_energy_positive_and_phase_weighted(self, wrn_breakdown):
+        device = device_info("rpi4")
+        energy = energy_per_batch(wrn_breakdown, device)
+        assert energy > 0
+        manual = (wrn_breakdown.forward_phase_s * device.power_forward_w
+                  + wrn_breakdown.adapt_phase_s * device.power_adapt_w
+                  + wrn_breakdown.backward_phase_s * device.power_backward_w)
+        assert energy == pytest.approx(manual)
+
+    def test_gpu_faster_but_more_power_can_still_win_energy(self, full_summaries):
+        """Paper: 'significantly faster execution ... makes it more
+        energy-efficient (2.86x)' — GPU wins energy for BN-Opt."""
+        wrn = full_summaries["wrn40_2"]
+        gpu, cpu = device_info("xavier_nx_gpu"), device_info("xavier_nx_cpu")
+        e_gpu = energy_per_batch(forward_latency(wrn, 50, gpu,
+                                                 adapts_bn_stats=True,
+                                                 does_backward=True), gpu)
+        e_cpu = energy_per_batch(forward_latency(wrn, 50, cpu,
+                                                 adapts_bn_stats=True,
+                                                 does_backward=True), cpu)
+        assert e_gpu < e_cpu
+        assert e_cpu / e_gpu == pytest.approx(2.86, rel=0.4)
+
+    def test_method_energy_ordering(self, full_summaries):
+        wrn = full_summaries["wrn40_2"]
+        device = device_info("ultra96")
+        energies = []
+        for adapts, backward in [(False, False), (True, False), (True, True)]:
+            b = forward_latency(wrn, 50, device, adapts_bn_stats=adapts,
+                                does_backward=backward)
+            energies.append(energy_per_batch(b, device))
+        assert energies[0] < energies[1] < energies[2]
+
+
+class TestPowerMeter:
+    def test_measured_energy_close_to_analytic(self, wrn_breakdown):
+        device = device_info("rpi4")
+        meter = PowerMeter(device, sample_hz=50.0, noise_w=0.0)
+        measured = meter.record(wrn_breakdown)
+        assert measured == pytest.approx(energy_per_batch(wrn_breakdown, device),
+                                         rel=1e-6)
+
+    def test_trace_grows_and_clock_advances(self, wrn_breakdown):
+        meter = PowerMeter(device_info("rpi4"), sample_hz=20.0)
+        meter.record(wrn_breakdown)
+        trace = meter.trace
+        assert len(trace) > 3
+        times = [t for t, _ in trace]
+        assert times == sorted(times)
+
+    def test_average_power_between_phase_powers(self, wrn_breakdown):
+        device = device_info("rpi4")
+        meter = PowerMeter(device, sample_hz=50.0, noise_w=0.0)
+        meter.record(wrn_breakdown)
+        avg = meter.average_power_w()
+        low = min(device.power_forward_w, device.power_adapt_w,
+                  device.power_backward_w)
+        high = max(device.power_forward_w, device.power_adapt_w,
+                   device.power_backward_w)
+        assert low <= avg <= high
+
+    def test_reset(self, wrn_breakdown):
+        meter = PowerMeter(device_info("rpi4"))
+        meter.record(wrn_breakdown)
+        meter.reset()
+        assert meter.trace == []
+        assert meter.average_power_w() == 0.0
+
+    def test_noise_is_deterministic_per_seed(self, wrn_breakdown):
+        device = device_info("rpi4")
+        a = PowerMeter(device, seed=7).record(wrn_breakdown)
+        b = PowerMeter(device, seed=7).record(wrn_breakdown)
+        assert a == b

@@ -1,0 +1,111 @@
+"""Memory model: the paper's OOM events, graph sizes, profiler overhead."""
+
+import pytest
+
+from repro.core.reference import CLAIM_RXT_GRAPH_GB_100
+from repro.devices import OutOfMemoryError, device_info, estimate_memory
+from repro.devices.memory import check_memory
+
+
+def fits(summary, device_name, batch, backward, profiling=False):
+    estimate = estimate_memory(summary, batch, device_info(device_name),
+                               does_backward=backward, profiling=profiling)
+    return estimate.fits
+
+
+class TestPaperOOMEvents:
+    """Every memory feasibility outcome the paper reports, as a table."""
+
+    @pytest.mark.parametrize("model,device,batch,backward,expected", [
+        # Ultra96-v2 (2 GB): "BN-Opt runs out of memory for RXT for 100
+        # and 200 batch sizes" — batch 50 runs.
+        ("resnext29", "ultra96", 50, True, True),
+        ("resnext29", "ultra96", 100, True, False),
+        ("resnext29", "ultra96", 200, True, False),
+        # "BN-Norm is able to run for all 9 cases on the FPGA PS"
+        ("resnext29", "ultra96", 200, False, True),
+        ("wrn40_2", "ultra96", 200, False, True),
+        ("resnet18", "ultra96", 200, False, True),
+        # WRN / R18 run BN-Opt at every batch size on the FPGA
+        ("wrn40_2", "ultra96", 200, True, True),
+        ("resnet18", "ultra96", 200, True, True),
+        # RPi (8 GB): "all three DNNs, with both BN-Norm and BN-Opt, are
+        # able to run on the RPi"
+        ("resnext29", "rpi4", 200, True, True),
+        # Xavier NX GPU: "RXT-AM-200 with BN-Opt runs out of memory when
+        # executed on the GPU" (cuDNN libraries), batch 100 runs.
+        ("resnext29", "xavier_nx_gpu", 100, True, True),
+        ("resnext29", "xavier_nx_gpu", 200, True, False),
+        # NX CPU runs RXT-200 BN-Opt (it is the paper's A1 point)
+        ("resnext29", "xavier_nx_cpu", 200, True, True),
+    ])
+    def test_feasibility(self, full_summaries, model, device, batch,
+                         backward, expected):
+        assert fits(full_summaries[model], device, batch, backward) == expected
+
+
+class TestGraphModel:
+    def test_rxt_graph_calibrated_to_312_gb(self, full_summaries):
+        estimate = estimate_memory(full_summaries["resnext29"], 100,
+                                   device_info("rpi4"), does_backward=True)
+        assert estimate.graph_gb == pytest.approx(CLAIM_RXT_GRAPH_GB_100,
+                                                  rel=0.02)
+
+    def test_graph_scales_linearly_with_batch(self, full_summaries):
+        small = estimate_memory(full_summaries["resnext29"], 100,
+                                device_info("rpi4"), does_backward=True)
+        large = estimate_memory(full_summaries["resnext29"], 200,
+                                device_info("rpi4"), does_backward=True)
+        assert large.graph_bytes == pytest.approx(2 * small.graph_bytes)
+
+    def test_no_graph_without_backward(self, full_summaries):
+        estimate = estimate_memory(full_summaries["resnext29"], 200,
+                                   device_info("rpi4"), does_backward=False)
+        assert estimate.graph_bytes == 0.0
+        assert estimate.optimizer_bytes == 0.0
+
+    def test_rxt_graph_largest_despite_smaller_weights_than_r18(self,
+                                                                full_summaries):
+        """The paper's key memory finding: RXT (26 MB weights) OOMs where
+        R18 (45 MB weights) runs, because of its activation graph."""
+        rxt = estimate_memory(full_summaries["resnext29"], 100,
+                              device_info("rpi4"), does_backward=True)
+        r18 = estimate_memory(full_summaries["resnet18"], 100,
+                              device_info("rpi4"), does_backward=True)
+        assert rxt.weights_bytes < r18.weights_bytes
+        assert rxt.graph_bytes > 2 * r18.graph_bytes
+
+
+class TestProfilerOverhead:
+    def test_profiler_pushes_rxt_over_on_ultra96(self, full_summaries):
+        # paper: "The profiler runs out of memory for RXT-AM"
+        assert fits(full_summaries["resnext29"], "ultra96", 50, True,
+                    profiling=False)
+        assert not fits(full_summaries["resnext29"], "ultra96", 50, True,
+                        profiling=True)
+
+    def test_profiler_fits_for_wrn_and_r18(self, full_summaries):
+        for model in ("wrn40_2", "resnet18"):
+            assert fits(full_summaries[model], "ultra96", 50, True,
+                        profiling=True)
+
+
+class TestCheckMemory:
+    def test_check_raises_with_estimate(self, full_summaries):
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            check_memory(full_summaries["resnext29"], 200,
+                         device_info("ultra96"), does_backward=True)
+        assert excinfo.value.estimate.graph_gb > 2.0
+        assert "Ultra96" in str(excinfo.value)
+
+    def test_check_returns_estimate_when_fits(self, full_summaries):
+        estimate = check_memory(full_summaries["wrn40_2"], 50,
+                                device_info("rpi4"), does_backward=True)
+        assert estimate.fits
+
+    def test_gpu_framework_includes_cudnn(self, full_summaries):
+        cpu = estimate_memory(full_summaries["wrn40_2"], 50,
+                              device_info("xavier_nx_cpu"), does_backward=True)
+        gpu = estimate_memory(full_summaries["wrn40_2"], 50,
+                              device_info("xavier_nx_gpu"), does_backward=True)
+        assert gpu.framework_bytes > cpu.framework_bytes + 1e9

@@ -1,0 +1,63 @@
+"""Device catalog integrity."""
+
+import pytest
+
+from repro.devices import DEVICE_NAMES, DeviceSpec, device_info, list_devices
+from repro.devices.catalog import RPI4, ULTRA96, XAVIER_NX_CPU, XAVIER_NX_GPU
+
+
+class TestCatalog:
+    def test_four_compute_targets(self):
+        assert set(DEVICE_NAMES) == {"ultra96", "rpi4", "xavier_nx_cpu",
+                                     "xavier_nx_gpu"}
+
+    def test_lookup_and_list_agree(self):
+        assert list_devices() == [device_info(name) for name in DEVICE_NAMES]
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            device_info("coral_tpu")
+
+    def test_memory_sizes_match_paper(self):
+        assert ULTRA96.memory_total_gb == 2.0
+        assert RPI4.memory_total_gb == 8.0
+        assert XAVIER_NX_CPU.memory_total_gb == 8.0
+        assert XAVIER_NX_GPU.memory_total_gb == 8.0
+
+    def test_gpu_kind(self):
+        assert XAVIER_NX_GPU.kind == "gpu"
+        assert all(d.kind == "cpu" for d in (ULTRA96, RPI4, XAVIER_NX_CPU))
+
+    def test_compute_hierarchy(self):
+        # A53 < A72 < Carmel < Volta in effective dense throughput
+        assert (ULTRA96.dense_gmacs_per_s < RPI4.dense_gmacs_per_s
+                < XAVIER_NX_CPU.dense_gmacs_per_s
+                < XAVIER_NX_GPU.dense_gmacs_per_s)
+
+    def test_gpu_power_ratio_matches_paper(self):
+        # "the GPU burns more power than CPU (2.2x)"
+        ratio = XAVIER_NX_GPU.power_forward_w / XAVIER_NX_CPU.power_forward_w
+        assert ratio == pytest.approx(2.2, rel=0.05)
+
+    def test_gpu_bn_stat_recompute_slower_per_element_than_cpu(self):
+        # the paper's "forward BN performance is worse ... GPU over CPU"
+        assert (XAVIER_NX_GPU.bn_adapt_s_per_elem
+                > XAVIER_NX_CPU.bn_adapt_s_per_elem)
+
+    def test_only_gpu_loads_accel_libraries(self):
+        assert XAVIER_NX_GPU.accel_library_bytes > 1e9
+        assert all(d.accel_library_bytes == 0
+                   for d in (ULTRA96, RPI4, XAVIER_NX_CPU))
+
+    def test_memory_budget(self):
+        budget = ULTRA96.memory_budget_bytes
+        assert budget == pytest.approx((2.0 - 0.10) * 1e9)
+
+    def test_with_overrides(self):
+        doubled = ULTRA96.with_overrides(memory_total_gb=4.0)
+        assert doubled.memory_total_gb == 4.0
+        assert ULTRA96.memory_total_gb == 2.0   # frozen original untouched
+        assert doubled.dense_gmacs_per_s == ULTRA96.dense_gmacs_per_s
+
+    def test_describe(self):
+        assert "2 GB" in ULTRA96.describe()

@@ -1,0 +1,92 @@
+"""What-if sensitivity analysis of the device cost model."""
+
+import pytest
+
+from repro.devices import device_info
+from repro.devices.whatif import (
+    SWEEPABLE_FIELDS,
+    energy_metric,
+    format_sensitivities,
+    latency_metric,
+    sensitivities,
+    sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def wrn(full_summaries):
+    return full_summaries["wrn40_2"]
+
+
+class TestSweep:
+    def test_throughput_sweep_monotone(self, wrn):
+        device = device_info("rpi4")
+        metric = latency_metric(wrn, 50, adapts_bn_stats=False,
+                                does_backward=False)
+        results = sweep(device, "dense_gmacs_per_s", (0.5, 1.0, 2.0), metric)
+        times = [t for _, t in results]
+        assert times[0] > times[1] > times[2]
+
+    def test_factor_one_is_baseline(self, wrn):
+        device = device_info("rpi4")
+        metric = latency_metric(wrn, 50, adapts_bn_stats=True,
+                                does_backward=True)
+        (_, swept), = sweep(device, "conv_bw_factor", (1.0,), metric)
+        assert swept == pytest.approx(metric(device))
+
+    def test_unsweepable_field_raises(self, wrn):
+        metric = latency_metric(wrn, 50, adapts_bn_stats=False,
+                                does_backward=False)
+        with pytest.raises(KeyError):
+            sweep(device_info("rpi4"), "display_name", (1.0,), metric)
+
+
+class TestSensitivities:
+    def test_inference_dominated_by_conv_throughput(self, wrn):
+        device = device_info("rpi4")
+        metric = latency_metric(wrn, 50, adapts_bn_stats=False,
+                                does_backward=False)
+        top = sensitivities(device, metric)[0]
+        assert top.field_name == "dense_gmacs_per_s"
+        assert top.elasticity < 0   # more throughput, less time
+
+    def test_bnopt_latency_sensitive_to_bw_factor(self, wrn):
+        device = device_info("ultra96")
+        metric = latency_metric(wrn, 50, adapts_bn_stats=True,
+                                does_backward=True)
+        ranked = {s.field_name: abs(s.elasticity)
+                  for s in sensitivities(device, metric)}
+        # backward factor matters for BN-Opt ...
+        assert ranked["conv_bw_factor"] > 0.3
+        # ... and power constants matter zero for latency
+        assert ranked["power_forward_w"] == 0.0
+
+    def test_energy_sensitive_to_power(self, wrn):
+        device = device_info("rpi4")
+        metric = energy_metric(wrn, 50, adapts_bn_stats=False,
+                               does_backward=False)
+        ranked = {s.field_name: s.elasticity
+                  for s in sensitivities(device, metric)}
+        assert ranked["power_forward_w"] == pytest.approx(1.0, abs=0.05)
+
+    def test_zero_baseline_fields_zero_elasticity(self, wrn):
+        device = device_info("xavier_nx_gpu")   # c_chan and c_layer are 0
+        metric = latency_metric(wrn, 50, adapts_bn_stats=True,
+                                does_backward=False)
+        ranked = {s.field_name: s.elasticity
+                  for s in sensitivities(device, metric)}
+        assert ranked["bn_adapt_s_per_channel"] == 0.0
+
+    def test_all_sweepable_fields_covered(self, wrn):
+        device = device_info("rpi4")
+        metric = latency_metric(wrn, 50, adapts_bn_stats=True,
+                                does_backward=True)
+        results = sensitivities(device, metric)
+        assert len(results) == len(SWEEPABLE_FIELDS)
+
+    def test_format(self, wrn):
+        device = device_info("rpi4")
+        metric = latency_metric(wrn, 50, adapts_bn_stats=True,
+                                does_backward=True)
+        text = format_sensitivities(sensitivities(device, metric), top=3)
+        assert text.count("\n") == 3

@@ -1,0 +1,60 @@
+"""Examples must stay importable, and the simulation-only ones runnable.
+
+The training-backed examples (quickstart, drone, medical, quantized)
+take minutes on a cold cache, so this module only imports them (their
+work is main-guarded) and fully executes the two simulation-only ones.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "drone_stream_adaptation",
+    "medical_edge_adaptation",
+    "codesign_explorer",
+    "realtime_budget_planner",
+    "quantized_deployment",
+]
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_all_examples_exist(self):
+        found = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        assert set(ALL_EXAMPLES) <= found
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_importable_with_main(self, name):
+        module = _load(name)
+        assert callable(module.main)
+
+    def test_codesign_explorer_runs(self, capsys):
+        module = _load("codesign_explorer")
+        module.main()
+        out = capsys.readouterr().out
+        assert "A1" in out and "What-if" in out
+
+    def test_realtime_planner_runs(self, capsys):
+        module = _load("realtime_budget_planner")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Sustainable throughput" in out
+        assert "Camera at 30 fps" in out
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_examples_have_docstrings(self, name):
+        module = _load(name)
+        assert module.__doc__ and len(module.__doc__) > 100

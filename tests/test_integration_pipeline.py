@@ -1,0 +1,92 @@
+"""End-to-end pipeline integration: every subsystem in one scenario.
+
+train -> checkpoint -> reload -> corrupt -> adapt (monitored) ->
+quantize -> adapt again -> price on a device.  Uses the session-scoped
+micro model so the whole scenario runs in seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adapt import AdaptationMonitor, BNNorm, NoAdapt
+from repro.compress import quantize_model_weights
+from repro.core.streaming import RealTimeStream, simulate_realtime
+from repro.data.stream import CorruptionStream
+from repro.data.synthetic import make_synth_cifar
+from repro.devices import device_info
+from repro.models import summarize
+from repro.models.checkpoints import load_checkpoint, save_checkpoint
+from repro.models.wide_resnet import wide_resnet40_2
+from repro.train.trainer import evaluate
+
+
+def stream_error(method, model, stream, batch_size=50):
+    method.prepare(model)
+    correct = total = 0
+    for images, labels in stream.batches(batch_size):
+        logits = method.forward(images)
+        correct += int((logits.argmax(axis=-1) == labels).sum())
+        total += len(labels)
+    method.reset()
+    return 1.0 - correct / total
+
+
+@pytest.fixture(scope="module")
+def pipeline(micro_trained_model, tmp_path_factory):
+    model, _ = micro_trained_model
+    tmp = tmp_path_factory.mktemp("pipeline")
+    checkpoint = tmp / "robust.npz"
+    save_checkpoint(model, checkpoint)
+    reloaded = wide_resnet40_2(depth=10, widen_factor=1, base=4)
+    load_checkpoint(checkpoint, model=reloaded)
+    test = make_synth_cifar(300, size=16, seed=77)
+    stream = CorruptionStream.from_dataset(test, "gaussian_noise",
+                                           severity=5, seed=5)
+    return reloaded, test, stream
+
+
+class TestPipeline:
+    def test_checkpoint_preserves_accuracy(self, pipeline, micro_trained_model):
+        reloaded, test, _ = pipeline
+        original, _ = micro_trained_model
+        err_original = evaluate(original, test.images, test.labels)
+        err_reloaded = evaluate(reloaded, test.images, test.labels)
+        assert err_reloaded == pytest.approx(err_original, abs=1e-9)
+
+    def test_adaptation_on_reloaded_model(self, pipeline):
+        reloaded, _, stream = pipeline
+        frozen = stream_error(NoAdapt(), reloaded, stream)
+        adapted = stream_error(BNNorm(), reloaded, stream)
+        assert adapted < frozen
+
+    def test_monitored_adaptation_produces_signals(self, pipeline):
+        reloaded, test, stream = pipeline
+        monitor = AdaptationMonitor(BNNorm(), probe=test.images[:32])
+        monitor.prepare(reloaded)
+        for images, _ in stream.batches(50):
+            monitor.forward(images)
+        assert len(monitor.history) == stream.num_batches(50)
+        assert max(monitor.drift_trajectory()) > 0
+        monitor.reset()
+
+    def test_quantized_model_still_adapts(self, pipeline):
+        reloaded, _, stream = pipeline
+        state_backup = reloaded.state_dict()
+        quantize_model_weights(reloaded, bits=8)
+        frozen = stream_error(NoAdapt(), reloaded, stream)
+        adapted = stream_error(BNNorm(), reloaded, stream)
+        assert adapted < frozen
+        reloaded.load_state_dict(state_backup)
+
+    def test_priced_on_device(self, pipeline):
+        reloaded, _, _ = pipeline
+        summary = summarize(reloaded, input_shape=(3, 16, 16),
+                            name="micro-wrn")
+        card = simulate_realtime(summary, device_info("xavier_nx_gpu"),
+                                 "bn_norm",
+                                 RealTimeStream(fps=10, num_frames=500,
+                                                batch_size=50),
+                                 adapted_error_pct=10.0,
+                                 baseline_error_pct=20.0)
+        assert card.frames_dropped == 0
+        assert card.energy_j > 0

@@ -1,0 +1,166 @@
+"""Architecture behaviour: shapes, blocks, profiles, registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.models.mobilenet import InvertedResidual, MobileNetV2
+from repro.models.registry import MODEL_NAMES, PROFILES, build_model, model_info
+from repro.models.resnet import BasicBlock, ResNet18
+from repro.models.resnext import ResNeXt29, ResNeXtBlock
+from repro.models.wide_resnet import PreActBlock, WideResNet
+from repro.tensor import Tensor, no_grad
+
+
+def forward(model, batch=2, size=32):
+    with no_grad():
+        model.eval()
+        return model(Tensor(np.random.default_rng(0)
+                            .standard_normal((batch, 3, size, size))
+                            .astype(np.float32)))
+
+
+class TestTinyProfiles:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_tiny_forward_shape(self, name):
+        out = forward(build_model(name, "tiny"), batch=2, size=16)
+        assert out.shape == (2, 10)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_tiny_is_much_smaller(self, name):
+        full = build_model(name, "full")
+        tiny = build_model(name, "tiny")
+        assert tiny.num_parameters() < full.num_parameters() / 10
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError):
+            build_model("resnet18", "huge")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_model_info_labels(self):
+        assert model_info("resnext29").paper_label == "RXT-AM"
+        assert model_info("wrn40_2").paper_label == "WRN-AM"
+        assert model_info("resnet18").paper_label == "R18-AM-AT"
+
+
+class TestResNet18:
+    def test_full_forward_shape(self):
+        out = forward(build_model("resnet18", "tiny"), batch=1, size=32)
+        assert out.shape == (1, 10)
+
+    def test_basic_block_identity_shortcut(self):
+        block = BasicBlock(8, 8, stride=1)
+        from repro import nn
+        assert isinstance(block.shortcut, nn.Identity)
+
+    def test_basic_block_projection_without_bn(self):
+        # the 7808-BN-parameter count requires conv-only shortcuts
+        block = BasicBlock(8, 16, stride=2)
+        from repro import nn
+        assert isinstance(block.shortcut, nn.Conv2d)
+        bn_count = sum(1 for m in block.modules()
+                       if isinstance(m, nn.BatchNorm2d))
+        assert bn_count == 2
+
+    def test_stage_downsampling(self):
+        model = ResNet18(width=8)
+        x = Tensor(np.zeros((1, 3, 32, 32), dtype=np.float32))
+        with no_grad():
+            model.eval()
+            stem = model.relu(model.bn1(model.conv1(x)))
+            s1 = model.layer1(stem)
+            s2 = model.layer2(s1)
+        assert s1.shape == (1, 8, 32, 32)
+        assert s2.shape == (1, 16, 16, 16)
+
+
+class TestWideResNet:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            WideResNet(depth=17)
+
+    def test_preact_block_projection_uses_activated_input(self, rng):
+        block = PreActBlock(4, 8, stride=2)
+        assert block.needs_projection
+        out = block(Tensor(rng.standard_normal((1, 4, 8, 8)).astype(np.float32)))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_preact_block_identity(self, rng):
+        block = PreActBlock(8, 8)
+        assert not block.needs_projection
+        out = block(Tensor(rng.standard_normal((2, 8, 6, 6)).astype(np.float32)))
+        assert out.shape == (2, 8, 6, 6)
+
+    def test_block_count(self):
+        model = WideResNet(depth=40, widen_factor=2)
+        blocks = [m for m in model.modules() if isinstance(m, PreActBlock)]
+        assert len(blocks) == 18  # 6 per stage x 3 stages
+
+
+class TestResNeXt:
+    def test_grouped_conv_cardinality(self):
+        model = ResNeXt29(cardinality=4, base_width=32)
+        blocks = [m for m in model.modules() if isinstance(m, ResNeXtBlock)]
+        assert len(blocks) == 9
+        assert all(b.conv2.groups == 4 for b in blocks)
+
+    def test_stage_widths(self):
+        model = ResNeXt29(cardinality=4, base_width=32)
+        # final stage emits 1024 channels -> fc input
+        assert model.fc.in_features == 1024
+
+    def test_block_output_shape(self, rng):
+        block = ResNeXtBlock(16, 8, 32, cardinality=2, stride=2)
+        out = block(Tensor(rng.standard_normal((1, 16, 8, 8)).astype(np.float32)))
+        assert out.shape == (1, 32, 4, 4)
+
+
+class TestMobileNetV2:
+    def test_residual_only_when_shapes_match(self):
+        assert InvertedResidual(16, 16, stride=1, expand_ratio=6).use_residual
+        assert not InvertedResidual(16, 24, stride=1, expand_ratio=6).use_residual
+        assert not InvertedResidual(16, 16, stride=2, expand_ratio=6).use_residual
+
+    def test_expand_ratio_one_skips_expansion(self):
+        block = InvertedResidual(8, 8, stride=1, expand_ratio=1)
+        from repro import nn
+        convs = [m for m in block.modules() if isinstance(m, nn.Conv2d)]
+        assert len(convs) == 2  # depthwise + project only
+
+    def test_depthwise_groups(self):
+        model = MobileNetV2(width_mult=0.25)
+        from repro import nn
+        depthwise = [m for m in model.modules()
+                     if isinstance(m, nn.Conv2d) and m.groups == m.in_channels
+                     and m.in_channels > 1]
+        assert len(depthwise) == 17  # one per inverted-residual block
+
+    def test_width_mult_scales_params(self):
+        small = MobileNetV2(width_mult=0.25).num_parameters()
+        full = MobileNetV2(width_mult=1.0).num_parameters()
+        assert small < full / 5
+
+
+class TestFullSizeModelsExecute:
+    """The full-size paper architectures must actually run (not just
+    trace): one real forward pass each at CIFAR resolution."""
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_full_forward_single_sample(self, name):
+        model = build_model(name, "full")
+        out = forward(model, batch=1, size=32)
+        assert out.shape == (1, 10)
+        assert np.isfinite(out.data).all()
+
+    def test_full_wrn_train_mode_batch(self):
+        """Train-mode forward (batch statistics) on the full WRN."""
+        model = build_model("wrn40_2", "full")
+        model.train()
+        x = np.random.default_rng(0).standard_normal(
+            (4, 3, 32, 32)).astype(np.float32)
+        with no_grad():
+            out = model(Tensor(x))
+        assert out.shape == (4, 10)

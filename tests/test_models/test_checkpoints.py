@@ -1,0 +1,71 @@
+"""Checkpoint save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.models.checkpoints import load_checkpoint, read_checkpoint, save_checkpoint
+from repro.tensor import Tensor, no_grad
+
+
+def logits_of(model, x):
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).data
+
+
+class TestCheckpoints:
+    def test_round_trip_into_existing_model(self, tmp_path, rng):
+        source = build_model("wrn40_2", "tiny")
+        path = tmp_path / "model.npz"
+        save_checkpoint(source, path)
+        target = build_model("wrn40_2", "tiny")
+        load_checkpoint(path, model=target)
+        x = rng.standard_normal((2, 3, 16, 16)).astype(np.float32)
+        np.testing.assert_allclose(logits_of(source, x), logits_of(target, x),
+                                   rtol=1e-5)
+
+    def test_rebuild_from_metadata(self, tmp_path, rng):
+        source = build_model("resnet18", "tiny")
+        path = tmp_path / "model.npz"
+        save_checkpoint(source, path, model_name="resnet18", profile="tiny")
+        rebuilt = load_checkpoint(path)
+        x = rng.standard_normal((1, 3, 16, 16)).astype(np.float32)
+        np.testing.assert_allclose(logits_of(source, x), logits_of(rebuilt, x),
+                                   rtol=1e-5)
+
+    def test_missing_metadata_and_no_model_raises(self, tmp_path):
+        source = build_model("wrn40_2", "tiny")
+        path = tmp_path / "anon.npz"
+        save_checkpoint(source, path)
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_extra_metadata_preserved(self, tmp_path):
+        source = build_model("wrn40_2", "tiny")
+        path = tmp_path / "model.npz"
+        save_checkpoint(source, path, model_name="wrn40_2", profile="tiny",
+                        epochs=10, augmix=True)
+        _, meta = read_checkpoint(path)
+        assert meta["epochs"] == 10
+        assert meta["augmix"] is True
+
+    def test_buffers_included(self, tmp_path, rng):
+        source = build_model("wrn40_2", "tiny")
+        source.train()
+        with no_grad():
+            source(Tensor(rng.standard_normal((8, 3, 16, 16))
+                          .astype(np.float32)))
+        path = tmp_path / "model.npz"
+        save_checkpoint(source, path)
+        state, _ = read_checkpoint(path)
+        running = [k for k in state if "running_mean" in k]
+        assert running
+        assert any(np.abs(state[k]).sum() > 0 for k in running)
+
+    def test_loaded_model_in_eval_mode(self, tmp_path):
+        source = build_model("wrn40_2", "tiny")
+        path = tmp_path / "model.npz"
+        save_checkpoint(source, path, model_name="wrn40_2", profile="tiny")
+        model = load_checkpoint(path)
+        assert not model.training

@@ -1,0 +1,80 @@
+"""Model-summary machinery: tracing, aggregation, caching, flavors."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model, summarize
+from repro.models.summary import ModelSummary, _SUMMARY_CACHE
+from repro.tensor import Tensor
+
+
+class TestSummaryAggregates:
+    def test_total_params_matches_model(self):
+        model = build_model("wrn40_2", "tiny")
+        summary = summarize(model, name="tiny-wrn")
+        assert summary.total_params == model.num_parameters()
+
+    def test_flavor_split_sums_to_conv_macs(self, full_summaries):
+        for summary in full_summaries.values():
+            split = summary.macs_by_flavor()
+            assert sum(split.values()) == pytest.approx(summary.conv_macs)
+
+    def test_resnext_has_grouped_macs(self, full_summaries):
+        assert full_summaries["resnext29"].macs_by_flavor()["grouped"] > 0
+        assert full_summaries["wrn40_2"].macs_by_flavor()["grouped"] == 0
+
+    def test_mobilenet_has_depthwise_macs(self, full_summaries):
+        assert full_summaries["mobilenet_v2"].macs_by_flavor()["depthwise"] > 0
+
+    def test_bn_elements_positive_and_ordering(self, full_summaries):
+        # ResNeXt's BN layers see by far the most elements — the root of
+        # its adaptation cost in the paper.
+        elems = {n: s.bn_elements for n, s in full_summaries.items()}
+        assert elems["resnext29"] > 3 * elems["wrn40_2"]
+
+    def test_saved_activations_exceed_peak(self, full_summaries):
+        for summary in full_summaries.values():
+            assert summary.saved_activation_elements > summary.peak_activation_elements
+
+    def test_describe_mentions_counts(self, full_summaries):
+        text = full_summaries["wrn40_2"].describe()
+        assert "GMACs" in text and "5408 BN params" in text
+
+    def test_weight_bytes(self, full_summaries):
+        s = full_summaries["resnet18"]
+        assert s.weight_bytes() == s.total_params * 4
+
+
+class TestSummaryMechanics:
+    def test_cache_returns_same_object(self):
+        model = build_model("resnet18", "tiny")
+        first = summarize(model)
+        second = summarize(model)
+        assert first is second
+
+    def test_different_input_shape_not_cached_together(self):
+        model = build_model("resnet18", "tiny")
+        a = summarize(model, input_shape=(3, 32, 32))
+        b = summarize(model, input_shape=(3, 16, 16))
+        assert a is not b
+        assert a.total_macs > b.total_macs
+
+    def test_summary_restores_training_mode(self):
+        model = build_model("wrn40_2", "tiny")
+        model.train()
+        summarize(model, input_shape=(3, 8, 8))
+        assert model.training
+
+    def test_macs_scale_with_resolution(self):
+        model = build_model("wrn40_2", "tiny")
+        small = summarize(model, input_shape=(3, 16, 16))
+        large = summarize(model, input_shape=(3, 32, 32))
+        assert large.total_macs == pytest.approx(4 * small.total_macs, rel=0.05)
+
+    def test_layer_kinds_present(self, full_summaries):
+        kinds = {layer.kind for layer in full_summaries["resnet18"].layers}
+        assert {"conv", "bn", "act", "pool", "linear"} <= kinds
+
+    def test_bn_layer_count_wrn(self, full_summaries):
+        assert full_summaries["wrn40_2"].bn_layer_count() == 37

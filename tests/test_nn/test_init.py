@@ -1,0 +1,62 @@
+"""Weight initializers: statistics, shapes, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestKaiming:
+    def test_std_matches_fan_in(self):
+        init.seed(0)
+        weight = init.kaiming_normal((256, 128, 3, 3))
+        expected_std = np.sqrt(2.0 / (128 * 9))
+        assert weight.std() == pytest.approx(expected_std, rel=0.05)
+
+    def test_linear_fan_in(self):
+        init.seed(0)
+        weight = init.kaiming_normal((64, 512))
+        assert weight.std() == pytest.approx(np.sqrt(2.0 / 512), rel=0.1)
+
+    def test_dtype_float32(self):
+        assert init.kaiming_normal((4, 4)).dtype == np.float32
+
+    def test_unsupported_shape_raises(self):
+        with pytest.raises(ValueError):
+            init.kaiming_normal((4,))
+
+    def test_seeding_reproducible(self):
+        init.seed(42)
+        a = init.kaiming_normal((8, 8))
+        init.seed(42)
+        b = init.kaiming_normal((8, 8))
+        np.testing.assert_array_equal(a, b)
+
+    def test_mean_near_zero(self):
+        init.seed(1)
+        weight = init.kaiming_normal((128, 128))
+        assert abs(weight.mean()) < 0.01
+
+
+class TestXavier:
+    def test_bounds(self):
+        init.seed(0)
+        weight = init.xavier_uniform((64, 64))
+        limit = np.sqrt(6.0 / 128)
+        assert np.abs(weight).max() <= limit + 1e-7
+
+    def test_conv_shape(self):
+        init.seed(0)
+        weight = init.xavier_uniform((16, 8, 3, 3))
+        assert weight.shape == (16, 8, 3, 3)
+
+
+class TestUniformFanIn:
+    def test_bound(self):
+        init.seed(0)
+        bias = init.uniform_fan_in((100,), fan_in=25)
+        assert np.abs(bias).max() <= 0.2 + 1e-7
+
+    def test_zero_fan_in(self):
+        bias = init.uniform_fan_in((4,), fan_in=0)
+        np.testing.assert_array_equal(bias, 0.0)

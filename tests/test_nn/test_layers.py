@@ -1,0 +1,121 @@
+"""Layer semantics: Conv2d, Linear, BatchNorm2d, activations, pooling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        out = conv(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_no_bias(self):
+        conv = nn.Conv2d(3, 4, 3, bias=False)
+        assert conv.bias is None
+        assert [n for n, _ in conv.named_parameters()] == ["weight"]
+
+    def test_grouped_weight_shape(self):
+        conv = nn.Conv2d(8, 16, 3, groups=4)
+        assert conv.weight.shape == (16, 2, 3, 3)
+
+    def test_repr(self):
+        assert "groups=2" in repr(nn.Conv2d(4, 4, 3, groups=2))
+
+
+class TestLinear:
+    def test_matches_manual(self, rng):
+        lin = nn.Linear(5, 3)
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        expected = x @ lin.weight.data.T + lin.bias.data
+        np.testing.assert_allclose(lin(Tensor(x)).data, expected, rtol=1e-5)
+
+    def test_no_bias(self, rng):
+        lin = nn.Linear(5, 3, bias=False)
+        assert lin.bias is None
+        x = rng.standard_normal((2, 5)).astype(np.float32)
+        np.testing.assert_allclose(lin(Tensor(x)).data, x @ lin.weight.data.T,
+                                   rtol=1e-5)
+
+
+class TestBatchNorm2d:
+    def test_train_mode_updates_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.1)
+        x = rng.standard_normal((16, 2, 4, 4)) + 3.0
+        bn(Tensor(x))
+        # after one batch with momentum 0.1: mean buffer = 0.9*0 + 0.1*batch
+        np.testing.assert_allclose(bn.running_mean,
+                                   0.1 * x.mean(axis=(0, 2, 3)), rtol=1e-4)
+        assert bn.batches_tracked == 1
+
+    def test_eval_mode_does_not_update(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(rng.standard_normal((4, 2, 3, 3)) + 5))
+        np.testing.assert_allclose(bn.running_mean, before)
+        assert bn.batches_tracked == 0
+
+    def test_momentum_one_tracks_last_batch(self, rng):
+        bn = nn.BatchNorm2d(3, momentum=1.0)
+        x = rng.standard_normal((8, 3, 4, 4)) * 2 + 1
+        bn(Tensor(x))
+        np.testing.assert_allclose(bn.running_mean, x.mean(axis=(0, 2, 3)),
+                                   rtol=1e-4)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(1, momentum=1.0)
+        calibration = rng.standard_normal((32, 1, 4, 4)) * 3 + 2
+        bn(Tensor(calibration))
+        bn.eval()
+        out = bn(Tensor(calibration)).data
+        assert abs(out.mean()) < 0.05
+        assert abs(out.std() - 1.0) < 0.05
+
+    def test_reset_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn(Tensor(rng.standard_normal((4, 2, 3, 3)) + 9))
+        bn.reset_running_stats()
+        np.testing.assert_allclose(bn.running_mean, 0.0)
+        np.testing.assert_allclose(bn.running_var, 1.0)
+        assert bn.batches_tracked == 0
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(2)(Tensor(np.zeros((2, 2))))
+
+    def test_wrong_channels_raises(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(2)(Tensor(np.zeros((1, 3, 4, 4))))
+
+
+class TestActivationsAndPooling:
+    def test_relu(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_relu6_clips(self):
+        out = nn.ReLU6()(Tensor(np.array([-1.0, 3.0, 9.0])))
+        np.testing.assert_allclose(out.data, [0.0, 3.0, 6.0])
+
+    def test_identity(self, rng):
+        x = Tensor(rng.standard_normal(4))
+        assert nn.Identity()(x) is x
+
+    def test_flatten(self):
+        assert nn.Flatten()(Tensor(np.zeros((2, 3, 4)))).shape == (2, 12)
+
+    def test_max_pool_layer(self, rng):
+        out = nn.MaxPool2d(2)(Tensor(rng.standard_normal((1, 2, 4, 4))))
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_avg_pool_layer(self, rng):
+        out = nn.AvgPool2d(2, stride=2)(Tensor(rng.standard_normal((1, 2, 6, 6))))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_global_avg_pool_layer(self, rng):
+        out = nn.GlobalAvgPool2d()(Tensor(rng.standard_normal((2, 5, 3, 3))))
+        assert out.shape == (2, 5)

@@ -1,0 +1,147 @@
+"""Module system: registration, traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import trace_calls
+from repro.tensor import Tensor
+
+
+def small_net():
+    return nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+
+
+class TestRegistration:
+    def test_parameters_registered_in_order(self):
+        net = small_net()
+        names = [name for name, _ in net.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+
+    def test_num_parameters(self):
+        net = small_net()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_buffers_registered(self):
+        bn = nn.BatchNorm2d(3)
+        names = dict(bn.named_buffers())
+        assert set(names) == {"running_mean", "running_var"}
+
+    def test_set_buffer_unknown_raises(self):
+        bn = nn.BatchNorm2d(3)
+        with pytest.raises(KeyError):
+            bn.set_buffer("nope", np.zeros(3))
+
+    def test_named_modules_includes_nested(self):
+        net = nn.Sequential(nn.Sequential(nn.ReLU()))
+        names = [name for name, _ in net.named_modules()]
+        assert names == ["", "0", "0.0"]
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        net = nn.Sequential(nn.BatchNorm2d(2), nn.Sequential(nn.BatchNorm2d(2)))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_requires_grad_toggle(self):
+        net = small_net()
+        net.requires_grad_(False)
+        assert all(not p.requires_grad for p in net.parameters())
+        net.requires_grad_(True)
+        assert all(p.requires_grad for p in net.parameters())
+
+    def test_zero_grad(self, rng):
+        net = small_net()
+        out = net(Tensor(rng.standard_normal((3, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        net1, net2 = small_net(), small_net()
+        net2.load_state_dict(net1.state_dict())
+        x = rng.standard_normal((2, 4))
+        np.testing.assert_allclose(net1(Tensor(x)).data, net2(Tensor(x)).data)
+
+    def test_state_dict_copies(self):
+        net = small_net()
+        state = net.state_dict()
+        state["0.weight"][:] = 0.0
+        assert not np.allclose(next(net.parameters()).data, 0.0)
+
+    def test_missing_key_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        del state["0.bias"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        state["0.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_buffers_roundtrip(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn(Tensor(rng.standard_normal((4, 2, 3, 3))))  # update running stats
+        snapshot = bn.state_dict()
+        bn.reset_running_stats()
+        bn.load_state_dict(snapshot)
+        np.testing.assert_allclose(bn.running_mean, snapshot["running_mean"])
+
+
+class TestSequential:
+    def test_iteration_and_indexing(self):
+        relu = nn.ReLU()
+        net = nn.Sequential(nn.Linear(2, 2), relu)
+        assert len(net) == 2
+        assert net[1] is relu
+        assert list(net)[1] is relu
+
+    def test_append(self):
+        net = nn.Sequential(nn.Linear(2, 3))
+        net.append(nn.Linear(3, 4))
+        out = net(Tensor(np.zeros((1, 2))))
+        assert out.shape == (1, 4)
+
+
+class TestTraceCalls:
+    def test_records_leaf_calls_only(self, rng):
+        net = nn.Sequential(nn.Linear(4, 4), nn.ReLU())
+        with trace_calls() as records:
+            net(Tensor(rng.standard_normal((2, 4))))
+        kinds = [type(r.module).__name__ for r in records]
+        assert kinds == ["Linear", "ReLU"]
+        assert all(r.duration_s >= 0 for r in records)
+
+    def test_no_recording_outside_context(self, rng):
+        net = nn.Sequential(nn.Linear(4, 4))
+        with trace_calls() as records:
+            pass
+        net(Tensor(rng.standard_normal((1, 4))))
+        assert records == []
+
+    def test_nested_traces_are_independent(self, rng):
+        net = nn.Linear(2, 2)
+        x = Tensor(rng.standard_normal((1, 2)))
+        with trace_calls() as outer:
+            net(x)
+            with trace_calls() as inner:
+                net(x)
+        assert len(inner) == 1
+        assert len(outer) == 1

@@ -1,0 +1,100 @@
+"""Optimizer math: SGD (momentum, weight decay) and Adam vs manual updates."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+def param(values):
+    p = Parameter(np.asarray(values, dtype=np.float32))
+    return p
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5], dtype=np.float32)
+        nn.SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05], rtol=1e-6)
+
+    def test_skips_none_grad(self):
+        p = param([1.0])
+        nn.SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_weight_decay(self):
+        p = param([2.0])
+        p.grad = np.array([0.0], dtype=np.float32)
+        nn.SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0], rtol=1e-6)
+
+    def test_momentum_accumulates(self):
+        p = param([0.0])
+        opt = nn.SGD([p], lr=1.0, momentum=0.9)
+        for _ in range(2):
+            p.grad = np.array([1.0], dtype=np.float32)
+            opt.step()
+        # v1 = 1, x = -1; v2 = 0.9 + 1 = 1.9, x = -2.9
+        np.testing.assert_allclose(p.data, [-2.9], rtol=1e-6)
+
+    def test_state_bytes(self):
+        p = param(np.zeros(10))
+        assert nn.SGD([p], lr=0.1).state_bytes() == 0
+        assert nn.SGD([p], lr=0.1, momentum=0.9).state_bytes() == 40
+
+    def test_zero_grad(self):
+        p = param([1.0])
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt = nn.SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_matches_manual(self):
+        p = param([1.0])
+        grad = np.array([0.3], dtype=np.float32)
+        p.grad = grad
+        opt = nn.Adam([p], lr=0.01, betas=(0.9, 0.999), eps=1e-8)
+        opt.step()
+        m_hat = grad  # m/(1-b1) after one step
+        v_hat = grad ** 2
+        expected = 1.0 - 0.01 * m_hat / (np.sqrt(v_hat) + 1e-8)
+        np.testing.assert_allclose(p.data, expected, rtol=1e-5)
+
+    def test_constant_gradient_converges_to_lr_step(self):
+        # With a constant gradient, Adam's effective step approaches lr.
+        p = param([0.0])
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(50):
+            p.grad = np.array([2.0], dtype=np.float32)
+            opt.step()
+        steps = -p.data[0] / 50
+        assert 0.08 < steps < 0.11
+
+    def test_weight_decay_applied(self):
+        p = param([5.0])
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt = nn.Adam([p], lr=0.1, weight_decay=1.0)
+        opt.step()
+        assert p.data[0] < 5.0
+
+    def test_state_bytes_two_moments(self):
+        p = param(np.zeros(10))
+        assert nn.Adam([p]).state_bytes() == 80
+
+    def test_optimizes_quadratic(self):
+        p = param([4.0])
+        opt = nn.Adam([p], lr=0.3)
+        for _ in range(200):
+            t = Tensor(p.data)
+            p.grad = 2.0 * p.data  # d/dx x^2
+            opt.step()
+        assert abs(p.data[0]) < 0.05

@@ -1,0 +1,84 @@
+"""Property-based tests for layers and optimizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+@given(st.integers(1, 4), st.integers(1, 8), st.integers(1, 8),
+       st.integers(1, 3), st.integers(1, 3), st.integers(0, 2),
+       st.integers(5, 12))
+@settings(max_examples=50, deadline=None)
+def test_conv_output_shape_formula(batch, cin, cout, kernel, stride,
+                                   padding, size):
+    """Output spatial size always matches floor((H + 2p - k)/s) + 1."""
+    if size + 2 * padding < kernel:
+        return
+    conv = nn.Conv2d(cin, cout, kernel, stride=stride, padding=padding)
+    x = Tensor(np.zeros((batch, cin, size, size), dtype=np.float32))
+    out = conv(x)
+    expected = (size + 2 * padding - kernel) // stride + 1
+    assert out.shape == (batch, cout, expected, expected)
+
+
+@given(st.integers(2, 16), st.integers(1, 4), st.integers(2, 6))
+@settings(max_examples=40, deadline=None)
+def test_bn_train_output_statistics(batch, channels, size):
+    """In train mode with identity affine, per-channel output is ~N(0,1)
+    whenever the input varies."""
+    rng = np.random.default_rng(batch * 100 + channels)
+    bn = nn.BatchNorm2d(channels)
+    x = rng.standard_normal((batch, channels, size, size)) * 3 + 1
+    out = bn(Tensor(x.astype(np.float32))).data
+    np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-3)
+    np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=0.05)
+
+
+@given(st.floats(0.01, 0.5), st.integers(1, 10))
+@settings(max_examples=30, deadline=None)
+def test_bn_running_mean_ema_converges(momentum, batches):
+    """Feeding a constant-statistics stream drives the running mean
+    toward the batch mean geometrically at rate (1 - momentum)."""
+    bn = nn.BatchNorm2d(1, momentum=momentum)
+    rng = np.random.default_rng(0)
+    base = rng.standard_normal((64, 1, 4, 4)).astype(np.float32) + 5.0
+    batch_mean = float(base.mean())
+    for _ in range(batches):
+        bn(Tensor(base))
+    expected = batch_mean * (1 - (1 - momentum) ** batches)
+    assert bn.running_mean[0] == pytest.approx(expected, rel=0.02)
+
+
+@given(st.floats(0.001, 0.5), st.integers(1, 50))
+@settings(max_examples=30, deadline=None)
+def test_sgd_descends_quadratic(lr, steps):
+    """Plain SGD on f(x) = x^2/2 never increases |x| for lr < 1."""
+    p = Parameter(np.array([10.0], dtype=np.float32))
+    opt = nn.SGD([p], lr=lr)
+    previous = abs(float(p.data[0]))
+    for _ in range(steps):
+        p.grad = p.data.copy()   # grad of x^2/2
+        opt.step()
+        current = abs(float(p.data[0]))
+        assert current <= previous + 1e-6
+        previous = current
+
+
+@given(st.integers(1, 60))
+@settings(max_examples=20, deadline=None)
+def test_adam_step_norm_bounded_by_lr(steps):
+    """Adam's per-step displacement is bounded by ~lr (trust-region-like
+    property of the update rule)."""
+    p = Parameter(np.array([5.0], dtype=np.float32))
+    opt = nn.Adam([p], lr=0.1)
+    rng = np.random.default_rng(0)
+    for _ in range(steps):
+        before = float(p.data[0])
+        p.grad = np.array([rng.standard_normal() * 10], dtype=np.float32)
+        opt.step()
+        assert abs(float(p.data[0]) - before) <= 0.1 * 1.2 + 1e-6

@@ -1,0 +1,143 @@
+"""Simulated profiler breakdowns: the claims of Figures 4, 7, and 10."""
+
+import pytest
+
+from repro.devices import device_info
+from repro.profiling import ProfilerOOM, breakdown_for, breakdown_table, format_breakdown
+
+
+class TestFig4Ultra96:
+    """Fig. 4: Ultra96-v2, batch 50, WRN + R18 (RXT unprofilable)."""
+
+    def test_conv_fw_same_across_methods(self, full_summaries):
+        device = device_info("ultra96")
+        rows = {m: breakdown_for(full_summaries["wrn40_2"], device, m)
+                for m in ("no_adapt", "bn_norm", "bn_opt")}
+        assert rows["bn_norm"].conv_fw_s == pytest.approx(rows["no_adapt"].conv_fw_s)
+        assert rows["bn_opt"].conv_fw_s == pytest.approx(rows["no_adapt"].conv_fw_s)
+
+    def test_bn_fw_ratio_wrn_about_3_7x(self, full_summaries):
+        device = device_info("ultra96")
+        base = breakdown_for(full_summaries["wrn40_2"], device, "no_adapt")
+        adapted = breakdown_for(full_summaries["wrn40_2"], device, "bn_norm")
+        assert adapted.bn_fw_s / base.bn_fw_s == pytest.approx(3.68, rel=0.1)
+
+    def test_bn_fw_ratio_r18_about_4_7x(self, full_summaries):
+        device = device_info("ultra96")
+        base = breakdown_for(full_summaries["resnet18"], device, "no_adapt")
+        adapted = breakdown_for(full_summaries["resnet18"], device, "bn_norm")
+        assert adapted.bn_fw_s / base.bn_fw_s == pytest.approx(4.71, rel=0.1)
+
+    def test_conv_bw_ratio_at_most_2_51x(self, full_summaries):
+        device = device_info("ultra96")
+        for model in ("wrn40_2", "resnet18"):
+            row = breakdown_for(full_summaries[model], device, "bn_opt")
+            assert row.conv_bw_s / row.conv_fw_s <= 2.51 + 1e-6
+
+    def test_bn_bw_ratio_at_most_2_78x(self, full_summaries):
+        device = device_info("ultra96")
+        row = breakdown_for(full_summaries["wrn40_2"], device, "bn_opt")
+        assert row.bn_bw_s / row.bn_fw_s <= 2.78 + 1e-6
+
+    def test_no_backward_for_noadapt_and_bnnorm(self, full_summaries):
+        device = device_info("ultra96")
+        for method in ("no_adapt", "bn_norm"):
+            row = breakdown_for(full_summaries["wrn40_2"], device, method)
+            assert row.conv_bw_s == 0.0 and row.bn_bw_s == 0.0
+
+    def test_rxt_profiling_ooms(self, full_summaries):
+        device = device_info("ultra96")
+        with pytest.raises(ProfilerOOM):
+            breakdown_for(full_summaries["resnext29"], device, "bn_opt")
+
+    def test_table_skips_oom_rows(self, full_summaries):
+        device = device_info("ultra96")
+        rows = breakdown_table([full_summaries["wrn40_2"],
+                                full_summaries["resnet18"],
+                                full_summaries["resnext29"]], device)
+        models_with_bnopt = {r.model for r in rows if r.method == "bn_opt"}
+        assert "resnext29" not in models_with_bnopt
+        assert {"wrn40_2", "resnet18"} <= models_with_bnopt
+
+
+class TestFig7RPi:
+    def test_bn_fw_ratio_up_to_4_6x(self, full_summaries):
+        device = device_info("rpi4")
+        ratios = []
+        for model in ("wrn40_2", "resnet18", "resnext29"):
+            base = breakdown_for(full_summaries[model], device, "no_adapt")
+            adapted = breakdown_for(full_summaries[model], device, "bn_norm")
+            ratios.append(adapted.bn_fw_s / base.bn_fw_s)
+        assert max(ratios) <= 4.6 + 0.5
+        assert max(ratios) > 2.0
+
+    def test_all_three_models_profile_on_rpi(self, full_summaries):
+        device = device_info("rpi4")
+        rows = breakdown_table([full_summaries[m] for m in
+                                ("wrn40_2", "resnet18", "resnext29")], device)
+        assert len(rows) == 9
+
+
+class TestFig10Xavier:
+    def test_gpu_conv_bw_ratio_2_2x(self, full_summaries):
+        device = device_info("xavier_nx_gpu")
+        row = breakdown_for(full_summaries["wrn40_2"], device, "bn_opt")
+        assert row.conv_bw_s / row.conv_fw_s == pytest.approx(2.2, rel=0.01)
+
+    def test_cpu_conv_bw_ratio_2_5x(self, full_summaries):
+        device = device_info("xavier_nx_cpu")
+        row = breakdown_for(full_summaries["wrn40_2"], device, "bn_opt")
+        assert row.conv_bw_s / row.conv_fw_s == pytest.approx(2.5, rel=0.01)
+
+    def test_rxt_bn_fw_worse_on_gpu_than_cpu(self, full_summaries):
+        """Fig. 10's surprise: the BN forward (with stat recompute) of
+        ResNeXt is slower on the Volta than on the Carmel CPU."""
+        gpu = breakdown_for(full_summaries["resnext29"],
+                            device_info("xavier_nx_gpu"), "bn_norm")
+        cpu = breakdown_for(full_summaries["resnext29"],
+                            device_info("xavier_nx_cpu"), "bn_norm")
+        assert gpu.bn_fw_s > cpu.bn_fw_s
+
+    def test_but_overall_gpu_still_wins(self, full_summaries):
+        gpu = breakdown_for(full_summaries["resnext29"],
+                            device_info("xavier_nx_gpu"), "bn_norm")
+        cpu = breakdown_for(full_summaries["resnext29"],
+                            device_info("xavier_nx_cpu"), "bn_norm")
+        assert gpu.total_s < cpu.total_s
+
+
+class TestRendering:
+    def test_format_contains_all_rows(self, full_summaries):
+        rows = breakdown_table([full_summaries["wrn40_2"]],
+                               device_info("rpi4"))
+        text = format_breakdown(rows, title="Fig. 7")
+        assert "Fig. 7" in text
+        assert text.count("wrn40_2") == 3
+
+    def test_unknown_method_raises(self, full_summaries):
+        with pytest.raises(KeyError):
+            breakdown_for(full_summaries["wrn40_2"], device_info("rpi4"),
+                          "bn_magic")
+
+
+class TestConsistencyWithCostModel:
+    """The profiler's decomposition must sum to the latency model's
+    total for every configuration — same model, two views."""
+
+    @pytest.mark.parametrize("device_name", ["ultra96", "rpi4",
+                                             "xavier_nx_cpu",
+                                             "xavier_nx_gpu"])
+    @pytest.mark.parametrize("method", ["no_adapt", "bn_norm", "bn_opt"])
+    def test_totals_agree(self, full_summaries, device_name, method):
+        from repro.devices.cost_model import forward_latency
+        device = device_info(device_name)
+        summary = full_summaries["wrn40_2"]
+        row = breakdown_for(summary, device, method, batch_size=50,
+                            check_profiler_memory=False)
+        flags = {"no_adapt": (False, False), "bn_norm": (True, False),
+                 "bn_opt": (True, True)}[method]
+        latency = forward_latency(summary, 50, device,
+                                  adapts_bn_stats=flags[0],
+                                  does_backward=flags[1])
+        assert row.total_s == pytest.approx(latency.forward_time_s,
+                                            rel=1e-9)

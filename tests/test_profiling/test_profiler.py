@@ -1,0 +1,50 @@
+"""Native wall-clock profiler on real numpy executions."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.profiling import profile_native
+from repro.tensor import functional as F
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    model = build_model("wrn40_2", "tiny")
+    model.train()
+    return model
+
+
+@pytest.fixture(scope="module")
+def batch(rng=None):
+    return np.random.default_rng(0).standard_normal((8, 3, 16, 16)).astype(np.float32)
+
+
+class TestNativeProfile:
+    def test_records_forward_kinds(self, tiny_model, batch):
+        profile = profile_native(tiny_model, batch)
+        assert profile.conv_fw_s > 0
+        assert profile.bn_fw_s > 0
+        assert "act" in profile.forward_s_by_kind
+
+    def test_kind_times_bounded_by_total(self, tiny_model, batch):
+        profile = profile_native(tiny_model, batch)
+        assert sum(profile.forward_s_by_kind.values()) <= profile.total_forward_s + 0.05
+
+    def test_backward_timed_when_loss_given(self, tiny_model, batch):
+        profile = profile_native(tiny_model, batch, loss_fn=F.entropy_loss)
+        assert profile.backward_s > 0
+
+    def test_no_backward_without_loss(self, tiny_model, batch):
+        profile = profile_native(tiny_model, batch)
+        assert profile.backward_s == 0.0
+
+    def test_conv_dominates_forward(self, tiny_model, batch):
+        """Same qualitative shape as the simulated breakdowns: convolution
+        is the largest forward component."""
+        profile = profile_native(tiny_model, batch)
+        assert profile.conv_fw_s >= profile.bn_fw_s
+
+    def test_describe(self, tiny_model, batch):
+        text = profile_native(tiny_model, batch).describe()
+        assert "conv=" in text and "backward=" in text

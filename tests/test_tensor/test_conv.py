@@ -1,0 +1,98 @@
+"""Convolution/pooling semantics against naive reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor import conv as C
+
+
+def naive_conv2d(x, w, b=None, stride=1, padding=0, groups=1):
+    """Direct 6-loop convolution used as a ground-truth oracle."""
+    n, c, h, wdt = x.shape
+    co, cig, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    ho = (h + 2 * padding - kh) // stride + 1
+    wo = (wdt + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, co, ho, wo))
+    cog = co // groups
+    for img in range(n):
+        for oc in range(co):
+            g = oc // cog
+            for y in range(ho):
+                for xo in range(wo):
+                    patch = xp[img, g * cig:(g + 1) * cig,
+                               y * stride:y * stride + kh,
+                               xo * stride:xo * stride + kw]
+                    out[img, oc, y, xo] = (patch * w[oc]).sum()
+    if b is not None:
+        out += b.reshape(1, co, 1, 1)
+    return out
+
+
+class TestConvCorrectness:
+    @pytest.mark.parametrize("stride,padding,groups,channels,out_channels", [
+        (1, 0, 1, 3, 5),
+        (2, 1, 1, 4, 6),
+        (1, 1, 2, 4, 6),
+        (2, 2, 1, 2, 3),
+        (1, 0, 4, 4, 8),
+        (1, 1, 6, 6, 6),   # depthwise
+    ])
+    def test_matches_naive(self, rng, stride, padding, groups, channels,
+                           out_channels):
+        x = rng.standard_normal((2, channels, 7, 7))
+        w = rng.standard_normal((out_channels, channels // groups, 3, 3))
+        b = rng.standard_normal(out_channels)
+        ours = C.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride,
+                        padding=padding, groups=groups).data
+        reference = naive_conv2d(x, w, b, stride, padding, groups)
+        np.testing.assert_allclose(ours, reference, rtol=1e-5, atol=1e-7)
+
+    def test_rectangular_kernel(self, rng):
+        x = rng.standard_normal((1, 2, 6, 8))
+        w = rng.standard_normal((3, 2, 1, 3))
+        ours = C.conv2d(Tensor(x), Tensor(w), None, padding=0).data
+        assert ours.shape == (1, 3, 6, 6)
+
+    def test_1x1_conv_is_channel_matmul(self, rng):
+        x = rng.standard_normal((2, 4, 5, 5))
+        w = rng.standard_normal((6, 4, 1, 1))
+        ours = C.conv2d(Tensor(x), Tensor(w), None).data
+        reference = np.einsum("oc,nchw->nohw", w[:, :, 0, 0], x)
+        np.testing.assert_allclose(ours, reference, rtol=1e-5)
+
+    def test_channel_group_mismatch_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 4, 4)))
+        w = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            C.conv2d(x, w, None, groups=2)
+
+    def test_wrong_weight_in_channels_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 4, 4, 4)))
+        w = Tensor(rng.standard_normal((4, 3, 3, 3)))
+        with pytest.raises(ValueError):
+            C.conv2d(x, w, None)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = C.max_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_max_pool_with_stride(self, rng):
+        x = rng.standard_normal((1, 1, 6, 6))
+        out = C.max_pool2d(Tensor(x), 2, stride=1).data
+        assert out.shape == (1, 1, 5, 5)
+        assert out[0, 0, 0, 0] == x[0, 0, :2, :2].max()
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = C.avg_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((3, 4, 5, 5))
+        np.testing.assert_allclose(C.global_avg_pool2d(Tensor(x)).data,
+                                   x.mean(axis=(2, 3)), rtol=1e-5)

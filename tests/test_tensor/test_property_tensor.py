@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) for the autograd engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False, width=32)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return arrays(np.float64,
+                  array_shapes(min_dims=1, max_dims=max_dims,
+                               min_side=1, max_side=max_side),
+                  elements=finite_floats)
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_add_commutative(a):
+    x, y = Tensor(a), Tensor(a[::-1].copy())
+    np.testing.assert_allclose((x + y).data, (y + x).data)
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_mul_by_one_identity(a):
+    np.testing.assert_allclose((Tensor(a) * 1.0).data, a)
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_relu_idempotent_and_nonnegative(a):
+    once = Tensor(a).relu()
+    twice = once.relu()
+    assert (once.data >= 0).all()
+    np.testing.assert_allclose(once.data, twice.data)
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_sum_grad_is_ones(a):
+    t = Tensor(a, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(a))
+
+
+@given(small_arrays(max_dims=2))
+@settings(max_examples=40, deadline=None)
+def test_reshape_preserves_sum_and_grad_shape(a):
+    t = Tensor(a, requires_grad=True)
+    flat = t.reshape(-1)
+    assert flat.data.sum() == float(np.sum(a)) or np.isclose(flat.data.sum(), a.sum())
+    flat.sum().backward()
+    assert t.grad.shape == a.shape
+
+
+@given(arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(2, 8)),
+              elements=finite_floats))
+@settings(max_examples=40, deadline=None)
+def test_softmax_is_distribution(logits):
+    p = F.softmax(Tensor(logits)).data
+    assert (p >= 0).all()
+    np.testing.assert_allclose(p.sum(axis=-1), 1.0, atol=1e-6)
+
+
+@given(arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(2, 8)),
+              elements=finite_floats))
+@settings(max_examples=40, deadline=None)
+def test_entropy_bounds(logits):
+    num_classes = logits.shape[-1]
+    h = F.entropy_loss(Tensor(logits)).item()
+    assert -1e-6 <= h <= np.log(num_classes) + 1e-6
+
+
+@given(arrays(np.float64, st.tuples(st.integers(2, 6), st.integers(1, 3),
+                                    st.integers(2, 4), st.integers(2, 4)),
+              elements=finite_floats))
+@settings(max_examples=30, deadline=None)
+def test_batch_norm_standardizes_any_batch(x):
+    channels = x.shape[1]
+    # skip degenerate constant channels (zero variance)
+    if np.any(x.var(axis=(0, 2, 3)) < 1e-8):
+        return
+    out, _, _ = F.batch_norm_train(Tensor(x), Tensor(np.ones(channels)),
+                                   Tensor(np.zeros(channels)))
+    np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+
+
+@given(small_arrays(max_dims=2), finite_floats)
+@settings(max_examples=40, deadline=None)
+def test_linearity_of_gradient(a, scale):
+    t1 = Tensor(a, requires_grad=True)
+    (t1.sum() * float(scale)).backward()
+    t2 = Tensor(a, requires_grad=True)
+    t2.sum().backward()
+    np.testing.assert_allclose(t1.grad, np.asarray(t2.grad) * np.float64(scale),
+                               rtol=1e-5, atol=1e-6)

@@ -1,0 +1,213 @@
+"""Unit tests for basic Tensor arithmetic, shapes, and graph mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.tensor import concatenate, tensor
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert not t.requires_grad
+
+    def test_int_data_becomes_float(self):
+        t = Tensor(np.arange(4))
+        assert t.dtype.kind == "f"
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor(np.ones(3))
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_tensor_helper_dtype(self):
+        t = tensor([1, 2], dtype=np.float64)
+        assert t.dtype == np.float64
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor(np.ones(2), requires_grad=True))
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+
+class TestArithmetic:
+    def test_add(self, rng):
+        a, b = rng.standard_normal(5), rng.standard_normal(5)
+        out = Tensor(a) + Tensor(b)
+        np.testing.assert_allclose(out.data, a + b)
+
+    def test_add_scalar_and_radd(self):
+        out = 2.0 + Tensor(np.ones(3))
+        np.testing.assert_allclose(out.data, 3.0)
+
+    def test_sub_and_rsub(self):
+        t = Tensor(np.full(3, 2.0))
+        np.testing.assert_allclose((t - 1.0).data, 1.0)
+        np.testing.assert_allclose((5.0 - t).data, 3.0)
+
+    def test_mul_div(self, rng):
+        a, b = rng.standard_normal(4) + 3, rng.standard_normal(4) + 3
+        np.testing.assert_allclose((Tensor(a) * Tensor(b)).data, a * b)
+        np.testing.assert_allclose((Tensor(a) / Tensor(b)).data, a / b, rtol=1e-6)
+
+    def test_pow(self):
+        t = Tensor(np.array([2.0, 3.0]))
+        np.testing.assert_allclose((t ** 2).data, [4.0, 9.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor(np.ones(2))).data, -1.0)
+
+    def test_broadcasting_add_grad_unbroadcasts(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, 3.0)
+
+    def test_matmul(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b, rtol=1e-6)
+
+
+class TestShapes:
+    def test_reshape_roundtrip_grad(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_reshape_accepts_tuple(self):
+        assert Tensor(np.zeros(6)).reshape((2, 3)).shape == (2, 3)
+
+    def test_transpose_default_reverses(self):
+        assert Tensor(np.zeros((2, 3, 4))).transpose().shape == (4, 3, 2)
+
+    def test_transpose_axes_grad(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        (a.transpose(1, 0) * Tensor(rng.standard_normal((3, 2)))).sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_flatten(self):
+        assert Tensor(np.zeros((2, 3, 4))).flatten().shape == (2, 12)
+
+    def test_getitem_grad_scatters(self):
+        a = Tensor(np.arange(5.0), requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0, 0.0, 0.0])
+
+    def test_pad2d(self):
+        a = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        padded = a.pad2d((1, 2))
+        assert padded.shape == (1, 1, 4, 6)
+        padded.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((1, 1, 2, 2)))
+
+    def test_pad2d_zero_is_identity(self):
+        a = Tensor(np.ones((1, 1, 2, 2)))
+        assert a.pad2d((0, 0)) is a
+
+    def test_concatenate_grad_routes_to_parts(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 2.0)
+        np.testing.assert_allclose(b.grad, 2.0)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self, rng):
+        a = rng.standard_normal((3, 4))
+        out = Tensor(a).sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(out.data, a.sum(axis=1, keepdims=True), rtol=1e-6)
+
+    def test_mean_matches_numpy(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        np.testing.assert_allclose(Tensor(a).mean(axis=(0, 2)).data,
+                                   a.mean(axis=(0, 2)), rtol=1e-5)
+
+    def test_max_grad_goes_to_argmax(self):
+        a = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5])
+
+
+class TestGraphMechanics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(1)).backward()
+
+    def test_backward_nonscalar_needs_grad_arg(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2).backward(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(t.grad, [2.0, 4.0, 6.0])
+
+    def test_diamond_fanin_sums(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * 2.0
+        z = (y + y * y).sum()   # dz/dx = 2 + 2*(2x)*2 ... = 2 + 8x... wait
+        z.backward()
+        # z = 2x + 4x^2, dz/dx = 2 + 8x = 26 at x=3
+        np.testing.assert_allclose(x.grad, [26.0])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError()
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        d = (x * 2).detach()
+        assert not d.requires_grad
+
+    def test_item(self):
+        assert Tensor(np.array([[2.5]])).item() == 2.5
+
+    def test_deep_chain_no_recursion_error(self):
+        # Topological sort is iterative; a 5000-op chain must not blow the
+        # Python recursion limit.
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])

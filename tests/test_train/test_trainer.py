@@ -1,0 +1,135 @@
+"""Offline robust-training pipeline: trainer, evaluation, PGD, cache."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_synth_cifar
+from repro.models.wide_resnet import wide_resnet40_2
+from repro.train import Trainer, TrainConfig, evaluate, pgd_attack
+from repro.train.trainer import pretrain_robust
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    return make_synth_cifar(256, size=16, seed=0)
+
+
+def tiny_model():
+    return wide_resnet40_2(depth=10, widen_factor=1, base=4)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, tiny_data):
+        model = tiny_model()
+        trainer = Trainer(model, TrainConfig(epochs=3, batch_size=64, lr=0.08,
+                                             use_augmix=False, seed=0))
+        history = trainer.fit(tiny_data)
+        assert len(history) == 3
+        assert history[-1]["loss"] < history[0]["loss"]
+
+    def test_accuracy_improves_over_chance(self, tiny_data):
+        model = tiny_model()
+        Trainer(model, TrainConfig(epochs=12, batch_size=32, lr=0.1,
+                                   use_augmix=False, seed=0)).fit(tiny_data)
+        error = evaluate(model, tiny_data.images, tiny_data.labels)
+        assert error < 0.45   # chance is 0.9
+
+    def test_model_left_in_eval_mode(self, tiny_data):
+        model = tiny_model()
+        Trainer(model, TrainConfig(epochs=1, use_augmix=False)).fit(tiny_data)
+        assert not model.training
+
+    def test_val_error_recorded(self, tiny_data):
+        model = tiny_model()
+        history = Trainer(model, TrainConfig(epochs=1, use_augmix=False)).fit(
+            tiny_data, val=tiny_data.subset(64))
+        assert "val_error" in history[0]
+
+    def test_cosine_lr_schedule_decays(self):
+        trainer = Trainer(tiny_model(), TrainConfig(lr=0.1, epochs=2))
+        assert trainer._lr_at(0, 100) == pytest.approx(0.1)
+        assert trainer._lr_at(50, 100) == pytest.approx(0.05)
+        assert trainer._lr_at(100, 100) == pytest.approx(0.0, abs=1e-9)
+
+    def test_augmix_path_runs(self, tiny_data):
+        model = tiny_model()
+        history = Trainer(model, TrainConfig(epochs=1, batch_size=64,
+                                             use_augmix=True)).fit(
+            tiny_data.subset(128))
+        assert np.isfinite(history[0]["loss"])
+
+
+class TestEvaluate:
+    def test_perfect_and_worst_case(self, tiny_data):
+        class Oracle:
+            training = False
+            def eval(self): return self
+            def train(self, mode=True): return self
+            def __call__(self, x):
+                from repro.tensor import Tensor
+                logits = np.full((len(x.data), 10), -10.0, dtype=np.float32)
+                return Tensor(logits)
+        # all-equal logits -> argmax 0 -> error = fraction of labels != 0
+        error = evaluate(Oracle(), tiny_data.images, tiny_data.labels)
+        expected = float((tiny_data.labels != 0).mean())
+        assert error == pytest.approx(expected)
+
+    def test_restores_training_mode(self, tiny_data):
+        model = tiny_model()
+        model.train()
+        evaluate(model, tiny_data.images[:32], tiny_data.labels[:32])
+        assert model.training
+
+
+class TestPGD:
+    def test_perturbation_bounded(self, tiny_data):
+        model = tiny_model()
+        images = tiny_data.images[:8]
+        adv = pgd_attack(model, images, tiny_data.labels[:8],
+                         epsilon=4 / 255, steps=2)
+        assert np.abs(adv - images).max() <= 4 / 255 + 1e-6
+        assert adv.min() >= 0.0 and adv.max() <= 1.0
+
+    def test_attack_increases_loss(self, tiny_data):
+        from repro.tensor import Tensor
+        from repro.tensor import functional as F
+        model = tiny_model()
+        Trainer(model, TrainConfig(epochs=2, batch_size=64, lr=0.08,
+                                   use_augmix=False)).fit(tiny_data)
+        images, labels = tiny_data.images[:32], tiny_data.labels[:32]
+        adv = pgd_attack(model, images, labels, epsilon=8 / 255, steps=4)
+        model.eval()
+        clean_loss = F.cross_entropy(model(Tensor(images)), labels).item()
+        adv_loss = F.cross_entropy(model(Tensor(adv)), labels).item()
+        assert adv_loss > clean_loss
+
+    def test_model_weights_unchanged_by_attack(self, tiny_data):
+        model = tiny_model()
+        before = model.state_dict()
+        pgd_attack(model, tiny_data.images[:4], tiny_data.labels[:4], steps=1)
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+
+class TestPretrainCache:
+    def test_memory_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        first = pretrain_robust("wrn40_2", image_size=12, train_samples=128,
+                                epochs=1, seed=11)
+        second = pretrain_robust("wrn40_2", image_size=12, train_samples=128,
+                                 epochs=1, seed=11)
+        state1, state2 = first.state_dict(), second.state_dict()
+        for key in state1:
+            np.testing.assert_array_equal(state1[key], state2[key])
+        # the disk cache file exists
+        assert list(tmp_path.glob("robust_*.npz"))
+
+    def test_adversarial_default_only_for_resnet18(self):
+        # exercised through the config hash: different keys -> different files
+        from repro.train.trainer import _MEMORY_CACHE
+        keys_before = set(_MEMORY_CACHE)
+        pretrain_robust("wrn40_2", image_size=12, train_samples=64, epochs=1,
+                        seed=12, use_disk_cache=False)
+        new_keys = set(_MEMORY_CACHE) - keys_before
+        assert any(key[4] is False for key in new_keys)  # adversarial=False
