@@ -21,6 +21,13 @@ Commands
     Audit every machine-checkable paper claim (57 checks) in one run.
 ``scatter``
     ASCII trade-off scatter (Figs. 5/8/11/12 projection).
+``bench``
+    Time the execution-engine leaf kernels (conv forward/backward, one
+    BN-Opt step) per backend and write ``BENCH_engine.json``.
+
+Global flags ``--backend {numpy,threaded}`` and ``--threads N`` select
+the execution backend (see :mod:`repro.engine`) for any command that
+executes the numpy engine natively.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from repro.core.report import (
 )
 from repro.core.runner import run_simulated_study
 from repro.devices.catalog import DEVICE_NAMES, list_devices
+from repro.engine import BACKEND_NAMES, create_backend, set_default_backend
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
@@ -149,11 +157,43 @@ def _cmd_scatter(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.engine.bench import (DEFAULT_BENCH_PATH, format_engine_bench,
+                                    write_engine_bench)
+    backends = tuple(args.backends) if args.backends else BACKEND_NAMES
+    doc = write_engine_bench(
+        args.json or DEFAULT_BENCH_PATH, backends=backends,
+        threads=args.threads or 0, batch=args.batch, repeats=args.repeats)
+    print(format_engine_bench(doc))
+    print(f"wrote {args.json or DEFAULT_BENCH_PATH}")
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Benchmarking Test-Time Unsupervised "
                     "DNN Adaptation on Edge Devices' (ISPASS 2022)")
+    parser.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                        help="execution backend for native engine work")
+    parser.add_argument("--threads", type=_non_negative_int, default=None,
+                        metavar="N",
+                        help="worker threads for the threaded backend "
+                             "(0 = one per CPU core)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("models", help="model zoo footprints").set_defaults(
@@ -182,13 +222,33 @@ def build_parser() -> argparse.ArgumentParser:
     scatter = sub.add_parser("scatter", help="ASCII trade-off scatter")
     scatter.add_argument("--device", choices=DEVICE_NAMES, default=None)
     scatter.set_defaults(func=_cmd_scatter)
+
+    bench = sub.add_parser("bench",
+                           help="time engine leaf kernels per backend")
+    bench.add_argument("--backends", nargs="*", choices=BACKEND_NAMES,
+                       default=None,
+                       help="backends to measure (default: all)")
+    bench.add_argument("--batch", type=_positive_int, default=64,
+                       help="batch size for the conv workload")
+    bench.add_argument("--repeats", type=_positive_int, default=5,
+                       help="timing repetitions (best is reported)")
+    bench.add_argument("--json", metavar="PATH", default=None,
+                       help="output path (default BENCH_engine.json)")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if args.backend is not None:
+        set_default_backend(create_backend(args.backend,
+                                           threads=args.threads or 0))
+    try:
+        return args.func(args)
+    finally:
+        if args.backend is not None:
+            set_default_backend(None)
 
 
 if __name__ == "__main__":   # pragma: no cover

@@ -66,6 +66,11 @@ class StudyConfig:
     #: extra constructor kwargs per method name for the native runner
     #: (e.g. {"bn_norm_blend": {"source_count": 8}})
     method_kwargs: dict = field(default_factory=dict)
+    #: execution backend for native runs ("numpy" or "threaded"); see
+    #: :mod:`repro.engine`.  Ignored by the simulated runner.
+    backend: str = "numpy"
+    #: worker threads for the threaded backend (0 = one per CPU core)
+    threads: int = 0
     seed: int = 0
 
     def cases(self) -> List[Case]:

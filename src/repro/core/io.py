@@ -18,7 +18,7 @@ from repro.core.records import MeasurementRecord, StudyResult
 
 _FIELDS = ["model", "method", "batch_size", "device", "error_pct",
            "forward_time_s", "energy_j", "memory_gb", "oom",
-           "adapt_overhead_s", "corruption"]
+           "adapt_overhead_s", "corruption", "backend"]
 
 _FORMAT_VERSION = 1
 

@@ -30,6 +30,8 @@ class MeasurementRecord:
     adapt_overhead_s: float = 0.0
     #: corruption type for per-corruption native records ("" = aggregate)
     corruption: str = ""
+    #: execution backend that produced a native record ("" = simulated)
+    backend: str = ""
 
     @property
     def case(self) -> Case:

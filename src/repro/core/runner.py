@@ -14,13 +14,15 @@ reproduction of Fig. 2's *phenomenon* rather than its absolute numbers.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.adapt import build_method
 from repro.core.config import StudyConfig
+from repro.engine import create_backend, use_backend
 from repro.core.records import MeasurementRecord, StudyResult
 from repro.core.reference import reference_error_pct
 from repro.data.stream import CorruptionStream
@@ -35,17 +37,50 @@ from repro.models.summary import ModelSummary, summarize
 from repro.train.trainer import pretrain_robust
 
 
-_GRID_SUMMARY_CACHE: Dict[str, ModelSummary] = {}
+class _SummaryCache:
+    """Thread-safe memo of full-model summaries keyed by model name.
+
+    Building a full model to summarize it is the expensive part of a
+    simulated sweep, so results are kept for the process lifetime; the
+    lock makes concurrent sweeps (e.g. the threaded benchmark harness)
+    build each summary exactly once.  ``clear()`` is the invalidation
+    hook tests use to exercise cold-cache behaviour.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, ModelSummary] = {}
+        self._lock = threading.Lock()
+
+    def get_or_build(self, name: str,
+                     builder: Callable[[str], ModelSummary]) -> ModelSummary:
+        with self._lock:
+            cached = self._entries.get(name)
+        if cached is not None:
+            return cached
+        built = builder(name)
+        with self._lock:
+            # A concurrent builder may have won the race; keep its entry
+            # so every caller sees one canonical summary per name.
+            return self._entries.setdefault(name, built)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_GRID_SUMMARY_CACHE = _SummaryCache()
 
 
 def _grid_summaries(models: Sequence[str]) -> Dict[str, ModelSummary]:
     """Full-size summaries, built once per model name and reused — the
     grid sweep itself is cheap; instantiating full models is not."""
-    for name in models:
-        if name not in _GRID_SUMMARY_CACHE:
-            _GRID_SUMMARY_CACHE[name] = summarize(build_model(name, "full"),
-                                                  name=name)
-    return {name: _GRID_SUMMARY_CACHE[name] for name in models}
+    return {name: _GRID_SUMMARY_CACHE.get_or_build(
+                name, lambda n: summarize(build_model(n, "full"), name=n))
+            for name in models}
 
 
 def run_simulated_study(config: Optional[StudyConfig] = None) -> StudyResult:
@@ -96,8 +131,24 @@ def run_native_study(config: Optional[StudyConfig] = None,
     With ``per_corruption=True`` one extra record per corruption type is
     emitted alongside each aggregate record (its ``corruption`` field set),
     enabling mCE-style analysis via :mod:`repro.core.metrics`.
+
+    Execution runs on the backend named by ``config.backend`` (with
+    ``config.threads`` workers for the threaded backend); every record's
+    ``backend`` field says which engine produced it.
     """
     config = config or StudyConfig()
+    backend = create_backend(config.backend, threads=config.threads)
+    try:
+        with use_backend(backend):
+            return _run_native_study(config, backend.name, models,
+                                     per_corruption)
+    finally:
+        backend.close()
+
+
+def _run_native_study(config: StudyConfig, backend_name: str,
+                      models: Optional[Dict[str, object]],
+                      per_corruption: bool) -> StudyResult:
     result = StudyResult()
     test = make_synth_cifar(config.stream_samples, size=config.image_size,
                             seed=config.seed + 12345)
@@ -141,11 +192,12 @@ def run_native_study(config: Optional[StudyConfig] = None,
                             batch_size=batch_size, device="host",
                             error_pct=error, forward_time_s=float("nan"),
                             energy_j=float("nan"),
-                            corruption=stream.corruption))
+                            corruption=stream.corruption,
+                            backend=backend_name))
                 result.add(MeasurementRecord(
                     model=model_name, method=method_name,
                     batch_size=batch_size, device="host",
                     error_pct=float(np.mean(errors)),
                     forward_time_s=wall / max(batches, 1),
-                    energy_j=float("nan")))
+                    energy_j=float("nan"), backend=backend_name))
     return result

@@ -1,0 +1,193 @@
+"""Engine micro-benchmark: conv forward/backward and one BN-Opt step.
+
+``python -m repro bench`` times the leaf kernels the paper's latency
+breakdowns are made of, once per execution backend, and writes the
+results to ``BENCH_engine.json`` so successive PRs accumulate a
+comparable perf trajectory.  Three workloads:
+
+- ``conv_forward`` — a representative mid-network convolution (3x3,
+  stride 1, pad 1) under ``no_grad``, the shape class that dominates
+  every forward-time figure (Figs. 3/6/9);
+- ``conv_backward`` — the same convolution's input+weight gradient,
+  the bulk of BN-Opt's adaptation overhead (Figs. 4/7/10);
+- ``bn_opt_step`` — one full TENT step (forward with BN statistics
+  recompute, entropy backward, Adam update on gamma/beta) on a small
+  conv-BN stack, the paper's end-to-end unit of adaptation work.
+
+Timings are best-of-``repeats`` wall clock (median is also recorded);
+the arena's hit-rate over the measured iterations is reported per
+backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine import Backend, create_backend, use_backend
+
+DEFAULT_BENCH_PATH = "BENCH_engine.json"
+
+#: schema version for BENCH_engine.json (bump on incompatible change)
+BENCH_FORMAT_VERSION = 1
+
+
+def _time(fn: Callable[[], None], repeats: int, warmup: int = 1) -> Dict[str, float]:
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return {
+        "best_s": samples[0],
+        "median_s": samples[len(samples) // 2],
+        "repeats": repeats,
+    }
+
+
+def _conv_workload(batch: int, channels: int, size: int, seed: int):
+    from repro.tensor.tensor import Tensor
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal(
+        (batch, channels, size, size)).astype(np.float32), requires_grad=True)
+    w = Tensor(rng.standard_normal(
+        (channels * 2, channels, 3, 3)).astype(np.float32) * 0.1,
+        requires_grad=True)
+    return x, w
+
+
+def _bench_conv(backend: Backend, batch: int, channels: int, size: int,
+                repeats: int, seed: int) -> Dict[str, Dict[str, float]]:
+    from repro.tensor import no_grad
+    from repro.tensor.conv import conv2d
+    x, w = _conv_workload(batch, channels, size, seed)
+
+    def forward() -> None:
+        with no_grad():
+            conv2d(x, w, stride=1, padding=1)
+
+    def forward_backward() -> None:
+        x.zero_grad()
+        w.zero_grad()
+        out = conv2d(x, w, stride=1, padding=1)
+        out.backward(np.ones_like(out.data))
+
+    with use_backend(backend):
+        fw = _time(forward, repeats)
+        bw = _time(forward_backward, repeats)
+    return {"conv_forward": fw, "conv_backward": bw}
+
+
+def _bench_bn_opt_step(backend: Backend, batch: int, repeats: int,
+                       seed: int) -> Dict[str, float]:
+    from repro import nn
+    from repro.adapt.bn_opt import BNOpt
+    rng = np.random.default_rng(seed)
+    model = nn.Sequential(
+        nn.Conv2d(3, 16, 3, padding=1, bias=False), nn.BatchNorm2d(16),
+        nn.ReLU(),
+        nn.Conv2d(16, 32, 3, stride=2, padding=1, bias=False),
+        nn.BatchNorm2d(32), nn.ReLU(),
+        nn.GlobalAvgPool2d(), nn.Linear(32, 10))
+    images = rng.standard_normal((batch, 3, 16, 16)).astype(np.float32)
+    method = BNOpt(lr=1e-3)
+
+    def step() -> None:
+        method.prepare(model)
+        method.forward(images)
+
+    with use_backend(backend):
+        return _time(step, repeats)
+
+
+def run_engine_bench(backends: Sequence[str] = ("numpy", "threaded"),
+                     threads: int = 0,
+                     batch: int = 64,
+                     channels: int = 16,
+                     size: int = 16,
+                     repeats: int = 5,
+                     seed: int = 0) -> dict:
+    """Benchmark every named backend; return the BENCH_engine document."""
+    results: Dict[str, dict] = {}
+    for name in backends:
+        backend = create_backend(name, threads=threads)
+        try:
+            entry: dict = dict(_bench_conv(backend, batch, channels, size,
+                                           repeats, seed))
+            entry["bn_opt_step"] = _bench_bn_opt_step(backend, batch,
+                                                      repeats, seed)
+            stats = backend.arena_stats()
+            entry["arena"] = {
+                "requests": stats.requests,
+                "hits": stats.hits,
+                "hit_rate": stats.hit_rate,
+                "bytes_allocated": stats.bytes_allocated,
+                "bytes_reused": stats.bytes_reused,
+            }
+            if isinstance(getattr(backend, "threads", None), int):
+                entry["threads"] = backend.threads
+            results[name] = entry
+        finally:
+            backend.close()
+    doc = {
+        "format": "repro.engine_bench",
+        "version": BENCH_FORMAT_VERSION,
+        "workload": {"batch": batch, "channels": channels, "size": size,
+                     "kernel": 3, "repeats": repeats, "seed": seed},
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "backends": results,
+    }
+    if "numpy" in results and "threaded" in results:
+        doc["speedup_threaded_vs_numpy"] = {
+            op: results["numpy"][op]["best_s"] / results["threaded"][op]["best_s"]
+            for op in ("conv_forward", "conv_backward", "bn_opt_step")
+            if results["threaded"][op]["best_s"] > 0
+        }
+    return doc
+
+
+def write_engine_bench(path: Union[str, Path] = DEFAULT_BENCH_PATH,
+                       **kwargs) -> dict:
+    """Run the bench and write the JSON document to ``path``."""
+    doc = run_engine_bench(**kwargs)
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def format_engine_bench(doc: dict) -> str:
+    """Human-readable summary of a BENCH_engine document."""
+    lines = [f"engine bench (batch={doc['workload']['batch']}, "
+             f"{doc['host']['cpu_count']} cpus)"]
+    header = f"{'backend':<12s} {'conv fw':>10s} {'conv bw':>10s} {'bn-opt':>10s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, entry in doc["backends"].items():
+        label = name
+        if "threads" in entry:
+            label = f"{name}[{entry['threads']}]"
+        lines.append(
+            f"{label:<12s} {entry['conv_forward']['best_s'] * 1e3:9.2f}ms "
+            f"{entry['conv_backward']['best_s'] * 1e3:9.2f}ms "
+            f"{entry['bn_opt_step']['best_s'] * 1e3:9.2f}ms"
+            + (f"  arena {100 * entry['arena']['hit_rate']:.0f}% hit"
+               if entry.get("arena", {}).get("requests") else ""))
+    speedups = doc.get("speedup_threaded_vs_numpy")
+    if speedups:
+        rendered = ", ".join(f"{op} x{ratio:.2f}"
+                             for op, ratio in speedups.items())
+        lines.append(f"threaded speedup vs numpy: {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Instrumented backend wrapper: per-kernel call counts and wall time.
+
+Wrap any backend to observe what the engine actually does::
+
+    inst = InstrumentedBackend(NumpyBackend())
+    with use_backend(inst):
+        model(x).backward(...)
+    print(inst.describe())
+
+The wrapper delegates every leaf kernel to the inner backend, timing
+each call with ``perf_counter`` and aggregating by kernel name.  It
+shares the inner backend's arena, so ``arena_stats()`` reports the real
+bytes allocated/reused during the instrumented region.
+:func:`repro.profiling.profiler.profile_native` uses this wrapper to
+attribute engine time per op kind without relying solely on the
+module-level ``trace_calls`` hook (which cannot see inside backward
+passes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.arena import ArenaStats
+from repro.engine.base import Backend
+
+
+@dataclass
+class OpStat:
+    """Aggregate for one kernel: invocation count and total seconds."""
+
+    calls: int = 0
+    time_s: float = 0.0
+
+
+class InstrumentedBackend(Backend):
+    """Delegating wrapper that counts and times every kernel call."""
+
+    def __init__(self, inner: Backend):
+        # Intentionally no super().__init__(): the wrapper shares the
+        # inner backend's arena rather than owning a second one.
+        self.inner = inner
+        self.arena = inner.arena
+        self.op_stats: Dict[str, OpStat] = {}
+        self._arena_start: ArenaStats = inner.arena_stats()
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.inner.name
+
+    def _timed(self, op: str, fn, *args):
+        start = time.perf_counter()
+        result = fn(*args)
+        elapsed = time.perf_counter() - start
+        stat = self.op_stats.setdefault(op, OpStat())
+        stat.calls += 1
+        stat.time_s += elapsed
+        return result
+
+    # -- delegated kernels ---------------------------------------------
+    def conv2d_forward(self, xp, weight, stride, groups):
+        return self._timed("conv2d_forward", self.inner.conv2d_forward,
+                           xp, weight, stride, groups)
+
+    def conv2d_backward(self, grad, xp, weight, stride, groups,
+                        need_input_grad, need_weight_grad):
+        return self._timed("conv2d_backward", self.inner.conv2d_backward,
+                           grad, xp, weight, stride, groups,
+                           need_input_grad, need_weight_grad)
+
+    def matmul(self, a, b):
+        return self._timed("matmul", self.inner.matmul, a, b)
+
+    def batchnorm_stats(self, x):
+        return self._timed("batchnorm_stats", self.inner.batchnorm_stats, x)
+
+    def max_pool2d_forward(self, x, kernel, stride):
+        return self._timed("max_pool2d_forward",
+                           self.inner.max_pool2d_forward, x, kernel, stride)
+
+    def max_pool2d_backward(self, grad, arg, x_shape, kernel, stride):
+        return self._timed("max_pool2d_backward",
+                           self.inner.max_pool2d_backward,
+                           grad, arg, x_shape, kernel, stride)
+
+    def avg_pool2d_forward(self, x, kernel, stride):
+        return self._timed("avg_pool2d_forward",
+                           self.inner.avg_pool2d_forward, x, kernel, stride)
+
+    def avg_pool2d_backward(self, grad, x_shape, kernel, stride):
+        return self._timed("avg_pool2d_backward",
+                           self.inner.avg_pool2d_backward,
+                           grad, x_shape, kernel, stride)
+
+    def pad_input(self, x, ph, pw):
+        return self._timed("pad_input", self.inner.pad_input, x, ph, pw)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    # -- reporting ------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the op counters and re-baseline the arena snapshot."""
+        self.op_stats = {}
+        self._arena_start = self.inner.arena_stats()
+
+    def arena_delta(self) -> ArenaStats:
+        """Arena activity since this wrapper was created (or reset)."""
+        now = self.inner.arena_stats()
+        base = self._arena_start
+        return ArenaStats(
+            requests=now.requests - base.requests,
+            hits=now.hits - base.hits,
+            misses=now.misses - base.misses,
+            bytes_allocated=now.bytes_allocated - base.bytes_allocated,
+            bytes_reused=now.bytes_reused - base.bytes_reused,
+        )
+
+    def total_time_s(self) -> float:
+        """Seconds spent inside backend kernels."""
+        return sum(stat.time_s for stat in self.op_stats.values())
+
+    def describe(self) -> str:
+        """One line per kernel: ``name calls time``; arena summary last."""
+        lines = [f"{op:<22s} {stat.calls:6d} calls {stat.time_s * 1e3:9.2f} ms"
+                 for op, stat in sorted(self.op_stats.items())]
+        arena = self.arena_delta()
+        lines.append(
+            f"arena: {arena.hits}/{arena.requests} hits "
+            f"({100.0 * arena.hit_rate:.0f}%), "
+            f"{arena.bytes_reused / 1e6:.1f} MB reused, "
+            f"{arena.bytes_allocated / 1e6:.1f} MB allocated")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"InstrumentedBackend({self.inner!r})"

@@ -1,0 +1,147 @@
+"""Reference backend: single-threaded numpy with workspace reuse.
+
+Numerics are kept *bit-for-bit identical* to the original in-line
+implementations that used to live in :mod:`repro.tensor.conv` and
+:mod:`repro.tensor.functional`: the same strided im2col view feeds the
+same einsum contraction strings in the same order.  The only change is
+where scratch memory comes from — short-lived workspaces (the column
+gradient consumed by col2im, the padded-input copy) are drawn from the
+backend's :class:`~repro.engine.arena.WorkspaceArena` instead of being
+reallocated on every call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.engine.base import Backend
+
+
+def im2col_view(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """Zero-copy strided view of shape (N, C, kh, kw, Ho, Wo) over ``x``."""
+    n, c, h, w = x.shape
+    ho = (h - kh) // sh + 1
+    wo = (w - kw) // sw + 1
+    sn, sc, sh_, sw_ = x.strides
+    shape = (n, c, kh, kw, ho, wo)
+    strides = (sn, sc, sh_, sw_, sh_ * sh, sw_ * sw)
+    return np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int,
+           sh: int, sw: int) -> np.ndarray:
+    """Scatter-add a (N, C, kh, kw, Ho, Wo) gradient back to input shape."""
+    ho = cols.shape[-2]
+    wo = cols.shape[-1]
+    dx = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        h_stop = i + sh * ho
+        for j in range(kw):
+            w_stop = j + sw * wo
+            dx[:, :, i:h_stop:sh, j:w_stop:sw] += cols[:, :, i, j]
+    return dx
+
+
+class NumpyBackend(Backend):
+    """The default backend: today's exact numerics plus the arena."""
+
+    name = "numpy"
+
+    # -- convolution ---------------------------------------------------
+    def conv2d_forward(self, xp: np.ndarray, weight: np.ndarray,
+                       stride: Tuple[int, int], groups: int) -> np.ndarray:
+        sh, sw = stride
+        n, c = xp.shape[:2]
+        co, cig, kh, kw = weight.shape
+        view = im2col_view(xp, kh, kw, sh, sw)
+        ho, wo = view.shape[-2:]
+        cog = co // groups
+        vg = view.reshape(n, groups, cig, kh, kw, ho, wo)
+        wg = weight.reshape(groups, cog, cig, kh, kw)
+        # out[n, g, o, y, x] = sum_{c,i,j} w[g,o,c,i,j] * v[n,g,c,i,j,y,x]
+        out = np.einsum("gocij,ngcijyx->ngoyx", wg, vg, optimize=True)
+        return out.reshape(n, co, ho, wo)
+
+    def conv2d_backward(self, grad: np.ndarray, xp: np.ndarray,
+                        weight: np.ndarray, stride: Tuple[int, int],
+                        groups: int, need_input_grad: bool,
+                        need_weight_grad: bool
+                        ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        sh, sw = stride
+        n, c = xp.shape[:2]
+        co, cig, kh, kw = weight.shape
+        ho, wo = grad.shape[-2:]
+        cog = co // groups
+        gg = grad.reshape(n, groups, cog, ho, wo)
+        wg = weight.reshape(groups, cog, cig, kh, kw)
+        dw = dxp = None
+        if need_weight_grad:
+            view = im2col_view(xp, kh, kw, sh, sw)
+            vg = view.reshape(n, groups, cig, kh, kw, ho, wo)
+            dw = np.einsum("ngoyx,ngcijyx->gocij", gg, vg,
+                           optimize=True).reshape(co, cig, kh, kw)
+        if need_input_grad:
+            # The column gradient is the op's largest temporary and dies
+            # inside col2im — draw it from the arena.
+            dcols = self.arena.acquire((n, groups, cig, kh, kw, ho, wo),
+                                       grad.dtype)
+            np.einsum("gocij,ngoyx->ngcijyx", wg, gg, optimize=True,
+                      out=dcols)
+            dxp = col2im(dcols.reshape(n, c, kh, kw, ho, wo), xp.shape,
+                         kh, kw, sh, sw)
+            self.arena.release(dcols)
+        return dxp, dw
+
+    # -- dense ---------------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    # -- batch norm ----------------------------------------------------
+    def batchnorm_stats(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        axes = (0, 2, 3)
+        return x.mean(axis=axes), x.var(axis=axes)
+
+    # -- pooling -------------------------------------------------------
+    def max_pool2d_forward(self, x: np.ndarray, kernel: Tuple[int, int],
+                           stride: Tuple[int, int]
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        kh, kw = kernel
+        sh, sw = stride
+        view = im2col_view(x, kh, kw, sh, sw)
+        n, c, _, _, ho, wo = view.shape
+        flat = view.reshape(n, c, kh * kw, ho, wo)
+        arg = flat.argmax(axis=2)
+        out = np.take_along_axis(flat, arg[:, :, None], axis=2)[:, :, 0]
+        return out, arg
+
+    def max_pool2d_backward(self, grad: np.ndarray, arg: np.ndarray,
+                            x_shape: Tuple[int, ...], kernel: Tuple[int, int],
+                            stride: Tuple[int, int]) -> np.ndarray:
+        kh, kw = kernel
+        sh, sw = stride
+        n, c, ho, wo = grad.shape
+        dflat = self.arena.acquire_zeros((n, c, kh * kw, ho, wo), grad.dtype)
+        np.put_along_axis(dflat, arg[:, :, None], grad[:, :, None], axis=2)
+        dx = col2im(dflat.reshape(n, c, kh, kw, ho, wo), x_shape,
+                    kh, kw, sh, sw)
+        self.arena.release(dflat)
+        return dx
+
+    def avg_pool2d_forward(self, x: np.ndarray, kernel: Tuple[int, int],
+                           stride: Tuple[int, int]) -> np.ndarray:
+        kh, kw = kernel
+        sh, sw = stride
+        return im2col_view(x, kh, kw, sh, sw).mean(axis=(2, 3))
+
+    def avg_pool2d_backward(self, grad: np.ndarray, x_shape: Tuple[int, ...],
+                            kernel: Tuple[int, int],
+                            stride: Tuple[int, int]) -> np.ndarray:
+        kh, kw = kernel
+        sh, sw = stride
+        n, c, ho, wo = grad.shape
+        scale = 1.0 / (kh * kw)
+        dcols = np.broadcast_to((grad * scale)[:, :, None, None],
+                                (n, c, kh, kw, ho, wo)).astype(grad.dtype)
+        return col2im(np.ascontiguousarray(dcols), x_shape, kh, kw, sh, sw)

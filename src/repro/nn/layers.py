@@ -1,4 +1,14 @@
-"""Standard layers: Conv2d, Linear, BatchNorm2d, activations, pooling."""
+"""Standard layers: Conv2d, Linear, BatchNorm2d, activations, pooling.
+
+All heavy layers execute through the active execution backend
+(:mod:`repro.engine`): ``Conv2d`` and the pooling layers via
+:mod:`repro.tensor.conv`, ``Linear`` via ``Tensor.matmul``, and
+``BatchNorm2d``'s train-mode statistics via
+:func:`repro.tensor.functional.batch_norm_train`.  Wrapping a forward
+(or a whole adaptation stream) in ``repro.engine.use_backend(...)``
+therefore swaps the kernels for every layer below this module without
+any layer-level configuration.
+"""
 
 from __future__ import annotations
 

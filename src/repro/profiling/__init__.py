@@ -15,6 +15,7 @@ from repro.profiling.breakdown import (
     ProfilerOOM,
     breakdown_for,
     breakdown_table,
+    format_arena_report,
     format_breakdown,
 )
 from repro.profiling.profiler import NativeProfile, profile_native
@@ -24,6 +25,7 @@ __all__ = [
     "ProfilerOOM",
     "breakdown_for",
     "breakdown_table",
+    "format_arena_report",
     "format_breakdown",
     "NativeProfile",
     "profile_native",

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.devices.cost_model import LatencyBreakdown, forward_latency
+from repro.engine import ArenaStats
 from repro.devices.memory import PROFILER_OVERHEAD, estimate_memory
 from repro.devices.spec import DeviceSpec
 from repro.models.summary import ModelSummary
@@ -92,6 +93,30 @@ def breakdown_table(summaries: Sequence[ModelSummary], device: DeviceSpec,
             except ProfilerOOM:
                 continue
     return rows
+
+
+def format_arena_report(stats_by_backend: Dict[str, ArenaStats],
+                        title: str = "Workspace arena hit-rates:") -> str:
+    """Render per-backend scratch-buffer reuse as an aligned text table.
+
+    ``stats_by_backend`` maps a backend label to its
+    :meth:`~repro.engine.Backend.arena_stats` snapshot (or an
+    ``InstrumentedBackend.arena_delta()``).  Native profiles expose the
+    same numbers on ``NativeProfile.arena``.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    header = (f"{'backend':<14s} {'requests':>9s} {'hits':>9s} "
+              f"{'hit rate':>9s} {'MB reused':>10s} {'MB alloc':>10s}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, stats in stats_by_backend.items():
+        lines.append(
+            f"{name:<14s} {stats.requests:9d} {stats.hits:9d} "
+            f"{100.0 * stats.hit_rate:8.1f}% {stats.bytes_reused / 1e6:10.1f} "
+            f"{stats.bytes_allocated / 1e6:10.1f}")
+    return "\n".join(lines)
 
 
 def format_breakdown(rows: Sequence[BreakdownRow], title: str = "") -> str:

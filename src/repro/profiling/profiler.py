@@ -2,10 +2,20 @@
 
 Where :mod:`repro.profiling.breakdown` *simulates* the paper's profiler
 figures from the device cost model, this module measures actual leaf-op
-times of our numpy engine via the :func:`repro.nn.module.trace_calls`
-hook.  It is used by tests to check that the simulated decomposition has
-the same qualitative shape as a real one (conv dominates forward; BN
-forward grows under adaptation) and by examples for diagnostics.
+times of our numpy engine.  Two complementary instruments feed one
+:class:`NativeProfile`:
+
+- the :func:`repro.nn.module.trace_calls` hook attributes forward time
+  to *module kinds* (conv / bn / linear / ...), matching the paper's
+  per-layer decomposition; and
+- an :class:`repro.engine.InstrumentedBackend` wrapped around the active
+  execution backend counts and times *engine kernels* — including the
+  backward-pass kernels the module hook cannot see — and reports the
+  workspace arena's allocation/reuse bytes.
+
+It is used by tests to check that the simulated decomposition has the
+same qualitative shape as a real one (conv dominates forward; BN forward
+grows under adaptation) and by examples for diagnostics.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.engine import ArenaStats, InstrumentedBackend, OpStat, get_backend, use_backend
 from repro.models.summary import _classify
 from repro.nn.module import Module, trace_calls
 from repro.tensor.tensor import Tensor
@@ -23,11 +34,19 @@ from repro.tensor.tensor import Tensor
 
 @dataclass
 class NativeProfile:
-    """Aggregated per-kind forward times plus total backward time."""
+    """Aggregated per-kind forward times plus total backward time.
+
+    ``backend_ops`` and ``arena`` carry the engine-level view recorded by
+    the instrumented backend: per-kernel call counts/time (forward *and*
+    backward) and scratch-buffer reuse over the profiled region.
+    """
 
     forward_s_by_kind: Dict[str, float] = field(default_factory=dict)
     backward_s: float = 0.0
     total_forward_s: float = 0.0
+    backend_name: str = ""
+    backend_ops: Dict[str, OpStat] = field(default_factory=dict)
+    arena: ArenaStats = field(default_factory=ArenaStats)
 
     @property
     def conv_fw_s(self) -> float:
@@ -38,10 +57,18 @@ class NativeProfile:
     def bn_fw_s(self) -> float:
         return self.forward_s_by_kind.get("bn", 0.0)
 
+    def backend_time_s(self) -> float:
+        """Seconds spent inside engine kernels (forward + backward)."""
+        return sum(stat.time_s for stat in self.backend_ops.values())
+
     def describe(self) -> str:
         parts = [f"{kind}={seconds * 1e3:.1f}ms"
                  for kind, seconds in sorted(self.forward_s_by_kind.items())]
         parts.append(f"backward={self.backward_s * 1e3:.1f}ms")
+        if self.backend_ops:
+            calls = sum(stat.calls for stat in self.backend_ops.values())
+            parts.append(f"engine[{self.backend_name}]={calls} kernel calls, "
+                         f"arena hit-rate {100 * self.arena.hit_rate:.0f}%")
         return ", ".join(parts)
 
 
@@ -50,23 +77,27 @@ def profile_native(model: Module, x: np.ndarray,
     """Profile one forward (and optional backward) pass of ``model``.
 
     ``loss_fn`` maps logits (a Tensor) to a scalar Tensor; when given,
-    the backward pass is timed as a whole (per-op backward attribution is
-    not separable in our closure-based engine, so the profile reports a
-    single backward figure — tests compare it against the cost model's
-    total backward time instead of per-kind).
+    the backward pass is timed as a whole (the module hook cannot split
+    backward per layer, but the instrumented backend's ``backend_ops``
+    still attributes it to conv/matmul/pooling kernels).
     """
     profile = NativeProfile()
-    start = time.perf_counter()
-    with trace_calls() as records:
-        logits = model(Tensor(x))
-    profile.total_forward_s = time.perf_counter() - start
-    for record in records:
-        kind = _classify(record.module)
-        profile.forward_s_by_kind[kind] = (
-            profile.forward_s_by_kind.get(kind, 0.0) + record.duration_s)
-    if loss_fn is not None:
-        loss = loss_fn(logits)
+    instrumented = InstrumentedBackend(get_backend())
+    profile.backend_name = instrumented.name
+    with use_backend(instrumented):
         start = time.perf_counter()
-        loss.backward()
-        profile.backward_s = time.perf_counter() - start
+        with trace_calls() as records:
+            logits = model(Tensor(x))
+        profile.total_forward_s = time.perf_counter() - start
+        for record in records:
+            kind = _classify(record.module)
+            profile.forward_s_by_kind[kind] = (
+                profile.forward_s_by_kind.get(kind, 0.0) + record.duration_s)
+        if loss_fn is not None:
+            loss = loss_fn(logits)
+            start = time.perf_counter()
+            loss.backward()
+            profile.backward_s = time.perf_counter() - start
+    profile.backend_ops = instrumented.op_stats
+    profile.arena = instrumented.arena_delta()
     return profile

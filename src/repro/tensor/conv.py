@@ -1,10 +1,18 @@
 """Convolution and pooling primitives with hand-written backward passes.
 
 Layout convention is NCHW throughout (matching PyTorch).  Convolution is
-implemented with a zero-copy strided im2col view plus an einsum contraction
-that handles standard, grouped, and depthwise convolution uniformly — the
-three flavours needed by ResNet-18 / Wide-ResNet (groups=1), ResNeXt
-(grouped 3x3), and MobileNetV2 (depthwise).
+a zero-copy strided im2col view plus an einsum contraction that handles
+standard, grouped, and depthwise convolution uniformly — the three
+flavours needed by ResNet-18 / Wide-ResNet (groups=1), ResNeXt (grouped
+3x3), and MobileNetV2 (depthwise).
+
+This module owns the autograd bookkeeping only; the actual kernels are
+dispatched to the active execution backend (:mod:`repro.engine`), which
+is captured at forward time so the backward closure runs on the same
+backend that produced the forward pass.  Padded-input workspaces come
+from the backend's arena and are released as soon as they can no longer
+be referenced — immediately when no graph is recorded, otherwise after
+the backward closure has consumed them.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.engine import get_backend
 from repro.tensor.tensor import Tensor
 
 
@@ -20,32 +29,6 @@ def _pair(value) -> Tuple[int, int]:
     if isinstance(value, (tuple, list)):
         return int(value[0]), int(value[1])
     return int(value), int(value)
-
-
-def _im2col_view(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
-    """Return a strided view of shape (N, C, kh, kw, Ho, Wo) over padded input."""
-    n, c, h, w = x.shape
-    ho = (h - kh) // sh + 1
-    wo = (w - kw) // sw + 1
-    sn, sc, sh_, sw_ = x.strides
-    shape = (n, c, kh, kw, ho, wo)
-    strides = (sn, sc, sh_, sw_, sh_ * sh, sw_ * sw)
-    return np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-
-
-def _col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int,
-            sh: int, sw: int) -> np.ndarray:
-    """Scatter-add a (N, C, kh, kw, Ho, Wo) gradient back to padded-input shape."""
-    n, c, h, w = x_shape
-    ho = cols.shape[-2]
-    wo = cols.shape[-1]
-    dx = np.zeros(x_shape, dtype=cols.dtype)
-    for i in range(kh):
-        h_stop = i + sh * ho
-        for j in range(kw):
-            w_stop = j + sw * wo
-            dx[:, :, i:h_stop:sh, j:w_stop:sw] += cols[:, :, i, j]
-    return dx
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
@@ -56,6 +39,7 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     (``groups == C`` gives depthwise convolution).  Gradients flow to ``x``,
     ``weight``, and ``bias``.
     """
+    backend = get_backend()
     sh, sw = _pair(stride)
     ph, pw = _pair(padding)
     n, c, h, w = x.data.shape
@@ -66,55 +50,45 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         raise ValueError(
             f"weight expects {cig} in-channels/group but input has {c // groups}")
 
-    xp = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x.data
-    view = _im2col_view(xp, kh, kw, sh, sw)          # (N, C, kh, kw, Ho, Wo)
-    ho, wo = view.shape[-2:]
-    cog = co // groups
-
-    vg = view.reshape(n, groups, cig, kh, kw, ho, wo)
-    wg = weight.data.reshape(groups, cog, cig, kh, kw)
-    # out[n, g, o, y, x] = sum_{c,i,j} w[g,o,c,i,j] * v[n,g,c,i,j,y,x]
-    out_data = np.einsum("gocij,ngcijyx->ngoyx", wg, vg, optimize=True)
-    out_data = out_data.reshape(n, co, ho, wo)
+    xp = backend.pad_input(x.data, ph, pw) if (ph or pw) else x.data
+    out_data = backend.conv2d_forward(xp, weight.data, (sh, sw), groups)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, co, 1, 1)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad: np.ndarray) -> None:
-        gg = grad.reshape(n, groups, cog, ho, wo)
-        if weight.requires_grad:
-            dw = np.einsum("ngoyx,ngcijyx->gocij", gg, vg, optimize=True)
-            out._send_grad(weight, dw.reshape(co, cig, kh, kw))
+        dxp, dw = backend.conv2d_backward(
+            grad, xp, weight.data, (sh, sw), groups,
+            x.requires_grad, weight.requires_grad)
+        if dw is not None:
+            out._send_grad(weight, dw)
         if bias is not None and bias.requires_grad:
             out._send_grad(bias, grad.sum(axis=(0, 2, 3)))
-        if x.requires_grad:
-            dcols = np.einsum("gocij,ngoyx->ngcijyx", wg, gg, optimize=True)
-            dcols = dcols.reshape(n, c, kh, kw, ho, wo)
-            dxp = _col2im(dcols, xp.shape, kh, kw, sh, sw)
+        if dxp is not None:
             if ph or pw:
                 dxp = dxp[:, :, ph:ph + h, pw:pw + w]
             out._send_grad(x, dxp)
+        if xp is not x.data:
+            backend.arena.release(xp)
 
     out = Tensor._from_op(out_data, parents, backward)
+    if not out.requires_grad and xp is not x.data:
+        # No closure captured the padded workspace; recycle it now.
+        backend.arena.release(xp)
     return out
 
 
 def max_pool2d(x: Tensor, kernel_size, stride=None) -> Tensor:
     """Max pooling over (N, C, H, W); ``stride`` defaults to ``kernel_size``."""
-    kh, kw = _pair(kernel_size)
-    sh, sw = _pair(stride if stride is not None else kernel_size)
-    view = _im2col_view(x.data, kh, kw, sh, sw)      # (N, C, kh, kw, Ho, Wo)
-    n, c, _, _, ho, wo = view.shape
-    flat = view.reshape(n, c, kh * kw, ho, wo)
-    arg = flat.argmax(axis=2)                         # (N, C, Ho, Wo)
-    out_data = np.take_along_axis(flat, arg[:, :, None], axis=2)[:, :, 0]
+    backend = get_backend()
+    kernel = _pair(kernel_size)
+    strides = _pair(stride if stride is not None else kernel_size)
+    out_data, arg = backend.max_pool2d_forward(x.data, kernel, strides)
 
     def backward(grad: np.ndarray) -> None:
-        dflat = np.zeros_like(flat)
-        np.put_along_axis(dflat, arg[:, :, None], grad[:, :, None], axis=2)
-        dcols = dflat.reshape(n, c, kh, kw, ho, wo)
-        out._send_grad(x, _col2im(dcols, x.data.shape, kh, kw, sh, sw))
+        out._send_grad(x, backend.max_pool2d_backward(
+            grad, arg, x.data.shape, kernel, strides))
 
     out = Tensor._from_op(out_data, (x,), backward)
     return out
@@ -122,19 +96,14 @@ def max_pool2d(x: Tensor, kernel_size, stride=None) -> Tensor:
 
 def avg_pool2d(x: Tensor, kernel_size, stride=None) -> Tensor:
     """Average pooling over (N, C, H, W)."""
-    kh, kw = _pair(kernel_size)
-    sh, sw = _pair(stride if stride is not None else kernel_size)
-    view = _im2col_view(x.data, kh, kw, sh, sw)
-    out_data = view.mean(axis=(2, 3))
-    n, c, _, _, ho, wo = view.shape
-    scale = 1.0 / (kh * kw)
+    backend = get_backend()
+    kernel = _pair(kernel_size)
+    strides = _pair(stride if stride is not None else kernel_size)
+    out_data = backend.avg_pool2d_forward(x.data, kernel, strides)
 
     def backward(grad: np.ndarray) -> None:
-        dcols = np.broadcast_to(
-            (grad * scale)[:, :, None, None], (n, c, kh, kw, ho, wo)
-        ).astype(grad.dtype)
-        out._send_grad(x, _col2im(np.ascontiguousarray(dcols), x.data.shape,
-                                  kh, kw, sh, sw))
+        out._send_grad(x, backend.avg_pool2d_backward(
+            grad, x.data.shape, kernel, strides))
 
     out = Tensor._from_op(out_data, (x,), backward)
     return out

@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.engine import get_backend
 from repro.tensor.tensor import Tensor
 
 
@@ -42,8 +43,8 @@ def batch_norm_train(
     data = x.data
     axes = (0, 2, 3)
     m = data.shape[0] * data.shape[2] * data.shape[3]
-    mean = data.mean(axis=axes)
-    var = data.var(axis=axes)  # biased, matching PyTorch normalization
+    # biased variance, matching PyTorch normalization
+    mean, var = get_backend().batchnorm_stats(data)
     inv_std = 1.0 / np.sqrt(var + eps)
     xhat = (data - mean[None, :, None, None]) * inv_std[None, :, None, None]
     out_data = gamma.data[None, :, None, None] * xhat + beta.data[None, :, None, None]

@@ -16,28 +16,37 @@ the same graph machinery through :func:`Tensor._from_op`.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-_GRAD_ENABLED = True
+# Grad mode is thread-local (like PyTorch's): disabling it inside one
+# thread — e.g. an inference stream — must not leak into worker threads
+# or other concurrent streams, and it composes with the engine's
+# thread-local `use_backend` stack in either nesting order.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Disable graph recording inside the ``with`` block (like torch.no_grad)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Disable graph recording inside the ``with`` block (like torch.no_grad).
+
+    Nestable and exception-safe: the previous mode is restored when the
+    block exits, even via ``raise``.  The mode is per-thread; other
+    threads continue to record graphs.
+    """
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return True when operations record the autograd graph."""
-    return _GRAD_ENABLED
+    """Return True when operations record the autograd graph (this thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -100,7 +109,7 @@ class Tensor:
         When autograd is disabled, or no parent requires grad, the result
         is a detached leaf.
         """
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)
@@ -320,13 +329,21 @@ class Tensor:
     # Linear algebra
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
-        """Matrix product supporting 2-D x 2-D (the case the models use)."""
+        """Matrix product supporting 2-D x 2-D (the case the models use).
+
+        Dispatches to the active execution backend (captured at forward
+        time so the backward pass runs on the same backend).
+        """
+        from repro.engine.base import get_backend  # deferred: keeps tensor importable standalone
+        backend = get_backend()
         other = Tensor._coerce(other, self)
-        out_data = self.data @ other.data
+        out_data = backend.matmul(self.data, other.data)
 
         def backward(grad: np.ndarray) -> None:
-            out._send_grad(self, grad @ other.data.swapaxes(-1, -2))
-            out._send_grad(other, self.data.swapaxes(-1, -2) @ grad)
+            out._send_grad(self, backend.matmul(
+                grad, other.data.swapaxes(-1, -2)))
+            out._send_grad(other, backend.matmul(
+                self.data.swapaxes(-1, -2), grad))
 
         out = Tensor._from_op(out_data, (self, other), backward)
         return out

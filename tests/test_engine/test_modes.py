@@ -1,0 +1,115 @@
+"""Autograd-mode handling and its composition with backend selection."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import NumpyBackend, get_backend, use_backend
+from repro.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def leaf():
+    return Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+
+
+class TestNoGradNesting:
+    def test_nested_no_grad_restores_each_level(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_ops_inside_no_grad_are_detached(self):
+        x = leaf()
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_mode_restored_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+        # And from a nested level:
+        with no_grad():
+            with pytest.raises(ValueError):
+                with no_grad():
+                    raise ValueError("boom")
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_is_thread_local(self):
+        """Disabling grad in one thread must not leak into another."""
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def disabled_thread():
+            with no_grad():
+                barrier.wait()       # both threads inside their regions
+                results["disabled"] = is_grad_enabled()
+                barrier.wait()
+
+        def enabled_thread():
+            barrier.wait()
+            results["enabled"] = is_grad_enabled()
+            barrier.wait()
+
+        threads = [threading.Thread(target=disabled_thread),
+                   threading.Thread(target=enabled_thread)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == {"disabled": False, "enabled": True}
+
+
+class TestComposition:
+    def test_use_backend_inside_no_grad(self):
+        backend = NumpyBackend()
+        with no_grad():
+            with use_backend(backend):
+                assert not is_grad_enabled()
+                assert get_backend() is backend
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+        assert get_backend() is not backend
+
+    def test_no_grad_inside_use_backend(self):
+        backend = NumpyBackend()
+        with use_backend(backend):
+            with no_grad():
+                assert get_backend() is backend
+                assert not is_grad_enabled()
+            assert is_grad_enabled()
+            assert get_backend() is backend
+
+    def test_exception_unwinds_both_contexts(self):
+        backend = NumpyBackend()
+        with pytest.raises(RuntimeError):
+            with use_backend(backend):
+                with no_grad():
+                    raise RuntimeError("boom")
+        assert is_grad_enabled()
+        assert get_backend() is not backend
+
+    def test_no_state_leaks_across_threads(self):
+        """A thread that sets both contexts leaves other threads untouched."""
+        backend = NumpyBackend()
+        inner = {}
+
+        def worker():
+            with use_backend(backend), no_grad():
+                inner["backend"] = get_backend()
+                inner["grad"] = is_grad_enabled()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert inner == {"backend": backend, "grad": False}
+        assert get_backend() is not backend
+        assert is_grad_enabled()
