@@ -63,8 +63,21 @@ class AdaptationMethod(abc.ABC):
 
     def prepare(self, model: Module) -> "AdaptationMethod":
         """Bind to ``model``, snapshot its state, and configure modes/grads."""
-        self.model = model
         self._snapshot = model.state_dict()
+        return self.bind(model)
+
+    def bind(self, model: Module) -> "AdaptationMethod":
+        """Attach to ``model`` and configure modes/grads *without* taking
+        the pristine snapshot.
+
+        For wrappers that manage model state themselves (the robustness
+        layer's :class:`~repro.robustness.guard.GuardedAdaptation` switches
+        ladder levels mid-stream and restores its own BN snapshots);
+        ``reset()`` stays the province of whichever method was
+        ``prepare``-d.  Re-binding also rebuilds per-method optimizer
+        state, which is exactly what a post-rollback retry wants.
+        """
+        self.model = model
         self.batches_adapted = 0
         self._configure(model)
         return self

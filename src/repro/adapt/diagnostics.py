@@ -66,10 +66,7 @@ class AdaptationMonitor:
 
     def prepare(self, model) -> "AdaptationMonitor":
         self.method.prepare(model)
-        self._source_stats = [
-            np.concatenate([layer.running_mean, layer.running_var])
-            for layer in bn_layers(model)
-        ]
+        self._source_stats = collect_bn_stats(model)
         self.history.clear()
         self._last_probe_predictions = None
         return self
@@ -95,13 +92,7 @@ class AdaptationMonitor:
 
     # -- signals ----------------------------------------------------------
     def _stats_drift(self, model) -> float:
-        current = [np.concatenate([layer.running_mean, layer.running_var])
-                   for layer in bn_layers(model)]
-        if not current:
-            return 0.0
-        distances = [float(np.linalg.norm(now - src) / np.sqrt(now.size))
-                     for now, src in zip(current, self._source_stats)]
-        return float(np.mean(distances))
+        return stats_drift(model, self._source_stats)
 
     def _probe_churn(self, model) -> Optional[float]:
         if self.probe is None:
@@ -136,3 +127,43 @@ def _mean_entropy(logits: np.ndarray) -> float:
     log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
     logp = shifted - log_z
     return float(-(np.exp(logp) * logp).sum(axis=-1).mean())
+
+
+# ----------------------------------------------------------------------
+# Label-free health signals (shared with the robustness guard layer)
+# ----------------------------------------------------------------------
+def mean_prediction_entropy(logits: np.ndarray) -> float:
+    """Mean per-sample Shannon entropy of softmax(logits), in nats."""
+    return _mean_entropy(logits)
+
+
+def collect_bn_stats(model) -> List[np.ndarray]:
+    """Per-BN-layer concatenated (running_mean, running_var) vectors."""
+    return [np.concatenate([layer.running_mean, layer.running_var])
+            for layer in bn_layers(model)]
+
+
+def stats_drift(model, source_stats: List[np.ndarray]) -> float:
+    """Mean normalized L2 distance of BN running stats from ``source_stats``.
+
+    ``source_stats`` is a :func:`collect_bn_stats` snapshot of the pristine
+    model.  Scale-normalized by ``sqrt(dim)`` per layer so models of any
+    width are comparable; NaN in either side propagates (a drift of NaN is
+    itself a guard violation).
+    """
+    current = collect_bn_stats(model)
+    if not current:
+        return 0.0
+    distances = [float(np.linalg.norm(now - src) / np.sqrt(now.size))
+                 for now, src in zip(current, source_stats)]
+    return float(np.mean(distances))
+
+
+def has_nonfinite_bn_state(model) -> bool:
+    """True when any BN running buffer or affine parameter is NaN/Inf."""
+    for layer in bn_layers(model):
+        for array in (layer.running_mean, layer.running_var,
+                      layer.weight.data, layer.bias.data):
+            if not np.isfinite(array).all():
+                return True
+    return False

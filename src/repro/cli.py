@@ -24,6 +24,11 @@ Commands
 ``bench``
     Time the execution-engine leaf kernels (conv forward/backward, one
     BN-Opt step) per backend and write ``BENCH_engine.json``.
+``stream``
+    Play a corrupted SynthCIFAR stream through an adaptation method for
+    real, optionally injecting faults (``--faults "nan:0.2,constant@3"``)
+    and guarding with rollback + degradation ladder (``--guard``); print
+    the resulting scorecard (see :mod:`repro.robustness`).
 
 Global flags ``--backend {numpy,threaded}`` and ``--threads N`` select
 the execution backend (see :mod:`repro.engine`) for any command that
@@ -157,6 +162,45 @@ def _cmd_scatter(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.data.stream import CorruptionStream
+    from repro.data.synthetic import make_synth_cifar
+    from repro.models import build_model
+    from repro.robustness import run_guarded_stream
+    from repro.train.trainer import pretrain_robust
+
+    if args.train:
+        model = pretrain_robust(args.model, image_size=16, seed=args.seed)
+    else:
+        model = build_model(args.model, "tiny")
+        print("note: model is untrained (pass --train for meaningful "
+              "accuracy); guard/fault mechanics are exercised either way")
+    data = make_synth_cifar(args.frames, size=16, seed=args.seed + 12345)
+    stream = CorruptionStream.from_dataset(data, args.corruption,
+                                           severity=args.severity,
+                                           seed=args.seed)
+    card = run_guarded_stream(model, args.method,
+                              stream.batches(args.batch_size),
+                              guard=args.guard, faults=args.faults,
+                              seed=args.seed, fps=args.fps)
+    print(card.describe())
+    if args.json:
+        from repro.core.io import save_json
+        from repro.core.records import MeasurementRecord, StudyResult
+        record = MeasurementRecord(
+            model=args.model, method=args.method,
+            batch_size=args.batch_size, device="host",
+            error_pct=card.effective_error_pct,
+            forward_time_s=card.wall_time_s / max(card.batches_total, 1),
+            energy_j=float("nan"), corruption=args.corruption,
+            faults_injected=card.faults_injected, rollbacks=card.rollbacks,
+            degraded_batches=card.degraded_batches,
+            fallback_frames=card.fallback_frames, guarded=bool(args.guard))
+        save_json(StudyResult([record]), args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.engine.bench import (DEFAULT_BENCH_PATH, format_engine_bench,
                                     write_engine_bench)
@@ -222,6 +266,39 @@ def build_parser() -> argparse.ArgumentParser:
     scatter = sub.add_parser("scatter", help="ASCII trade-off scatter")
     scatter.add_argument("--device", choices=DEVICE_NAMES, default=None)
     scatter.set_defaults(func=_cmd_scatter)
+
+    stream = sub.add_parser(
+        "stream", help="native corrupted stream with faults and guard")
+    from repro.adapt import EXTENSION_METHOD_NAMES, METHOD_NAMES
+    from repro.data.corruptions import CORRUPTION_NAMES
+    from repro.models.registry import MODEL_NAMES
+    stream.add_argument("--model", choices=MODEL_NAMES, default="wrn40_2")
+    stream.add_argument("--method",
+                        choices=METHOD_NAMES + EXTENSION_METHOD_NAMES,
+                        default="bn_opt")
+    stream.add_argument("--corruption",
+                        choices=tuple(CORRUPTION_NAMES) + ("clean",),
+                        default="gaussian_noise")
+    stream.add_argument("--severity", type=int, choices=range(1, 6),
+                        default=5)
+    stream.add_argument("--frames", type=_positive_int, default=128,
+                        help="total frames in the stream")
+    stream.add_argument("--batch-size", type=_positive_int, default=16)
+    stream.add_argument("--faults", metavar="SPEC", default=None,
+                        help='fault injection, e.g. "nan:0.2,constant@3" '
+                             "(fault[:rate|@idx[+idx...]], comma-separated)")
+    stream.add_argument("--guard", action="store_true",
+                        help="wrap the method in GuardedAdaptation "
+                             "(BN rollback + degradation ladder)")
+    stream.add_argument("--fps", type=float, default=None,
+                        help="arrival rate for deadline accounting")
+    stream.add_argument("--train", action="store_true",
+                        help="robustly pre-train the tiny model first "
+                             "(cached; slower on the first run)")
+    stream.add_argument("--seed", type=_non_negative_int, default=0)
+    stream.add_argument("--json", metavar="PATH", default=None,
+                        help="write the run as a study-result JSON record")
+    stream.set_defaults(func=_cmd_stream)
 
     bench = sub.add_parser("bench",
                            help="time engine leaf kernels per backend")

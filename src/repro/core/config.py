@@ -71,6 +71,12 @@ class StudyConfig:
     backend: str = "numpy"
     #: worker threads for the threaded backend (0 = one per CPU core)
     threads: int = 0
+    #: fault-injection spec for native streams ("" = clean), e.g.
+    #: "nan:0.1,constant@3"; see :mod:`repro.robustness.faults`
+    faults: str = ""
+    #: wrap each native method in GuardedAdaptation
+    #: (:mod:`repro.robustness.guard`)
+    guard: bool = False
     seed: int = 0
 
     def cases(self) -> List[Case]:

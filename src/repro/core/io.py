@@ -18,7 +18,13 @@ from repro.core.records import MeasurementRecord, StudyResult
 
 _FIELDS = ["model", "method", "batch_size", "device", "error_pct",
            "forward_time_s", "energy_j", "memory_gb", "oom",
-           "adapt_overhead_s", "corruption", "backend"]
+           "adapt_overhead_s", "corruption", "backend",
+           "faults_injected", "rollbacks", "degraded_batches",
+           "fallback_frames", "guarded"]
+
+# The guard-counter fields are absent from pre-robustness version-1
+# documents; _record_from_dict leaves them to the dataclass defaults, so
+# old files still load.
 
 _FORMAT_VERSION = 1
 
@@ -41,6 +47,24 @@ def _record_from_dict(row: dict) -> MeasurementRecord:
     if unknown:
         raise ValueError(f"unknown record fields: {sorted(unknown)}")
     return MeasurementRecord(**data)
+
+
+def _coerce_csv_row(row: dict) -> dict:
+    """Parse the string values of one CSV row back to record types."""
+    data = dict(row)
+    for key in ("batch_size", "faults_injected", "rollbacks",
+                "degraded_batches", "fallback_frames"):
+        if key in data and data[key] != "":
+            data[key] = int(data[key])
+    for key in ("error_pct", "memory_gb", "adapt_overhead_s"):
+        if key in data and data[key] != "":
+            data[key] = float(data[key])
+    for key in ("forward_time_s", "energy_j"):
+        data[key] = None if data.get(key) in ("", None) else float(data[key])
+    for key in ("oom", "guarded"):
+        if key in data:
+            data[key] = data[key] in ("True", "true", "1", True)
+    return data
 
 
 def dumps(result: StudyResult) -> str:
@@ -90,3 +114,15 @@ def to_csv(result: StudyResult) -> str:
 def save_csv(result: StudyResult, path: Union[str, Path]) -> None:
     """Write a study result to a CSV file."""
     Path(path).write_text(to_csv(result))
+
+
+def from_csv(text: str) -> StudyResult:
+    """Parse a study result from :func:`to_csv` output (full round-trip)."""
+    reader = csv.DictReader(io.StringIO(text))
+    return StudyResult([_record_from_dict(_coerce_csv_row(row))
+                        for row in reader])
+
+
+def load_csv(path: Union[str, Path]) -> StudyResult:
+    """Read a study result from a CSV file."""
+    return from_csv(Path(path).read_text())

@@ -32,6 +32,15 @@ class MeasurementRecord:
     corruption: str = ""
     #: execution backend that produced a native record ("" = simulated)
     backend: str = ""
+    # robustness-layer accounting (repro.robustness): how many faults the
+    # stream injected and what the guard did about them; all zero for
+    # clean/unguarded runs
+    faults_injected: int = 0
+    rollbacks: int = 0
+    degraded_batches: int = 0
+    fallback_frames: int = 0
+    #: whether GuardedAdaptation wrapped the method for this record
+    guarded: bool = False
 
     @property
     def case(self) -> Case:

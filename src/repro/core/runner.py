@@ -34,6 +34,8 @@ from repro.devices.energy import energy_per_batch
 from repro.devices.memory import estimate_memory
 from repro.models.registry import MODEL_NAMES, build_model
 from repro.models.summary import ModelSummary, summarize
+from repro.robustness.faults import FaultInjector, parse_fault_specs
+from repro.robustness.guard import GuardedAdaptation
 from repro.train.trainer import pretrain_robust
 
 
@@ -135,6 +137,12 @@ def run_native_study(config: Optional[StudyConfig] = None,
     Execution runs on the backend named by ``config.backend`` (with
     ``config.threads`` workers for the threaded backend); every record's
     ``backend`` field says which engine produced it.
+
+    ``config.faults`` injects faults into every stream on a seeded
+    schedule, and ``config.guard`` wraps each method in
+    :class:`~repro.robustness.guard.GuardedAdaptation`; the records'
+    guard counters (``faults_injected``/``rollbacks``/
+    ``degraded_batches``/``fallback_frames``) report what happened.
     """
     config = config or StudyConfig()
     backend = create_backend(config.backend, threads=config.threads)
@@ -156,6 +164,8 @@ def _run_native_study(config: StudyConfig, backend_name: str,
                                              severity=config.severity,
                                              seed=config.seed)
                for corruption in config.corruptions]
+    fault_specs = (parse_fault_specs(config.faults)
+                   if config.faults else None)
     for model_name in config.models:
         if models is not None and model_name in models:
             model = models[model_name]
@@ -169,20 +179,40 @@ def _run_native_study(config: StudyConfig, backend_name: str,
                 if method_name == "bn_opt":
                     kwargs.setdefault("lr", config.bn_opt_lr)
                 method = build_method(method_name, **kwargs)
+                if config.guard:
+                    method = GuardedAdaptation(method)
                 errors = []
                 wall = 0.0
                 batches = 0
-                for stream in streams:
+                counters = np.zeros(4, dtype=int)   # faults, rollbacks,
+                #                                     degraded, fallback
+                for stream_index, stream in enumerate(streams):
                     method.prepare(model)
+                    batch_iter = stream.batches(batch_size)
+                    injector = None
+                    if fault_specs is not None:
+                        injector = FaultInjector(
+                            fault_specs,
+                            seed=config.seed + 7919 * stream_index)
+                        batch_iter = injector.inject(batch_iter)
                     correct = 0
                     total = 0
-                    for images, labels in stream.batches(batch_size):
+                    for images, labels in batch_iter:
                         start = time.perf_counter()
                         logits = method.forward(images)
                         wall += time.perf_counter() - start
                         batches += 1
-                        correct += int((logits.argmax(axis=-1) == labels).sum())
+                        predictions = np.nan_to_num(logits).argmax(axis=-1)
+                        correct += int((predictions == labels).sum())
                         total += len(labels)
+                    stream_counters = np.array([
+                        injector.faults_injected if injector else 0,
+                        getattr(method, "rollbacks", 0),
+                        getattr(method, "degraded_batches", 0),
+                        getattr(method, "fallback_frames", 0)])
+                    counters += stream_counters
+                    # harvest before reset(): the guard re-arms its
+                    # counters when it re-prepares
                     method.reset()
                     error = 100.0 * (1.0 - correct / total)
                     errors.append(error)
@@ -193,11 +223,21 @@ def _run_native_study(config: StudyConfig, backend_name: str,
                             error_pct=error, forward_time_s=float("nan"),
                             energy_j=float("nan"),
                             corruption=stream.corruption,
-                            backend=backend_name))
+                            backend=backend_name,
+                            faults_injected=int(stream_counters[0]),
+                            rollbacks=int(stream_counters[1]),
+                            degraded_batches=int(stream_counters[2]),
+                            fallback_frames=int(stream_counters[3]),
+                            guarded=config.guard))
                 result.add(MeasurementRecord(
                     model=model_name, method=method_name,
                     batch_size=batch_size, device="host",
                     error_pct=float(np.mean(errors)),
                     forward_time_s=wall / max(batches, 1),
-                    energy_j=float("nan"), backend=backend_name))
+                    energy_j=float("nan"), backend=backend_name,
+                    faults_injected=int(counters[0]),
+                    rollbacks=int(counters[1]),
+                    degraded_batches=int(counters[2]),
+                    fallback_frames=int(counters[3]),
+                    guarded=config.guard))
     return result

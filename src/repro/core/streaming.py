@@ -23,7 +23,7 @@ studies) or measured per-batch accuracies (native runs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.core.reference import reference_error_pct
 from repro.devices.cost_model import forward_latency
@@ -39,6 +39,15 @@ _METHOD_FLAGS = {
     "bn_opt": (True, True),
 }
 
+#: faults that corrupt BN running statistics — mirrors
+#: repro.robustness.faults.POISONING_FAULTS, kept literal here so core
+#: never imports robustness (tests cross-check the two stay equal)
+_POISONING_FAULT_NAMES = frozenset({"nan", "inf", "constant", "wrong_range"})
+
+#: rollbacks a guarded poisoning batch costs = ladder rungs tried before
+#: the uniform fallback answers it (bn_opt -> bn_norm -> no_adapt)
+_LADDER_DEPTH = {"no_adapt": 1, "bn_norm": 2, "bn_opt": 3}
+
 
 @dataclass(frozen=True)
 class StreamScorecard:
@@ -53,6 +62,12 @@ class StreamScorecard:
     effective_error_pct: float    # processed at adapted error, drops at baseline
     energy_j: float
     wall_time_s: float
+    # guard/fault accounting (repro.robustness); all zero for clean
+    # unguarded runs so pre-robustness callers are unaffected
+    faults_injected: int = 0
+    rollbacks: int = 0            # BN-snapshot restores by the guard
+    degraded_batches: int = 0     # batches served below the requested method
+    fallback_frames: int = 0      # frames answered by the bottom-rung fallback
 
     @property
     def drop_rate(self) -> float:
@@ -63,12 +78,18 @@ class StreamScorecard:
         return self.batches_late / self.batches_total if self.batches_total else 0.0
 
     def describe(self) -> str:
-        return (f"{self.frames_processed}/{self.frames_total} frames "
+        text = (f"{self.frames_processed}/{self.frames_total} frames "
                 f"processed ({self.drop_rate:.0%} dropped), "
                 f"{self.deadline_miss_rate:.0%} batches late, "
                 f"latency {self.mean_frame_latency_s * 1e3:.0f} ms/frame, "
                 f"effective error {self.effective_error_pct:.2f}%, "
                 f"{self.energy_j:.1f} J")
+        if self.faults_injected or self.rollbacks or self.degraded_batches:
+            text += (f" | guard: {self.faults_injected} faults, "
+                     f"{self.rollbacks} rollbacks, "
+                     f"{self.degraded_batches} degraded batches, "
+                     f"{self.fallback_frames} fallback frames")
+        return text
 
 
 @dataclass
@@ -80,11 +101,15 @@ class RealTimeStream:
     fps:
         Frame arrival rate of the sensor.
     num_frames:
-        Total frames in the stream.
+        Total frames in the stream (0 = an empty stream, which yields an
+        all-zero scorecard rather than an error — streams that end before
+        the first batch are a legitimate edge deployment outcome).
     batch_size:
         Adaptation batch size (frames per processing step).
     queue_capacity:
         Maximum *batches* of backlog the device buffers before dropping.
+        ``0`` means no buffering at all: any batch arriving while the
+        device is still busy is dropped.
     """
 
     fps: float
@@ -93,16 +118,21 @@ class RealTimeStream:
     queue_capacity: int = 2
 
     def __post_init__(self):
-        if self.fps <= 0 or self.num_frames <= 0 or self.batch_size <= 0:
-            raise ValueError("fps, num_frames, batch_size must be positive")
-        if self.queue_capacity < 1:
-            raise ValueError("queue_capacity must be >= 1")
+        if self.fps <= 0 or self.batch_size <= 0:
+            raise ValueError("fps and batch_size must be positive")
+        if self.num_frames < 0:
+            raise ValueError("num_frames must be >= 0")
+        if self.queue_capacity < 0:
+            raise ValueError("queue_capacity must be >= 0")
 
 
 def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
                       method: str, stream: RealTimeStream,
                       adapted_error_pct: Optional[float] = None,
-                      baseline_error_pct: Optional[float] = None
+                      baseline_error_pct: Optional[float] = None,
+                      fault_batches: Optional[Mapping[int, str]] = None,
+                      guard: bool = False,
+                      poisoned_error_pct: float = 90.0
                       ) -> StreamScorecard:
     """Play ``stream`` through (model, device, method) in simulated time.
 
@@ -110,6 +140,23 @@ def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
     reference grid values for the model (by summary name) and method.
     Raises :class:`MemoryError` via the memory model if the
     configuration cannot run at all.
+
+    ``fault_batches`` maps batch indices to fault names (as produced by
+    :meth:`repro.robustness.faults.FaultSchedule.plan`), modeling the
+    native robustness layer analytically:
+
+    - *unguarded*: a poisoning fault (NaN/Inf/constant/wrong-range
+      pixels) corrupts the BN running statistics, so the faulted batch
+      **and every subsequent processed batch** are scored at
+      ``poisoned_error_pct`` (chance level for 10 classes by default) —
+      the silent-failure baseline the robustness layer exists to fix;
+    - ``guard=True``: the faulted batch triggers rollbacks down the
+      degradation ladder (doubled service time and energy for the
+      retries), its frames are answered by the uniform-logits fallback
+      at ``poisoned_error_pct`` — a garbage batch stays unanswerable —
+      but the stream *recovers*: subsequent clean batches score at the
+      adapted error again, and the scorecard's guard counters record
+      the cost.
     """
     if method not in _METHOD_FLAGS:
         raise KeyError(f"unknown method {method!r}")
@@ -134,6 +181,9 @@ def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
     batch_energy = energy_per_batch(latency, device)
     batch_period = stream.batch_size / stream.fps
 
+    fault_batches = dict(fault_batches or {})
+    poisoning = _POISONING_FAULT_NAMES if fault_batches else frozenset()
+
     num_batches = stream.num_frames // stream.batch_size
     device_free_at = 0.0
     frames_processed = 0
@@ -142,21 +192,52 @@ def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
     total_latency = 0.0
     energy = 0.0
     finish = 0.0
+    error_sum = 0.0            # summed per-frame error over all frames
+    faults_injected = 0
+    rollbacks = 0
+    degraded_batches = 0
+    fallback_frames = 0
+    poisoned = False           # unguarded BN stats corrupted permanently
 
     for index in range(num_batches):
+        fault = fault_batches.get(index, "")
+        if fault:
+            faults_injected += 1
         arrival_complete = (index + 1) * batch_period
         start = max(arrival_complete, device_free_at)
         backlog_batches = (start - arrival_complete) / batch_period
         if backlog_batches > stream.queue_capacity:
             # queue overflow: answer this batch with the stale model
             frames_dropped += stream.batch_size
+            error_sum += (poisoned_error_pct if poisoned
+                          else baseline_error_pct) * stream.batch_size
             # dropped frames are "served" instantly at arrival
             finish = max(finish, arrival_complete)
             continue
-        finish = start + service_time
+        batch_service = service_time
+        batch_cost = batch_energy
+        if fault in poisoning:
+            if guard:
+                # rollback/retry down the ladder; frames answered by the
+                # uniform fallback, stream state protected
+                rollbacks += _LADDER_DEPTH[method]
+                degraded_batches += 1
+                fallback_frames += stream.batch_size
+                batch_service = 2 * service_time
+                batch_cost = 2 * batch_energy
+                error_sum += poisoned_error_pct * stream.batch_size
+            else:
+                # silent poisoning: this and (for adapting methods)
+                # every later batch is scored at garbage error
+                poisoned = poisoned or adapts
+                error_sum += poisoned_error_pct * stream.batch_size
+        else:
+            error_sum += (poisoned_error_pct if poisoned
+                          else adapted_error_pct) * stream.batch_size
+        finish = start + batch_service
         device_free_at = finish
         frames_processed += stream.batch_size
-        energy += batch_energy
+        energy += batch_cost
         # deadline: results should be ready before the *next* batch has
         # fully arrived (one-period deadline)
         if finish > arrival_complete + batch_period:
@@ -167,10 +248,7 @@ def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
         total_latency += (finish - mean_arrival) * stream.batch_size
 
     frames_total = num_batches * stream.batch_size
-    processed_error = adapted_error_pct * frames_processed
-    dropped_error = baseline_error_pct * frames_dropped
-    effective_error = ((processed_error + dropped_error) / frames_total
-                       if frames_total else 0.0)
+    effective_error = error_sum / frames_total if frames_total else 0.0
     mean_latency = (total_latency / frames_processed
                     if frames_processed else 0.0)
     return StreamScorecard(
@@ -183,6 +261,10 @@ def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
         effective_error_pct=effective_error,
         energy_j=energy,
         wall_time_s=finish,
+        faults_injected=faults_injected,
+        rollbacks=rollbacks,
+        degraded_batches=degraded_batches,
+        fallback_frames=fallback_frames,
     )
 
 

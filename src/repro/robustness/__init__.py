@@ -1,0 +1,52 @@
+"""Robustness layer: fault injection, guarded adaptation, degradation.
+
+The paper's deployment scenarios (drones, remote sensors, medical
+scanners) adapt **without labels**, so nothing tells the operator when a
+bad batch has poisoned the BN statistics every later frame depends on.
+This package makes the streaming story deployable rather than
+best-case-only:
+
+- :mod:`repro.robustness.faults` — seeded injection of the faults edge
+  pipelines actually produce (NaN/Inf pixels, constant batches,
+  wrong-range inputs, truncated batches, duplicated frames);
+- :mod:`repro.robustness.guard` — :class:`GuardedAdaptation`: per-batch
+  BN snapshots, label-free health checks, bit-identical rollback and a
+  ``bn_opt -> bn_norm -> no_adapt`` degradation ladder with cooldown;
+- :mod:`repro.robustness.harness` — :func:`run_guarded_stream`, the
+  native end-to-end runner producing a guard-annotated
+  :class:`~repro.core.streaming.StreamScorecard`.
+"""
+
+from repro.robustness.faults import (
+    FAULT_NAMES,
+    POISONING_FAULTS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    apply_fault,
+    parse_fault_specs,
+)
+from repro.robustness.guard import (
+    LADDER,
+    GuardConfig,
+    GuardedAdaptation,
+    GuardEvent,
+)
+from repro.robustness.harness import run_guarded_stream
+
+__all__ = [
+    "FAULT_NAMES",
+    "POISONING_FAULTS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "apply_fault",
+    "parse_fault_specs",
+    "LADDER",
+    "GuardConfig",
+    "GuardedAdaptation",
+    "GuardEvent",
+    "run_guarded_stream",
+]

@@ -1,0 +1,66 @@
+"""Golden regression pins: reference-grid values and objective winners.
+
+These values are *pinned outputs*, not derived expectations: a failure
+here means a code change silently moved a number every downstream figure
+and selection depends on.  If the change is intentional, update the
+constants in the same commit and say why.
+"""
+
+import pytest
+
+from repro.core.objectives import WEIGHT_CASES, select_best
+from repro.core.reference import reference_error_pct
+
+#: (model, method) -> error % at batch 50/100/200, straight from the
+#: paper grid (mobilenet rows partially reconstructed)
+GOLDEN_REFERENCE = {
+    ("wrn40_2", "no_adapt"): (18.26, 18.26, 18.26),
+    ("wrn40_2", "bn_norm"): (15.21, 14.60, 14.35),
+    ("wrn40_2", "bn_opt"): (12.37, 11.85, 11.60),
+    ("resnet18", "no_adapt"): (19.40, 19.40, 19.40),
+    ("resnet18", "bn_norm"): (15.40, 14.80, 14.55),
+    ("resnet18", "bn_opt"): (12.97, 12.50, 12.20),
+    ("resnext29", "no_adapt"): (17.55, 17.55, 17.55),
+    ("resnext29", "bn_norm"): (14.05, 13.50, 13.00),
+    ("resnext29", "bn_opt"): (11.30, 10.65, 10.15),
+    ("mobilenet_v2", "no_adapt"): (81.20, 81.20, 81.20),
+    ("mobilenet_v2", "bn_norm"): (40.50, 38.00, 36.20),
+    ("mobilenet_v2", "bn_opt"): (33.00, 30.00, 28.10),
+}
+
+#: (scheme, weight case) -> winning (model, method, batch_size, device)
+#: of the full simulated study grid
+GOLDEN_WINNERS = {
+    ("raw", "equal"): ("wrn40_2", "bn_norm", 50, "xavier_nx_gpu"),
+    ("raw", "performance"): ("wrn40_2", "no_adapt", 50, "xavier_nx_gpu"),
+    ("raw", "accuracy"): ("wrn40_2", "bn_opt", 50, "xavier_nx_gpu"),
+    ("raw", "energy"): ("wrn40_2", "no_adapt", 50, "xavier_nx_gpu"),
+    ("minmax", "equal"): ("wrn40_2", "bn_opt", 100, "xavier_nx_gpu"),
+    ("minmax", "performance"): ("wrn40_2", "bn_opt", 50, "xavier_nx_gpu"),
+    ("minmax", "accuracy"): ("resnext29", "bn_opt", 100, "xavier_nx_gpu"),
+    ("minmax", "energy"): ("wrn40_2", "bn_opt", 50, "xavier_nx_gpu"),
+}
+
+
+class TestGoldenReferenceGrid:
+    @pytest.mark.parametrize("model,method", sorted(GOLDEN_REFERENCE))
+    def test_grid_values_pinned(self, model, method):
+        expected = GOLDEN_REFERENCE[(model, method)]
+        actual = tuple(reference_error_pct(model, method, batch)
+                       for batch in (50, 100, 200))
+        assert actual == pytest.approx(expected, abs=1e-9)
+
+    def test_grid_covers_all_golden_cells(self):
+        assert len(GOLDEN_REFERENCE) == 4 * 3
+
+
+class TestGoldenObjectiveWinners:
+    @pytest.mark.parametrize("scheme,case", sorted(GOLDEN_WINNERS))
+    def test_winner_pinned(self, simulated_study, scheme, case):
+        best = select_best(simulated_study, WEIGHT_CASES[case], scheme)
+        assert (best.model, best.method, best.batch_size, best.device) \
+            == GOLDEN_WINNERS[(scheme, case)]
+
+    def test_every_weight_case_pinned(self):
+        cases = {case for _, case in GOLDEN_WINNERS}
+        assert cases == set(WEIGHT_CASES)

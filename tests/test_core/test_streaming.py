@@ -28,7 +28,12 @@ class TestConfigValidation:
             RealTimeStream(fps=10, num_frames=-1, batch_size=50)
         with pytest.raises(ValueError):
             RealTimeStream(fps=10, num_frames=100, batch_size=50,
-                           queue_capacity=0)
+                           queue_capacity=-1)
+
+    def test_zero_capacity_and_zero_frames_are_legal(self):
+        RealTimeStream(fps=10, num_frames=100, batch_size=50,
+                       queue_capacity=0)
+        RealTimeStream(fps=10, num_frames=0, batch_size=50)
 
     def test_unknown_method(self, wrn):
         with pytest.raises(KeyError):
@@ -89,6 +94,61 @@ class TestOverloadRegime:
                                              batch_size=200))
 
 
+class TestEdgeCases:
+    """Degenerate stream configurations must not crash or divide by zero."""
+
+    def test_zero_length_stream(self, wrn):
+        card = simulate_realtime(wrn, device_info("xavier_nx_gpu"),
+                                 "bn_norm",
+                                 RealTimeStream(fps=10, num_frames=0,
+                                                batch_size=50))
+        assert card.frames_total == 0
+        assert card.frames_processed == 0
+        assert card.effective_error_pct == 0.0
+        assert card.mean_frame_latency_s == 0.0
+        assert card.wall_time_s == 0.0
+        assert card.drop_rate == 0.0
+        assert card.deadline_miss_rate == 0.0
+
+    def test_stream_shorter_than_one_batch(self, wrn):
+        card = simulate_realtime(wrn, device_info("xavier_nx_gpu"),
+                                 "bn_norm",
+                                 RealTimeStream(fps=10, num_frames=30,
+                                                batch_size=50))
+        assert card.batches_total == 0
+        assert card.frames_total == 0
+
+    def test_zero_queue_capacity_drops_under_any_backlog(self, wrn):
+        """capacity=0: the device buffers nothing, so a stream faster
+        than the service rate keeps only the batches that arrive while
+        the device is idle."""
+        device = device_info("ultra96")
+        stream = RealTimeStream(fps=50, num_frames=2000, batch_size=50,
+                                queue_capacity=0)
+        card = simulate_realtime(wrn, device, "bn_opt", stream)
+        assert card.frames_dropped > 0
+        assert card.frames_processed + card.frames_dropped == card.frames_total
+        capacious = RealTimeStream(fps=50, num_frames=2000, batch_size=50,
+                                   queue_capacity=10)
+        assert simulate_realtime(wrn, device, "bn_opt",
+                                 capacious).frames_dropped < card.frames_dropped
+
+    def test_burst_arrival_conserves_frames(self, wrn):
+        """Arrival far above the sustainable rate: every frame is either
+        processed or dropped, never lost, and rates stay in [0, 1]."""
+        device = device_info("ultra96")
+        sustainable = max_sustainable_fps(wrn, device, "bn_opt", 50)
+        stream = RealTimeStream(fps=sustainable * 100, num_frames=1000,
+                                batch_size=50, queue_capacity=1)
+        card = simulate_realtime(wrn, device, "bn_opt", stream)
+        assert card.frames_processed + card.frames_dropped == card.frames_total
+        assert 0.0 <= card.drop_rate <= 1.0
+        assert 0.0 <= card.deadline_miss_rate <= 1.0
+        assert card.frames_dropped > 0
+        # effective error stays between the adapted and baseline errors
+        assert 12.37 <= card.effective_error_pct <= 18.26
+
+
 class TestSustainableFps:
     def test_ordering_across_methods(self, wrn):
         device = device_info("xavier_nx_gpu")
@@ -110,6 +170,78 @@ class TestSustainableFps:
         fps = max_sustainable_fps(wrn, device_info("xavier_nx_gpu"),
                                   "bn_norm", 50)
         assert 120 < fps < 200
+
+
+class TestFaultsAndGuard:
+    """Analytic model of the robustness layer inside the simulator."""
+
+    STREAM = dict(fps=10, num_frames=500, batch_size=50)
+
+    def test_clean_run_has_zero_guard_counters(self, wrn):
+        card = simulate_realtime(wrn, device_info("xavier_nx_gpu"),
+                                 "bn_norm", RealTimeStream(**self.STREAM))
+        assert card.faults_injected == 0
+        assert card.rollbacks == 0
+        assert card.degraded_batches == 0
+        assert card.fallback_frames == 0
+        assert "guard" not in card.describe()
+
+    def test_unguarded_poisoning_corrupts_rest_of_stream(self, wrn):
+        device = device_info("xavier_nx_gpu")
+        clean = simulate_realtime(wrn, device, "bn_norm",
+                                  RealTimeStream(**self.STREAM))
+        hit = simulate_realtime(wrn, device, "bn_norm",
+                                RealTimeStream(**self.STREAM),
+                                fault_batches={2: "nan"})
+        # batches 2..9 of 10 run at chance level (90%) instead of 15.21%
+        assert hit.faults_injected == 1
+        assert hit.rollbacks == 0
+        expected = (2 * clean.effective_error_pct + 8 * 90.0) / 10
+        assert hit.effective_error_pct == pytest.approx(expected)
+
+    def test_unguarded_no_adapt_is_immune_to_poisoning_faults(self, wrn):
+        """A frozen model has no running stats to poison: only the
+        faulted batch itself is garbage."""
+        device = device_info("xavier_nx_gpu")
+        card = simulate_realtime(wrn, device, "no_adapt",
+                                 RealTimeStream(**self.STREAM),
+                                 fault_batches={2: "nan"})
+        expected = (9 * 18.26 + 90.0) / 10
+        assert card.effective_error_pct == pytest.approx(expected)
+
+    def test_guard_recovers_and_counts_the_cost(self, wrn):
+        device = device_info("xavier_nx_gpu")
+        clean = simulate_realtime(wrn, device, "bn_norm",
+                                  RealTimeStream(**self.STREAM))
+        guarded = simulate_realtime(wrn, device, "bn_norm",
+                                    RealTimeStream(**self.STREAM),
+                                    fault_batches={2: "nan"}, guard=True)
+        unguarded = simulate_realtime(wrn, device, "bn_norm",
+                                      RealTimeStream(**self.STREAM),
+                                      fault_batches={2: "nan"})
+        # guard: only the faulted batch is lost (uniform fallback)
+        expected = (9 * clean.effective_error_pct + 90.0) / 10
+        assert guarded.effective_error_pct == pytest.approx(expected)
+        assert guarded.effective_error_pct < unguarded.effective_error_pct
+        # ladder depth for bn_norm is 2 (bn_norm -> no_adapt)
+        assert guarded.rollbacks == 2
+        assert guarded.degraded_batches == 1
+        assert guarded.fallback_frames == 50
+        # the retries cost extra energy
+        assert guarded.energy_j > unguarded.energy_j
+        assert "guard:" in guarded.describe()
+
+    def test_benign_faults_do_not_poison(self, wrn):
+        device = device_info("xavier_nx_gpu")
+        clean = simulate_realtime(wrn, device, "bn_norm",
+                                  RealTimeStream(**self.STREAM))
+        card = simulate_realtime(wrn, device, "bn_norm",
+                                 RealTimeStream(**self.STREAM),
+                                 fault_batches={2: "truncated",
+                                                4: "duplicated"})
+        assert card.faults_injected == 2
+        assert card.effective_error_pct == pytest.approx(
+            clean.effective_error_pct)
 
 
 class TestScorecard:

@@ -1,0 +1,83 @@
+"""Batch-level property tests for the corruption suite.
+
+The single-image contract is covered in ``test_property_data.py``; the
+robustness layer feeds whole *batches* through :func:`corrupt_batch`, so
+these pin the batch-level invariants for every corruption type: shape,
+dtype, and pixel-range preservation, seed determinism, per-image seed
+decorrelation, and agreement with the per-image path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.corruptions import (
+    CORRUPTION_NAMES,
+    SEVERITIES,
+    apply_corruption,
+    corrupt_batch,
+)
+from repro.data.synthetic import make_synth_cifar
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return make_synth_cifar(6, size=16, seed=1).images
+
+
+@pytest.mark.parametrize("name", CORRUPTION_NAMES)
+class TestBatchContract:
+    def test_shape_dtype_range_preserved(self, batch, name):
+        for severity in (1, 5):
+            out = corrupt_batch(batch, name, severity=severity, seed=0)
+            assert out.shape == batch.shape
+            assert out.dtype == batch.dtype == np.float32
+            assert np.isfinite(out).all()
+            assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_seed_determinism(self, batch, name):
+        a = corrupt_batch(batch, name, severity=3, seed=42)
+        b = corrupt_batch(batch, name, severity=3, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_matches_per_image_application(self, batch, name):
+        """corrupt_batch(seed) is exactly apply_corruption(seed + i) per
+        image — the contract the streaming layer relies on."""
+        out = corrupt_batch(batch, name, severity=4, seed=7)
+        for i, image in enumerate(batch):
+            np.testing.assert_array_equal(
+                out[i], apply_corruption(image, name, severity=4, seed=7 + i))
+
+    def test_input_batch_not_mutated(self, batch, name):
+        before = batch.copy()
+        corrupt_batch(batch, name, severity=5, seed=0)
+        np.testing.assert_array_equal(batch, before)
+
+
+@pytest.mark.parametrize("name", ["gaussian_noise", "shot_noise",
+                                  "impulse_noise", "glass_blur"])
+def test_stochastic_corruptions_decorrelate_per_image(name):
+    """Identical frames in one batch must not receive identical noise
+    (each image draws from its own seed)."""
+    frame = make_synth_cifar(1, size=16, seed=2).images[0]
+    batch = np.stack([frame, frame])
+    out = corrupt_batch(batch, name, severity=5, seed=0)
+    assert not np.array_equal(out[0], out[1])
+
+
+def test_non_nchw_batch_rejected():
+    with pytest.raises(ValueError, match="NCHW"):
+        corrupt_batch(np.zeros((3, 16, 16), dtype=np.float32), "fog")
+
+
+@given(st.sampled_from(CORRUPTION_NAMES), st.sampled_from(SEVERITIES),
+       st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_batch_contract_for_any_severity_and_seed(name, severity, seed):
+    images = make_synth_cifar(2, size=12, seed=0).images
+    out = corrupt_batch(images, name, severity=severity, seed=seed)
+    assert out.shape == images.shape
+    assert out.dtype == np.float32
+    assert np.isfinite(out).all()
+    assert out.min() >= 0.0 and out.max() <= 1.0
