@@ -29,6 +29,12 @@ Commands
     real, optionally injecting faults (``--faults "nan:0.2,constant@3"``)
     and guarding with rollback + degradation ladder (``--guard``); print
     the resulting scorecard (see :mod:`repro.robustness`).
+``native``
+    Run the native (really-executed) adaptation grid cell by cell with
+    crash-safe execution: ``--journal`` appends every cell outcome to a
+    JSONL run journal, ``--resume`` skips cells already journaled ok,
+    and ``--max-retries`` / ``--cell-timeout`` bound retries and
+    per-cell wall time (see :mod:`repro.resilience`).
 
 Global flags ``--backend {numpy,threaded}`` and ``--threads N`` select
 the execution backend (see :mod:`repro.engine`) for any command that
@@ -201,6 +207,42 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_native(args: argparse.Namespace) -> int:
+    from repro.core.runner import run_native_study
+
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    config = StudyConfig(
+        models=tuple(args.models), methods=tuple(args.methods),
+        batch_sizes=tuple(args.batch_sizes),
+        corruptions=tuple(args.corruptions), severity=args.severity,
+        stream_samples=args.samples, train_epochs=args.train_epochs,
+        faults=args.faults or "", guard=args.guard,
+        backend=args.backend or "numpy", threads=args.threads or 0,
+        journal=args.journal or "", resume=args.resume,
+        max_retries=args.max_retries, cell_timeout=args.cell_timeout,
+        seed=args.seed)
+    result = run_native_study(config, per_corruption=args.per_corruption)
+    print(result.to_table(title="Native study grid (measured):"))
+    if args.json:
+        from repro.core.io import save_json
+        save_json(result, args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        from repro.core.io import save_csv
+        save_csv(result, args.csv)
+        print(f"wrote {args.csv}")
+    broken = [r for r in result if r.status != "ok"]
+    if broken:
+        where = f"; journal: {args.journal}" if args.journal else ""
+        print(f"\n{len(broken)} cell(s) did not complete "
+              f"({', '.join(sorted({r.status for r in broken}))}){where}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.engine.bench import (DEFAULT_BENCH_PATH, format_engine_bench,
                                     write_engine_bench)
@@ -299,6 +341,55 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--json", metavar="PATH", default=None,
                         help="write the run as a study-result JSON record")
     stream.set_defaults(func=_cmd_stream)
+
+    native = sub.add_parser(
+        "native",
+        help="crash-safe native adaptation grid (journal/resume/retries)")
+    from repro.core.config import (PAPER_BATCH_SIZES, STUDY_METHODS,
+                                   STUDY_MODELS)
+    native.add_argument("--models", nargs="*", choices=MODEL_NAMES,
+                        default=["wrn40_2"],
+                        help=f"grid models (paper grid: {STUDY_MODELS})")
+    native.add_argument("--methods", nargs="*",
+                        choices=METHOD_NAMES + EXTENSION_METHOD_NAMES,
+                        default=list(STUDY_METHODS))
+    native.add_argument("--batch-sizes", nargs="*", type=_positive_int,
+                        default=[50],
+                        help=f"paper grid: {PAPER_BATCH_SIZES}")
+    native.add_argument("--corruptions", nargs="*",
+                        choices=tuple(CORRUPTION_NAMES) + ("clean",),
+                        default=["gaussian_noise", "fog"],
+                        help="corruption streams per cell "
+                             "(default: a fast two-stream subset)")
+    native.add_argument("--severity", type=int, choices=range(1, 6),
+                        default=5)
+    native.add_argument("--samples", type=_positive_int, default=200,
+                        help="stream samples per corruption")
+    native.add_argument("--train-epochs", type=_positive_int, default=10,
+                        help="pre-training epochs (models are cached)")
+    native.add_argument("--per-corruption", action="store_true",
+                        help="emit one extra record per corruption type")
+    native.add_argument("--faults", metavar="SPEC", default=None,
+                        help="fault-injection spec (see 'stream')")
+    native.add_argument("--guard", action="store_true",
+                        help="wrap methods in GuardedAdaptation")
+    native.add_argument("--journal", metavar="PATH", default=None,
+                        help="append every cell outcome to this JSONL "
+                             "run journal (crash-safe, fsync'd)")
+    native.add_argument("--resume", action="store_true",
+                        help="skip cells the journal already records as "
+                             "ok (requires --journal)")
+    native.add_argument("--max-retries", type=_non_negative_int, default=0,
+                        help="extra attempts per failing cell")
+    native.add_argument("--cell-timeout", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="soft per-cell watchdog deadline (0 = none)")
+    native.add_argument("--seed", type=_non_negative_int, default=0)
+    native.add_argument("--json", metavar="PATH", default=None,
+                        help="write the grid as study-result JSON")
+    native.add_argument("--csv", metavar="PATH", default=None,
+                        help="write the grid as CSV")
+    native.set_defaults(func=_cmd_native)
 
     bench = sub.add_parser("bench",
                            help="time engine leaf kernels per backend")

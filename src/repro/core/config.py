@@ -77,6 +77,17 @@ class StudyConfig:
     #: wrap each native method in GuardedAdaptation
     #: (:mod:`repro.robustness.guard`)
     guard: bool = False
+    # resilient-execution parameters (:mod:`repro.resilience`); the
+    # native runner drives its grid cell-by-cell through a
+    # ResilientExecutor configured from these
+    #: JSONL run-journal path for native runs ("" = no journal)
+    journal: str = ""
+    #: skip cells the journal already records as ok (requires ``journal``)
+    resume: bool = False
+    #: extra attempts per failing native cell (0 = fail once, move on)
+    max_retries: int = 0
+    #: soft per-cell watchdog deadline in seconds (0 = no deadline)
+    cell_timeout: float = 0.0
     seed: int = 0
 
     def cases(self) -> List[Case]:

@@ -15,24 +15,30 @@ from pathlib import Path
 from typing import List, Union
 
 from repro.core.records import MeasurementRecord, StudyResult
+from repro.resilience.atomic import atomic_write_text
 
 _FIELDS = ["model", "method", "batch_size", "device", "error_pct",
            "forward_time_s", "energy_j", "memory_gb", "oom",
            "adapt_overhead_s", "corruption", "backend",
            "faults_injected", "rollbacks", "degraded_batches",
-           "fallback_frames", "guarded"]
+           "fallback_frames", "guarded", "status", "attempts"]
 
-# The guard-counter fields are absent from pre-robustness version-1
-# documents; _record_from_dict leaves them to the dataclass defaults, so
-# old files still load.
+# The guard-counter fields (pre-robustness documents) and the
+# status/attempts fields (pre-resilience documents) are absent from
+# older version-1 files; _record_from_dict leaves them to the dataclass
+# defaults, so old files still load.
 
 _FORMAT_VERSION = 1
+
+#: float fields that may legitimately be NaN (JSON has no NaN, so they
+#: are encoded as null / empty CSV cells): OOM cost fields, plus the
+#: error of a failed/zero-sample cell
+_NULLABLE_FLOATS = ("error_pct", "forward_time_s", "energy_j")
 
 
 def _record_to_dict(record: MeasurementRecord) -> dict:
     row = {name: getattr(record, name) for name in _FIELDS}
-    # JSON has no NaN; encode OOM cost fields as None
-    for key in ("forward_time_s", "energy_j"):
+    for key in _NULLABLE_FLOATS:
         if isinstance(row[key], float) and math.isnan(row[key]):
             row[key] = None
     return row
@@ -40,8 +46,8 @@ def _record_to_dict(record: MeasurementRecord) -> dict:
 
 def _record_from_dict(row: dict) -> MeasurementRecord:
     data = dict(row)
-    for key in ("forward_time_s", "energy_j"):
-        if data.get(key) is None:
+    for key in _NULLABLE_FLOATS:
+        if data.get(key, "") is None:
             data[key] = float("nan")
     unknown = set(data) - set(_FIELDS)
     if unknown:
@@ -49,17 +55,32 @@ def _record_from_dict(row: dict) -> MeasurementRecord:
     return MeasurementRecord(**data)
 
 
+def record_to_dict(record: MeasurementRecord) -> dict:
+    """One record as a JSON-safe dict (NaN-able floats become ``None``).
+
+    This is the per-record unit of the study-result format; the run
+    journal (:mod:`repro.resilience.journal`) embeds these dicts in its
+    ``cell_ok`` entries so a resume can replay them bit-identically.
+    """
+    return _record_to_dict(record)
+
+
+def record_from_dict(row: dict) -> MeasurementRecord:
+    """Inverse of :func:`record_to_dict` (strict about unknown fields)."""
+    return _record_from_dict(row)
+
+
 def _coerce_csv_row(row: dict) -> dict:
     """Parse the string values of one CSV row back to record types."""
     data = dict(row)
     for key in ("batch_size", "faults_injected", "rollbacks",
-                "degraded_batches", "fallback_frames"):
+                "degraded_batches", "fallback_frames", "attempts"):
         if key in data and data[key] != "":
             data[key] = int(data[key])
-    for key in ("error_pct", "memory_gb", "adapt_overhead_s"):
+    for key in ("memory_gb", "adapt_overhead_s"):
         if key in data and data[key] != "":
             data[key] = float(data[key])
-    for key in ("forward_time_s", "energy_j"):
+    for key in _NULLABLE_FLOATS:
         data[key] = None if data.get(key) in ("", None) else float(data[key])
     for key in ("oom", "guarded"):
         if key in data:
@@ -84,12 +105,17 @@ def loads(text: str) -> StudyResult:
         raise ValueError("not a repro study-result document")
     if payload.get("version") != _FORMAT_VERSION:
         raise ValueError(f"unsupported version {payload.get('version')!r}")
-    return StudyResult([_record_from_dict(row) for row in payload["records"]])
+    records = payload.get("records")
+    if not isinstance(records, list):
+        raise ValueError(
+            f"malformed study-result document: 'records' must be a list, "
+            f"got {type(records).__name__}")
+    return StudyResult([_record_from_dict(row) for row in records])
 
 
 def save_json(result: StudyResult, path: Union[str, Path]) -> None:
-    """Write a study result to a JSON file."""
-    Path(path).write_text(dumps(result))
+    """Write a study result to a JSON file (atomically: tmp + rename)."""
+    atomic_write_text(path, dumps(result))
 
 
 def load_json(path: Union[str, Path]) -> StudyResult:
@@ -104,7 +130,7 @@ def to_csv(result: StudyResult) -> str:
     writer.writeheader()
     for record in result.records:
         row = _record_to_dict(record)
-        for key in ("forward_time_s", "energy_j"):
+        for key in _NULLABLE_FLOATS:
             if row[key] is None:
                 row[key] = ""
         writer.writerow(row)
@@ -112,8 +138,8 @@ def to_csv(result: StudyResult) -> str:
 
 
 def save_csv(result: StudyResult, path: Union[str, Path]) -> None:
-    """Write a study result to a CSV file."""
-    Path(path).write_text(to_csv(result))
+    """Write a study result to a CSV file (atomically: tmp + rename)."""
+    atomic_write_text(path, to_csv(result))
 
 
 def from_csv(text: str) -> StudyResult:

@@ -41,6 +41,13 @@ class MeasurementRecord:
     fallback_frames: int = 0
     #: whether GuardedAdaptation wrapped the method for this record
     guarded: bool = False
+    # resilient-execution accounting (repro.resilience): "ok" records are
+    # real measurements; "failed"/"timeout" records are placeholders the
+    # executor emits for cells that exhausted their retries (their cost
+    # fields are NaN, like OOM records)
+    status: str = "ok"
+    #: executor attempts the producing cell took (1 = first try)
+    attempts: int = 1
 
     @property
     def case(self) -> Case:
@@ -97,6 +104,10 @@ class StudyResult:
         """Only the records that did not run out of memory."""
         return StudyResult([r for r in self.records if not r.oom])
 
+    def ok(self) -> "StudyResult":
+        """Only the records whose producing cell actually completed."""
+        return StudyResult([r for r in self.records if r.status == "ok"])
+
     def one(self, model: str, method: str, batch_size: int,
             device: Optional[str] = None,
             corruption: str = "") -> MeasurementRecord:
@@ -130,9 +141,10 @@ class StudyResult:
         lines.append(header)
         lines.append("-" * len(header))
         for r in self.records:
-            status = "OOM" if r.oom else "ok"
-            time_str = "-" if r.oom else f"{r.forward_time_s:9.3f}"
-            energy_str = "-" if r.oom else f"{r.energy_j:9.2f}"
+            status = "OOM" if r.oom else r.status
+            broken = r.oom or r.status != "ok"
+            time_str = "-" if broken else f"{r.forward_time_s:9.3f}"
+            energy_str = "-" if broken else f"{r.energy_j:9.2f}"
             lines.append(f"{r.label:<38s} {r.error_pct:8.2f} {time_str:>9s} "
                          f"{energy_str:>9s} {r.memory_gb:7.2f} {status:>7s}")
         return "\n".join(lines)

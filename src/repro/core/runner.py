@@ -14,9 +14,12 @@ reproduction of Fig. 2's *phenomenon* rather than its absolute numbers.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import math
 import threading
 import time
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +37,8 @@ from repro.devices.energy import energy_per_batch
 from repro.devices.memory import estimate_memory
 from repro.models.registry import MODEL_NAMES, build_model
 from repro.models.summary import ModelSummary, summarize
+from repro.resilience.executor import CellSpec, ResilientExecutor
+from repro.resilience.journal import RunJournal
 from repro.robustness.faults import FaultInjector, parse_fault_specs
 from repro.robustness.guard import GuardedAdaptation
 from repro.train.trainer import pretrain_robust
@@ -143,21 +148,57 @@ def run_native_study(config: Optional[StudyConfig] = None,
     :class:`~repro.robustness.guard.GuardedAdaptation`; the records'
     guard counters (``faults_injected``/``rollbacks``/
     ``degraded_batches``/``fallback_frames``) report what happened.
+
+    The grid is driven cell by cell (one cell per (model, method,
+    batch size) over the full corruption set) through a
+    :class:`~repro.resilience.executor.ResilientExecutor`: a raising
+    cell becomes a ``status="failed"`` record and the sweep continues,
+    ``config.max_retries``/``config.cell_timeout`` bound retries and
+    per-cell wall time, and ``config.journal``/``config.resume`` make
+    the run durable and resumable — a resumed run replays completed
+    cells from the journal bit-identically instead of re-executing
+    them.
     """
     config = config or StudyConfig()
     backend = create_backend(config.backend, threads=config.threads)
     try:
         with use_backend(backend):
-            return _run_native_study(config, backend.name, models,
+            return _run_native_study(config, backend, models,
                                      per_corruption)
     finally:
         backend.close()
 
 
-def _run_native_study(config: StudyConfig, backend_name: str,
+def _config_fingerprint(config: StudyConfig, backend_name: str,
+                        per_corruption: bool) -> str:
+    """Stable digest of everything that shapes a native run's records.
+
+    Stamped into the run journal's ``run_start`` entry; a resume under a
+    different fingerprint is refused rather than silently merging
+    incomparable measurements.  Wall-clock-only knobs (threads, journal
+    placement, retry policy) are deliberately excluded.
+    """
+    payload = {
+        "models": list(config.models), "methods": list(config.methods),
+        "batch_sizes": list(config.batch_sizes),
+        "corruptions": list(config.corruptions),
+        "severity": config.severity, "image_size": config.image_size,
+        "stream_samples": config.stream_samples,
+        "train_samples": config.train_samples,
+        "train_epochs": config.train_epochs,
+        "bn_opt_lr": config.bn_opt_lr,
+        "method_kwargs": config.method_kwargs,
+        "faults": config.faults, "guard": config.guard,
+        "seed": config.seed, "backend": backend_name,
+        "per_corruption": per_corruption,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _run_native_study(config: StudyConfig, backend,
                       models: Optional[Dict[str, object]],
                       per_corruption: bool) -> StudyResult:
-    result = StudyResult()
     test = make_synth_cifar(config.stream_samples, size=config.image_size,
                             seed=config.seed + 12345)
     streams = [CorruptionStream.from_dataset(test, corruption,
@@ -166,78 +207,131 @@ def _run_native_study(config: StudyConfig, backend_name: str,
                for corruption in config.corruptions]
     fault_specs = (parse_fault_specs(config.faults)
                    if config.faults else None)
+
+    # Models are resolved lazily (a fully-resumed run never trains) and
+    # cached so every cell of a model shares one instance, exactly as
+    # the pre-cell monolithic loop did.
+    model_cache: Dict[str, object] = dict(models) if models else {}
+
+    def get_model(name: str):
+        if name not in model_cache:
+            model_cache[name] = pretrain_robust(
+                name, image_size=config.image_size,
+                train_samples=config.train_samples,
+                epochs=config.train_epochs, seed=config.seed)
+        return model_cache[name]
+
+    def make_cell(spec: CellSpec):
+        def run_cell() -> List[MeasurementRecord]:
+            # re-enter the backend: the watchdog may run this closure on
+            # a fresh thread, and use_backend() is thread-local
+            with use_backend(backend):
+                return _run_native_cell(config, get_model(spec.model), spec,
+                                        streams, fault_specs, per_corruption)
+        return run_cell
+
+    cells = []
     for model_name in config.models:
-        if models is not None and model_name in models:
-            model = models[model_name]
-        else:
-            model = pretrain_robust(model_name, image_size=config.image_size,
-                                    train_samples=config.train_samples,
-                                    epochs=config.train_epochs, seed=config.seed)
         for method_name in config.methods:
             for batch_size in config.batch_sizes:
-                kwargs = dict(config.method_kwargs.get(method_name, {}))
-                if method_name == "bn_opt":
-                    kwargs.setdefault("lr", config.bn_opt_lr)
-                method = build_method(method_name, **kwargs)
-                if config.guard:
-                    method = GuardedAdaptation(method)
-                errors = []
-                wall = 0.0
-                batches = 0
-                counters = np.zeros(4, dtype=int)   # faults, rollbacks,
-                #                                     degraded, fallback
-                for stream_index, stream in enumerate(streams):
-                    method.prepare(model)
-                    batch_iter = stream.batches(batch_size)
-                    injector = None
-                    if fault_specs is not None:
-                        injector = FaultInjector(
-                            fault_specs,
-                            seed=config.seed + 7919 * stream_index)
-                        batch_iter = injector.inject(batch_iter)
-                    correct = 0
-                    total = 0
-                    for images, labels in batch_iter:
-                        start = time.perf_counter()
-                        logits = method.forward(images)
-                        wall += time.perf_counter() - start
-                        batches += 1
-                        predictions = np.nan_to_num(logits).argmax(axis=-1)
-                        correct += int((predictions == labels).sum())
-                        total += len(labels)
-                    stream_counters = np.array([
-                        injector.faults_injected if injector else 0,
-                        getattr(method, "rollbacks", 0),
-                        getattr(method, "degraded_batches", 0),
-                        getattr(method, "fallback_frames", 0)])
-                    counters += stream_counters
-                    # harvest before reset(): the guard re-arms its
-                    # counters when it re-prepares
-                    method.reset()
-                    error = 100.0 * (1.0 - correct / total)
-                    errors.append(error)
-                    if per_corruption:
-                        result.add(MeasurementRecord(
-                            model=model_name, method=method_name,
-                            batch_size=batch_size, device="host",
-                            error_pct=error, forward_time_s=float("nan"),
-                            energy_j=float("nan"),
-                            corruption=stream.corruption,
-                            backend=backend_name,
-                            faults_injected=int(stream_counters[0]),
-                            rollbacks=int(stream_counters[1]),
-                            degraded_batches=int(stream_counters[2]),
-                            fallback_frames=int(stream_counters[3]),
-                            guarded=config.guard))
-                result.add(MeasurementRecord(
+                spec = CellSpec(
+                    key=f"{model_name}/{method_name}/{batch_size}",
                     model=model_name, method=method_name,
                     batch_size=batch_size, device="host",
-                    error_pct=float(np.mean(errors)),
-                    forward_time_s=wall / max(batches, 1),
-                    energy_j=float("nan"), backend=backend_name,
-                    faults_injected=int(counters[0]),
-                    rollbacks=int(counters[1]),
-                    degraded_batches=int(counters[2]),
-                    fallback_frames=int(counters[3]),
-                    guarded=config.guard))
-    return result
+                    backend=backend.name, guarded=config.guard)
+                cells.append((spec, make_cell(spec)))
+
+    journal = (RunJournal(config.journal, resume=config.resume)
+               if config.journal else None)
+    executor = ResilientExecutor(
+        journal, resume=config.resume, max_retries=config.max_retries,
+        cell_timeout=config.cell_timeout, seed=config.seed,
+        fingerprint=_config_fingerprint(config, backend.name,
+                                        per_corruption))
+    try:
+        return executor.run(cells)
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _run_native_cell(config: StudyConfig, model, spec: CellSpec,
+                     streams: Sequence[CorruptionStream],
+                     fault_specs, per_corruption: bool
+                     ) -> List[MeasurementRecord]:
+    """Execute one isolated grid cell over the full corruption set."""
+    kwargs = dict(config.method_kwargs.get(spec.method, {}))
+    if spec.method == "bn_opt":
+        kwargs.setdefault("lr", config.bn_opt_lr)
+    method = build_method(spec.method, **kwargs)
+    if config.guard:
+        method = GuardedAdaptation(method)
+    records: List[MeasurementRecord] = []
+    errors = []
+    wall = 0.0
+    batches = 0
+    counters = np.zeros(4, dtype=int)   # faults, rollbacks,
+    #                                     degraded, fallback
+    for stream_index, stream in enumerate(streams):
+        method.prepare(model)
+        try:
+            batch_iter = stream.batches(spec.batch_size)
+            injector = None
+            if fault_specs is not None:
+                injector = FaultInjector(
+                    fault_specs,
+                    seed=config.seed + 7919 * stream_index)
+                batch_iter = injector.inject(batch_iter)
+            correct = 0
+            total = 0
+            for images, labels in batch_iter:
+                start = time.perf_counter()
+                logits = method.forward(images)
+                wall += time.perf_counter() - start
+                batches += 1
+                predictions = np.nan_to_num(logits).argmax(axis=-1)
+                correct += int((predictions == labels).sum())
+                total += len(labels)
+            stream_counters = np.array([
+                injector.faults_injected if injector else 0,
+                getattr(method, "rollbacks", 0),
+                getattr(method, "degraded_batches", 0),
+                getattr(method, "fallback_frames", 0)])
+            counters += stream_counters
+        finally:
+            # harvest before reset(): the guard re-arms its counters
+            # when it re-prepares.  reset() runs even when the stream
+            # raises, so a failed cell cannot leak adapted BN state
+            # into the cells that share this model instance.
+            method.reset()
+        # a stream shorter than the batch size yields zero samples;
+        # report NaN for it rather than dividing by zero
+        error = (100.0 * (1.0 - correct / total) if total
+                 else float("nan"))
+        errors.append(error)
+        if per_corruption:
+            records.append(MeasurementRecord(
+                model=spec.model, method=spec.method,
+                batch_size=spec.batch_size, device=spec.device,
+                error_pct=error, forward_time_s=float("nan"),
+                energy_j=float("nan"),
+                corruption=stream.corruption,
+                backend=spec.backend,
+                faults_injected=int(stream_counters[0]),
+                rollbacks=int(stream_counters[1]),
+                degraded_batches=int(stream_counters[2]),
+                fallback_frames=int(stream_counters[3]),
+                guarded=config.guard))
+    scored = [e for e in errors if not math.isnan(e)]
+    records.append(MeasurementRecord(
+        model=spec.model, method=spec.method,
+        batch_size=spec.batch_size, device=spec.device,
+        error_pct=float(np.mean(scored)) if scored else float("nan"),
+        forward_time_s=wall / max(batches, 1),
+        energy_j=float("nan"), backend=spec.backend,
+        faults_injected=int(counters[0]),
+        rollbacks=int(counters[1]),
+        degraded_batches=int(counters[2]),
+        fallback_frames=int(counters[3]),
+        guarded=config.guard))
+    return records

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.models.registry import build_model
 from repro.nn.module import Module
+from repro.resilience.atomic import atomic_path
 
 _META_KEY = "__repro_meta__"
 
@@ -27,13 +28,21 @@ def save_checkpoint(model: Module, path: Union[str, Path],
 
     When ``model_name``/``profile`` are given, :func:`load_checkpoint`
     can rebuild the model from the registry without a pre-built instance.
+    The write is atomic (temp sibling + rename), so a crash mid-save
+    never corrupts an existing checkpoint.
     """
     state = model.state_dict()
     if _META_KEY in state:
         raise ValueError(f"state dict may not contain key {_META_KEY!r}")
     meta = {"model_name": model_name, "profile": profile, **extra_meta}
     meta_blob = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
-    np.savez_compressed(Path(path), **state, **{_META_KEY: meta_blob})
+    # numpy appends ".npz" to paths without it; mirror that before the
+    # atomic rename so the final name matches what savez would produce
+    target = Path(path)
+    if target.suffix != ".npz":
+        target = target.with_name(target.name + ".npz")
+    with atomic_path(target, suffix=".npz") as tmp:
+        np.savez_compressed(tmp, **state, **{_META_KEY: meta_blob})
 
 
 def read_checkpoint(path: Union[str, Path]) -> tuple[Dict[str, np.ndarray], dict]:

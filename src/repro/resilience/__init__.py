@@ -1,0 +1,56 @@
+"""Crash-safe, resumable study execution.
+
+The paper's benchmark is a long grid sweep on flaky edge hardware; this
+package makes the *run itself* survivable rather than only individual
+batches (which :mod:`repro.robustness` already guards):
+
+- :mod:`repro.resilience.atomic` — tmp + rename + fsync file writes, so
+  a crash never leaves a half-written artifact;
+- :mod:`repro.resilience.journal` — an append-only JSONL run journal
+  whose recovery scanner tolerates the truncated trailing line a
+  mid-write kill produces;
+- :mod:`repro.resilience.executor` — :class:`ResilientExecutor`: drives
+  the native grid cell by cell with exception isolation, a soft-deadline
+  watchdog, bounded seeded-backoff retries, and journal-based resume
+  (``resume=True`` replays completed cells bit-identically instead of
+  re-executing them).
+
+``executor`` is imported lazily (PEP 562): it depends on
+:mod:`repro.core.io`, which itself uses :mod:`repro.resilience.atomic`
+for atomic saves — eager import here would close that cycle.
+"""
+
+from repro.resilience.atomic import (
+    atomic_path,
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_directory,
+)
+from repro.resilience.journal import (
+    JournalError,
+    JournalScan,
+    RunJournal,
+    scan_journal,
+)
+
+_EXECUTOR_NAMES = ("CellFn", "CellSpec", "CellTimeoutError",
+                   "ExecutorStats", "ResilientExecutor")
+
+__all__ = [
+    "atomic_path",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_directory",
+    "JournalError",
+    "JournalScan",
+    "RunJournal",
+    "scan_journal",
+    *_EXECUTOR_NAMES,
+]
+
+
+def __getattr__(name: str):
+    if name in _EXECUTOR_NAMES:
+        from repro.resilience import executor
+        return getattr(executor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

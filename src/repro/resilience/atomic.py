@@ -1,0 +1,92 @@
+"""Atomic file writes: tmp sibling + ``os.replace`` + fsync.
+
+A crash (power loss, OOM kill, SIGKILL) mid-write must never leave a
+half-written artifact where a complete one used to be.  Every writer in
+this repo that persists something worth resuming from — study results,
+run journals, pretrained-model caches, checkpoints — routes through
+these helpers:
+
+1. the payload is written to a *sibling* temp file in the target
+   directory (same filesystem, so the rename cannot degrade to a copy);
+2. the temp file is flushed and ``fsync``'d, so its bytes are durable
+   before it becomes visible;
+3. ``os.replace`` swaps it into place — atomic on POSIX and Windows;
+4. the directory entry is ``fsync``'d so the rename itself survives a
+   crash.
+
+On any failure the temp file is removed and the original target is left
+untouched.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+from typing import Iterator, Union
+
+PathLike = Union[str, Path]
+
+
+def fsync_directory(path: PathLike) -> None:
+    """Flush a directory entry to disk (no-op where unsupported)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:          # e.g. Windows refuses O_RDONLY on directories
+        return
+    try:
+        os.fsync(fd)
+    except OSError:          # some filesystems reject fsync on directories
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_path(path: PathLike, suffix: str = "") -> Iterator[Path]:
+    """Yield a temp sibling path; on clean exit, move it over ``path``.
+
+    For writers that insist on opening the file themselves (e.g.
+    ``numpy.savez_compressed``).  ``suffix`` is appended to the temp name
+    so extension-sniffing writers behave (pass ``".npz"`` for numpy,
+    which would otherwise append its own extension to the temp file).
+    """
+    target = Path(path)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp{suffix}")
+    try:
+        yield tmp
+        # the writer may buffer; reopen to fsync what it produced
+        fd = os.open(str(tmp), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, target)
+        fsync_directory(target.parent)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    target = Path(path)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        fsync_directory(target.parent)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+
+
+def atomic_write_text(path: PathLike, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding))

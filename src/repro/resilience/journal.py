@@ -1,0 +1,245 @@
+"""Append-only JSONL run journal with crash-tolerant recovery.
+
+The journal is the durable record of a study run: one JSON object per
+line, appended and ``fsync``'d as each event happens, so at any instant
+the file on disk describes exactly which cells have completed.  A crash
+can interrupt an append mid-line; the recovery scanner therefore
+tolerates (and reports) a truncated *trailing* line — that is the only
+artifact a kill-during-append can produce on an append-only file.  A
+malformed line anywhere *else* means real corruption (bit rot, manual
+editing) and raises :class:`JournalError` rather than silently dropping
+history.
+
+Event vocabulary (all entries carry an ``"event"`` key):
+
+- ``run_start``  — opens a journal: config ``fingerprint``, cell count;
+- ``run_resume`` — a resumed run re-attached to an existing journal;
+- ``cell_start`` — a cell attempt began (``cell``, ``attempt``);
+- ``cell_ok``    — a cell finished: its serialized ``records`` ride on
+  the entry, so a resume can rebuild the merged result bit-identically
+  without re-executing anything;
+- ``cell_failed``— an attempt raised: ``error``, ``traceback``, and
+  ``final`` (whether retries are exhausted);
+- ``run_end``    — summary counters.
+
+Whole-file rewrites (:meth:`RunJournal.rewrite`, used by
+:meth:`RunJournal.compact`) go through tmp + rename + fsync so a crash
+mid-compaction preserves the previous journal intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.resilience.atomic import atomic_write_bytes, fsync_directory
+
+PathLike = Union[str, Path]
+
+#: events that settle a cell's fate (used by :meth:`RunJournal.compact`)
+_FINAL_EVENTS = ("run_start", "run_resume", "cell_ok", "run_end")
+
+
+class JournalError(ValueError):
+    """A journal line that cannot be explained by a mid-write crash."""
+
+
+@dataclass
+class JournalScan:
+    """Result of scanning a journal file back from disk."""
+
+    entries: List[dict] = field(default_factory=list)
+    #: True when a truncated trailing line (mid-write crash artifact)
+    #: was dropped during recovery
+    truncated: bool = False
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """The config fingerprint stamped by the first ``run_start``."""
+        for entry in self.entries:
+            if entry.get("event") == "run_start":
+                return entry.get("fingerprint")
+        return None
+
+    def completed_cells(self) -> Dict[str, List[dict]]:
+        """Map cell key -> serialized records of its last ``cell_ok``."""
+        done: Dict[str, List[dict]] = {}
+        for entry in self.entries:
+            if entry.get("event") == "cell_ok":
+                done[entry["cell"]] = entry.get("records", [])
+        return done
+
+    def failed_cells(self) -> Dict[str, dict]:
+        """Map cell key -> its last *final* ``cell_failed`` entry.
+
+        Cells that later succeeded (a retry or a resume) are excluded.
+        """
+        failed: Dict[str, dict] = {}
+        for entry in self.entries:
+            if entry.get("event") == "cell_failed" and entry.get("final"):
+                failed[entry["cell"]] = entry
+            elif entry.get("event") == "cell_ok":
+                failed.pop(entry["cell"], None)
+        return failed
+
+
+def scan_journal(path: PathLike) -> JournalScan:
+    """Read a journal back, tolerating a truncated trailing line.
+
+    A missing file scans as empty (a run that never started writing).
+    """
+    target = Path(path)
+    if not target.exists():
+        return JournalScan()
+    raw = target.read_bytes()
+    lines = [line for line in raw.split(b"\n") if line.strip()]
+    scan = JournalScan()
+    for index, line in enumerate(lines):
+        try:
+            entry = json.loads(line.decode("utf-8", errors="strict"))
+        except (ValueError, UnicodeDecodeError):
+            if index == len(lines) - 1:
+                scan.truncated = True
+                break
+            raise JournalError(
+                f"{target}: corrupt journal entry on line {index + 1} "
+                "(not a crash artifact; refusing to guess)") from None
+        if not isinstance(entry, dict):
+            raise JournalError(
+                f"{target}: line {index + 1} is not a JSON object")
+        scan.entries.append(entry)
+    return scan
+
+
+class RunJournal:
+    """Append-only JSONL writer with per-entry flush + fsync.
+
+    ``resume=False`` (the default) starts a fresh journal, atomically
+    truncating any previous file of the same name; ``resume=True``
+    appends to whatever is already there.  The file is opened lazily on
+    the first :meth:`append`, so constructing a journal is free.
+    """
+
+    def __init__(self, path: PathLike, *, resume: bool = False) -> None:
+        self.path = Path(path)
+        self._resume = resume
+        self._file = None
+
+    # -- writing -------------------------------------------------------
+
+    def _open(self):
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if not self._resume:
+                # atomic truncate: a crash between open and first append
+                # must not leave a half-truncated previous journal
+                atomic_write_bytes(self.path, b"")
+            elif self.path.exists():
+                self._trim_partial_tail()
+            self._file = open(self.path, "ab")
+            fsync_directory(self.path.parent)
+        return self._file
+
+    def _trim_partial_tail(self) -> None:
+        """Drop the partial trailing line a mid-append crash left behind.
+
+        Appending after a truncated tail would glue the first new entry
+        onto the wreckage, turning a benign crash artifact into the
+        interior corruption the scanner rightly refuses to guess about.
+        Only the tail is ever trimmed: the unterminated final bytes,
+        plus at most one newline-terminated but unparseable last line
+        (a flush that raced the crash).  Anything worse is interior
+        corruption and is left for :func:`scan_journal` to reject.
+        """
+        raw = self.path.read_bytes()
+        end = len(raw)
+        if raw and not raw.endswith(b"\n"):
+            end = raw.rfind(b"\n") + 1
+        last_start = raw.rfind(b"\n", 0, end - 1) + 1 if end else 0
+        last_line = raw[last_start:max(end - 1, 0)]
+        if last_line.strip():
+            try:
+                json.loads(last_line)
+            except ValueError:
+                end = last_start
+        if end < len(raw):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(end)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def append(self, entry: dict) -> None:
+        """Durably append one event (flush + fsync before returning)."""
+        handle = self._open()
+        line = json.dumps(entry, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        handle.write(line.encode("utf-8"))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading / maintenance ----------------------------------------
+
+    def scan(self) -> JournalScan:
+        """Scan this journal's file (see :func:`scan_journal`)."""
+        return scan_journal(self.path)
+
+    def rewrite(self, entries: Sequence[dict]) -> None:
+        """Atomically replace the whole journal (tmp + rename + fsync)."""
+        was_open = self._file is not None
+        self.close()
+        payload = b"".join(
+            json.dumps(entry, sort_keys=True,
+                       separators=(",", ":")).encode("utf-8") + b"\n"
+            for entry in entries)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(self.path, payload)
+        if was_open:
+            self._file = open(self.path, "ab")
+
+    def compact(self) -> int:
+        """Drop per-attempt noise, keeping only settling events.
+
+        Retains ``run_start``/``run_resume``/``run_end``, every cell's
+        last ``cell_ok``, and final ``cell_failed`` entries for cells
+        that never succeeded.  Returns the number of entries removed.
+        Resume semantics are unchanged: a compacted journal skips
+        exactly the same cells.
+        """
+        scan = self.scan()
+        done = scan.completed_cells()
+        failed = scan.failed_cells()
+        kept: List[dict] = []
+        emitted_ok: set = set()
+        emitted_failed: set = set()
+        for entry in scan.entries:
+            event = entry.get("event")
+            if event in ("run_start", "run_resume", "run_end"):
+                kept.append(entry)
+            elif event == "cell_ok":
+                key = entry["cell"]
+                if key not in emitted_ok and entry.get("records") == done[key]:
+                    kept.append(entry)
+                    emitted_ok.add(key)
+            elif event == "cell_failed":
+                key = entry["cell"]
+                if key in failed and key not in emitted_failed \
+                        and entry is failed[key]:
+                    kept.append(entry)
+                    emitted_failed.add(key)
+        removed = len(scan.entries) - len(kept)
+        self.rewrite(kept)
+        return removed

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import os
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -120,6 +123,11 @@ def evaluate(model: Module, images: np.ndarray, labels: np.ndarray,
 # ----------------------------------------------------------------------
 _MEMORY_CACHE: Dict[Tuple, Dict[str, np.ndarray]] = {}
 
+_log = logging.getLogger("repro.train")
+
+#: archive member holding the content checksum (uint8-encoded hex digest)
+_CHECKSUM_KEY = "__repro_checksum__"
+
 
 def _disk_cache_dir() -> Path:
     root = os.environ.get("REPRO_CACHE",
@@ -127,6 +135,57 @@ def _disk_cache_dir() -> Path:
     path = Path(root)
     path.mkdir(parents=True, exist_ok=True)
     return path
+
+
+def _state_checksum(state: Dict[str, np.ndarray]) -> str:
+    """Content digest of a state dict (names, dtypes, shapes, bytes)."""
+    digest = hashlib.sha256()
+    for name in sorted(state):
+        array = np.ascontiguousarray(state[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("ascii"))
+        digest.update(repr(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _write_disk_cache(cache_file: Path, state: Dict[str, np.ndarray]) -> None:
+    """Atomically persist a state dict with an embedded checksum."""
+    from repro.resilience.atomic import atomic_path
+
+    checksum = np.frombuffer(
+        _state_checksum(state).encode("ascii"), dtype=np.uint8)
+    with atomic_path(cache_file, suffix=".npz") as tmp:
+        np.savez_compressed(tmp, **state, **{_CHECKSUM_KEY: checksum})
+
+
+def _read_disk_cache(cache_file: Path) -> Optional[Dict[str, np.ndarray]]:
+    """Load and verify a cached state dict; ``None`` means retrain.
+
+    Any way the archive can be bad — truncated zip, corrupt member,
+    missing/mismatched checksum, a pre-checksum legacy file — degrades
+    to a retrain (the bad file is removed so the rewrite starts clean)
+    instead of crashing the study.
+    """
+    try:
+        with np.load(cache_file) as archive:
+            if _CHECKSUM_KEY not in archive.files:
+                raise ValueError("no embedded checksum (legacy or foreign)")
+            state = {name: archive[name] for name in archive.files
+                     if name != _CHECKSUM_KEY}
+            stored = bytes(archive[_CHECKSUM_KEY].tobytes()).decode("ascii")
+        if stored != _state_checksum(state):
+            raise ValueError("checksum mismatch")
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError, KeyError) \
+            as error:
+        _log.warning("discarding unusable pretrain cache %s (%s); "
+                     "retraining", cache_file, error)
+        try:
+            cache_file.unlink()
+        except OSError:
+            pass
+        return None
+    return state
 
 
 def pretrain_robust(model_name: str, image_size: int = 16,
@@ -140,6 +199,11 @@ def pretrain_robust(model_name: str, image_size: int = 16,
     Results are cached in memory and on disk (``$REPRO_CACHE``) keyed by
     the full configuration, so examples and benchmarks pay the training
     cost once.
+
+    The disk cache is crash-safe: files are written atomically (tmp +
+    rename) with an embedded content checksum, and a corrupt, truncated,
+    or tampered archive is detected on load and silently replaced by a
+    retrain rather than crashing the study.
     """
     if adversarial is None:
         adversarial = model_name == "resnet18"
@@ -149,8 +213,7 @@ def pretrain_robust(model_name: str, image_size: int = 16,
     state = _MEMORY_CACHE.get(key)
     cache_file = _disk_cache_dir() / ("robust_" + "_".join(map(str, key)) + ".npz")
     if state is None and use_disk_cache and cache_file.exists():
-        with np.load(cache_file) as archive:
-            state = {name: archive[name] for name in archive.files}
+        state = _read_disk_cache(cache_file)
     if state is not None:
         model.load_state_dict(state)
         model.eval()
@@ -163,6 +226,6 @@ def pretrain_robust(model_name: str, image_size: int = 16,
     state = model.state_dict()
     _MEMORY_CACHE[key] = state
     if use_disk_cache:
-        np.savez_compressed(cache_file, **state)
+        _write_disk_cache(cache_file, state)
     model.eval()
     return model

@@ -68,3 +68,61 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table I" in out
         assert "A1" in out and "Fig. 2" in out
+
+
+class TestNativeCommand:
+    """Flag plumbing into StudyConfig (the runner itself is stubbed)."""
+
+    @pytest.fixture
+    def stub_runner(self, monkeypatch):
+        from repro.core.records import MeasurementRecord, StudyResult
+        captured = {}
+
+        def fake(config, models=None, per_corruption=False):
+            captured["config"] = config
+            captured["per_corruption"] = per_corruption
+            return StudyResult([MeasurementRecord(
+                model="wrn40_2", method="bn_norm", batch_size=50,
+                device="host", error_pct=12.0, forward_time_s=0.5,
+                energy_j=float("nan"),
+                status=captured.pop("status", "ok"))])
+
+        import repro.core.runner as runner_mod
+        monkeypatch.setattr(runner_mod, "run_native_study", fake)
+        return captured
+
+    def test_flags_reach_study_config(self, stub_runner, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        assert main(["native", "--models", "wrn40_2", "--methods",
+                     "no_adapt", "bn_norm", "--batch-sizes", "10", "50",
+                     "--corruptions", "fog", "--samples", "120",
+                     "--journal", str(journal), "--resume",
+                     "--max-retries", "2", "--cell-timeout", "90",
+                     "--seed", "7"]) == 0
+        config = stub_runner["config"]
+        assert config.models == ("wrn40_2",)
+        assert config.methods == ("no_adapt", "bn_norm")
+        assert config.batch_sizes == (10, 50)
+        assert config.corruptions == ("fog",)
+        assert config.stream_samples == 120
+        assert config.journal == str(journal) and config.resume
+        assert config.max_retries == 2 and config.cell_timeout == 90.0
+        assert config.seed == 7
+        assert "Native study grid" in capsys.readouterr().out
+
+    def test_resume_requires_journal(self, stub_runner, capsys):
+        assert main(["native", "--resume"]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+        assert "config" not in stub_runner      # runner never invoked
+
+    def test_broken_cells_exit_nonzero(self, stub_runner, capsys):
+        stub_runner["status"] = "failed"
+        assert main(["native"]) == 1
+        assert "did not complete" in capsys.readouterr().err
+
+    def test_writes_json_artifact(self, stub_runner, tmp_path):
+        out = tmp_path / "grid.json"
+        assert main(["native", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro.study_result"
+        assert payload["records"][0]["status"] == "ok"

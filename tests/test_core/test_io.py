@@ -57,6 +57,20 @@ class TestJsonRoundTrip:
         with pytest.raises(ValueError):
             study_io.loads(json.dumps(payload))
 
+    def test_rejects_non_list_records(self):
+        payload = json.loads(study_io.dumps(StudyResult([record()])))
+        payload["records"] = {"oops": "a dict"}
+        with pytest.raises(ValueError, match="'records' must be a list"):
+            study_io.loads(json.dumps(payload))
+
+    def test_status_and_attempts_round_trip(self):
+        original = StudyResult([record(status="failed", attempts=3,
+                                       error_pct=float("nan"))])
+        restored = study_io.loads(study_io.dumps(original))
+        assert restored.records[0].status == "failed"
+        assert restored.records[0].attempts == 3
+        assert math.isnan(restored.records[0].error_pct)
+
     def test_full_grid_round_trip(self, simulated_study):
         restored = study_io.loads(study_io.dumps(simulated_study))
         assert len(restored) == len(simulated_study)
@@ -79,3 +93,14 @@ class TestCsv:
         path = tmp_path / "study.csv"
         study_io.save_csv(StudyResult([record()]), path)
         assert path.read_text().count("\n") == 2
+
+    def test_failed_record_round_trips_through_csv(self, tmp_path):
+        path = tmp_path / "study.csv"
+        failed = record(status="failed", attempts=2,
+                        error_pct=float("nan"))
+        study_io.save_csv(StudyResult([failed, record()]), path)
+        restored = study_io.load_csv(path)
+        assert restored.records[0].status == "failed"
+        assert restored.records[0].attempts == 2
+        assert math.isnan(restored.records[0].error_pct)
+        assert restored.records[1] == record()

@@ -1,0 +1,25 @@
+"""Fixtures for the resilience suite.
+
+``journal_dir`` honours ``$REPRO_JOURNAL_DIR`` so CI can collect the
+journals written by a failing run as build artifacts; locally it falls
+back to pytest's tmp_path.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def journal_dir(tmp_path, request):
+    root = os.environ.get("REPRO_JOURNAL_DIR")
+    if not root:
+        return tmp_path
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", request.node.name)
+    path = Path(root) / safe
+    path.mkdir(parents=True, exist_ok=True)
+    return path

@@ -1,0 +1,82 @@
+"""Atomic write helpers: all-or-nothing semantics for every artifact."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import io as study_io
+from repro.core.records import MeasurementRecord, StudyResult
+from repro.resilience.atomic import (atomic_path, atomic_write_bytes,
+                                     atomic_write_text)
+
+
+def sample_result():
+    return StudyResult([MeasurementRecord(
+        model="wrn40_2", method="bn_norm", batch_size=50, device="rpi4",
+        error_pct=15.2, forward_time_s=2.6, energy_j=6.0)])
+
+
+class TestAtomicWrite:
+    def test_creates_and_replaces(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "first")
+        assert target.read_text() == "first"
+        atomic_write_text(target, "second")
+        assert target.read_text() == "second"
+
+    def test_no_temp_litter_on_success(self, tmp_path):
+        atomic_write_bytes(tmp_path / "out.bin", b"payload")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+    def test_failed_replace_preserves_original(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+        monkeypatch.setattr(os, "replace",
+                            lambda *a: (_ for _ in ()).throw(OSError("disk")))
+        with pytest.raises(OSError):
+            atomic_write_text(target, "clobber")
+        assert target.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_atomic_path_cleans_up_on_writer_failure(self, tmp_path):
+        target = tmp_path / "weights.npz"
+        target.write_bytes(b"keep me")
+        with pytest.raises(RuntimeError):
+            with atomic_path(target, suffix=".npz") as tmp:
+                tmp.write_bytes(b"partial")
+                raise RuntimeError("writer died")
+        assert target.read_bytes() == b"keep me"
+        assert [p.name for p in tmp_path.iterdir()] == ["weights.npz"]
+
+
+class TestAtomicArtifacts:
+    def test_save_json_failure_keeps_previous_file(self, tmp_path,
+                                                   monkeypatch):
+        target = tmp_path / "study.json"
+        study_io.save_json(sample_result(), target)
+        before = target.read_text()
+        monkeypatch.setattr(os, "replace",
+                            lambda *a: (_ for _ in ()).throw(OSError("disk")))
+        with pytest.raises(OSError):
+            study_io.save_json(StudyResult([]), target)
+        assert target.read_text() == before
+
+    def test_save_csv_is_atomic_and_loadable(self, tmp_path):
+        target = tmp_path / "study.csv"
+        study_io.save_csv(sample_result(), target)
+        assert len(study_io.load_csv(target)) == 1
+        assert [p.name for p in tmp_path.iterdir()] == ["study.csv"]
+
+    def test_save_checkpoint_appends_npz_and_leaves_no_temp(self, tmp_path):
+        from repro.models import build_model
+        from repro.models.checkpoints import load_checkpoint, save_checkpoint
+
+        model = build_model("wrn40_2", "tiny")
+        save_checkpoint(model, tmp_path / "ckpt", model_name="wrn40_2",
+                        profile="tiny")
+        assert (tmp_path / "ckpt.npz").exists()
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.npz"]
+        rebuilt = load_checkpoint(tmp_path / "ckpt.npz")
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, rebuilt.state_dict()[key])

@@ -1,0 +1,206 @@
+"""End-to-end crash/resume: the native runner survives its own death.
+
+Two interruption modes are simulated mid-sweep against the real
+``run_native_study`` grid:
+
+- an *exception* inside a cell (the executor isolates it, journals the
+  traceback, and the sweep continues);
+- a *hard kill* (a BaseException tears the whole run down and a partial
+  line is appended to the journal, exactly what a SIGKILL mid-append
+  leaves behind).
+
+In both cases a resumed run with the same config + journal must skip
+every completed cell, re-run only the missing ones, and merge to the
+same records as an uninterrupted run (wall-clock timing aside).
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core import io as study_io
+from repro.core.config import StudyConfig
+from repro.core.runner import run_native_study
+from repro.data.stream import CorruptionStream
+from repro.resilience.journal import scan_journal
+
+
+class _HardKill(BaseException):
+    """Stands in for SIGKILL: not an Exception, so nothing isolates it."""
+
+
+def study_config(**overrides):
+    base = dict(models=("wrn40_2",), methods=("no_adapt", "bn_norm"),
+                batch_sizes=(50,), corruptions=("fog", "gaussian_noise"),
+                image_size=16, stream_samples=150)
+    base.update(overrides)
+    return StudyConfig(**base)
+
+
+def strip_timing(result):
+    """Canonical form for comparison across separate executions:
+    wall-clock timing and attempt counts are all that may legitimately
+    differ, and JSON encoding makes NaN fields (NaN != NaN) comparable."""
+    from repro.core.records import StudyResult
+    return study_io.dumps(StudyResult(
+        [replace(r, forward_time_s=0.0, attempts=1)
+         for r in result.records]))
+
+
+@pytest.fixture
+def models(micro_trained_model):
+    model, _ = micro_trained_model
+    return {"wrn40_2": model}
+
+
+@pytest.fixture(scope="module")
+def baseline(request):
+    """An uninterrupted run of the same grid, no journal."""
+    model, _ = request.getfixturevalue("micro_trained_model")
+    return run_native_study(study_config(), models={"wrn40_2": model})
+
+
+class _FlakyBatches:
+    """Patchable CorruptionStream.batches that raises on chosen calls."""
+
+    def __init__(self, monkeypatch, raise_on=(), error=RuntimeError):
+        self.calls = 0
+        self.raise_on = set(raise_on)
+        self.error = error
+        self.original = CorruptionStream.batches
+
+        def batches(stream, batch_size, drop_last=True):
+            self.calls += 1
+            if self.calls in self.raise_on:
+                raise self.error(f"injected failure on call {self.calls}")
+            return self.original(stream, batch_size, drop_last)
+
+        monkeypatch.setattr(CorruptionStream, "batches", batches)
+
+    def heal(self):
+        self.raise_on.clear()
+
+
+class TestExceptionMidSweep:
+    def test_failed_cell_then_resume_matches_uninterrupted(
+            self, tmp_path, journal_dir, monkeypatch, models, baseline):
+        journal = journal_dir / "exception.jsonl"
+        flaky = _FlakyBatches(monkeypatch, raise_on={3})  # 2nd cell, 1st stream
+        config = study_config(journal=str(journal))
+        interrupted = run_native_study(config, models=models)
+
+        # the sweep continued: both cells produced a record, one failed
+        assert [r.status for r in interrupted] == ["ok", "failed"]
+        failed = interrupted.records[1]
+        assert failed.method == "bn_norm" and math.isnan(failed.error_pct)
+
+        # the journal is readable and carries the failed cell's traceback
+        failures = scan_journal(journal).failed_cells()
+        assert set(failures) == {"wrn40_2/bn_norm/50"}
+        assert "injected failure on call 3" in failures[
+            "wrn40_2/bn_norm/50"]["traceback"]
+
+        # heal the fault and resume: only the failed cell re-runs
+        flaky.heal()
+        calls_before = flaky.calls
+        resumed = run_native_study(
+            study_config(journal=str(journal), resume=True), models=models)
+        assert flaky.calls - calls_before == 2     # one cell x two streams
+        assert [r.status for r in resumed] == ["ok", "ok"]
+
+        # no duplicate cells, and identical records modulo wall time
+        assert len(resumed) == len(baseline)
+        assert strip_timing(resumed) == strip_timing(baseline)
+
+    def test_retry_recovers_transient_fault_in_one_run(
+            self, journal_dir, monkeypatch, models, baseline):
+        journal = journal_dir / "retry.jsonl"
+        # fail the second cell's first attempt only (call 3); attempt 2
+        # re-pulls both of that cell's streams (calls 4-5) and succeeds
+        _FlakyBatches(monkeypatch, raise_on={3})
+        config = study_config(journal=str(journal), max_retries=1)
+        result = run_native_study(config, models=models)
+        assert [r.status for r in result] == ["ok", "ok"]
+        assert [r.attempts for r in result] == [1, 2]
+        assert strip_timing(result) == strip_timing(baseline)
+
+
+class TestHardKillMidSweep:
+    def test_kill_plus_truncated_journal_then_resume(
+            self, journal_dir, monkeypatch, models, baseline):
+        journal = journal_dir / "hardkill.jsonl"
+        flaky = _FlakyBatches(monkeypatch, raise_on={3}, error=_HardKill)
+        config = study_config(journal=str(journal))
+        with pytest.raises(_HardKill):
+            run_native_study(config, models=models)
+
+        # simulate the kill landing mid-append: partial trailing line
+        with open(journal, "ab") as handle:
+            handle.write(b'{"event":"cell_ok","cell":"wrn40_2/bn_norm/5')
+        scan = scan_journal(journal)
+        assert scan.truncated
+        assert set(scan.completed_cells()) == {"wrn40_2/no_adapt/50"}
+
+        # a fresh process (fresh journal object) resumes past the wreck
+        flaky.heal()
+        calls_before = flaky.calls
+        resumed = run_native_study(
+            study_config(journal=str(journal), resume=True), models=models)
+        assert flaky.calls - calls_before == 2     # completed cell skipped
+        assert [r.status for r in resumed] == ["ok", "ok"]
+        assert len(resumed) == len(baseline)       # no duplicate cells
+        assert strip_timing(resumed) == strip_timing(baseline)
+        events = [e["event"] for e in scan_journal(journal).entries]
+        assert "run_resume" in events and events[-1] == "run_end"
+
+
+class TestReplayDeterminism:
+    def test_fully_journaled_run_replays_bit_identically(
+            self, journal_dir, models):
+        journal = journal_dir / "replay.jsonl"
+        first = run_native_study(study_config(journal=str(journal)),
+                                 models=models)
+        replayed = run_native_study(
+            study_config(journal=str(journal), resume=True), models=models)
+        # same journal -> bit-identical merged StudyResult, timing included
+        assert study_io.dumps(replayed) == study_io.dumps(first)
+
+    def test_resume_refuses_a_different_config(self, journal_dir, models):
+        journal = journal_dir / "fingerprint.jsonl"
+        run_native_study(study_config(journal=str(journal)), models=models)
+        other = study_config(journal=str(journal), resume=True, seed=99)
+        with pytest.raises(ValueError, match="different study"):
+            run_native_study(other, models=models)
+
+
+class TestZeroSampleStream:
+    def test_stream_shorter_than_batch_yields_nan_not_crash(self, models):
+        config = study_config(methods=("no_adapt",), stream_samples=30)
+        result = run_native_study(config, models=models)
+        record = result.one("wrn40_2", "no_adapt", 50)
+        assert record.status == "ok"
+        assert math.isnan(record.error_pct)
+        # and the NaN error survives the JSON round trip as null
+        restored = study_io.loads(study_io.dumps(result))
+        assert math.isnan(restored.records[0].error_pct)
+
+    def test_mixed_empty_and_real_streams_average_the_real_ones(
+            self, models, monkeypatch):
+        # empty out only the first stream: its NaN must not poison the
+        # aggregate over the streams that did produce samples
+        original = CorruptionStream.batches
+        calls = {"n": 0}
+
+        def batches(stream, batch_size, drop_last=True):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return iter(())
+            return original(stream, batch_size, drop_last)
+
+        monkeypatch.setattr(CorruptionStream, "batches", batches)
+        config = study_config(methods=("no_adapt",))
+        result = run_native_study(config, models=models)
+        record = result.one("wrn40_2", "no_adapt", 50)
+        assert record.status == "ok"
+        assert not math.isnan(record.error_pct)

@@ -1,0 +1,152 @@
+"""Run journal: durable appends, crash-tolerant recovery, compaction."""
+
+import json
+
+import pytest
+
+from repro.resilience.journal import (JournalError, RunJournal,
+                                      scan_journal)
+
+
+def entries(n=3):
+    return [{"event": "cell_ok", "cell": f"c{i}", "attempt": 1,
+             "records": [{"error_pct": float(i)}]} for i in range(n)]
+
+
+class TestAppendScan:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            for entry in entries():
+                journal.append(entry)
+        scan = scan_journal(path)
+        assert scan.entries == entries()
+        assert not scan.truncated
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = scan_journal(tmp_path / "never_written.jsonl")
+        assert scan.entries == [] and not scan.truncated
+
+    def test_fresh_journal_truncates_previous(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.append({"event": "run_start", "fingerprint": "old"})
+        with RunJournal(path) as journal:   # resume=False: start over
+            journal.append({"event": "run_start", "fingerprint": "new"})
+        assert scan_journal(path).fingerprint == "new"
+
+    def test_resume_appends_to_existing(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.append({"event": "run_start", "fingerprint": "fp"})
+        with RunJournal(path, resume=True) as journal:
+            journal.append({"event": "run_resume", "fingerprint": "fp"})
+        events = [e["event"] for e in scan_journal(path).entries]
+        assert events == ["run_start", "run_resume"]
+
+
+class TestRecovery:
+    def test_truncated_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            for entry in entries(2):
+                journal.append(entry)
+        # simulate a kill mid-append: a partial line with no newline
+        with open(path, "ab") as handle:
+            handle.write(b'{"event":"cell_ok","cell":"c2","rec')
+        scan = scan_journal(path)
+        assert scan.truncated
+        assert scan.entries == entries(2)
+
+    def test_truncated_unicode_tail_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.append(entries(1)[0])
+        with open(path, "ab") as handle:
+            handle.write("{\"note\":\"café".encode("utf-8")[:-1])
+        assert scan_journal(path).truncated
+
+    def test_resume_append_trims_partial_tail(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.append(entries(1)[0])
+        with open(path, "ab") as handle:
+            handle.write(b'{"event":"cell_ok","cell":"par')
+        # resuming must not glue new entries onto the crash artifact
+        with RunJournal(path, resume=True) as journal:
+            journal.append({"event": "run_resume"})
+        scan = scan_journal(path)
+        assert not scan.truncated
+        assert [e["event"] for e in scan.entries] == \
+            ["cell_ok", "run_resume"]
+
+    def test_resume_append_trims_terminated_garbage_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.append(entries(1)[0])
+        with open(path, "ab") as handle:
+            handle.write(b'{"event":"cell_ok","cell"\n')
+        with RunJournal(path, resume=True) as journal:
+            journal.append({"event": "run_resume"})
+        assert [e["event"] for e in scan_journal(path).entries] == \
+            ["cell_ok", "run_resume"]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        lines = [json.dumps(e) for e in entries(2)]
+        lines.insert(1, '{"event": "cell_ok", "cell": broken')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="line 2"):
+            scan_journal(path)
+
+    def test_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('[1, 2, 3]\n')
+        with pytest.raises(JournalError, match="not a JSON object"):
+            scan_journal(path)
+
+    def test_completed_cells_last_wins(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.append({"event": "cell_ok", "cell": "a",
+                            "records": [{"v": 1}]})
+            journal.append({"event": "cell_ok", "cell": "a",
+                            "records": [{"v": 2}]})
+        assert scan_journal(path).completed_cells() == {"a": [{"v": 2}]}
+
+    def test_failed_cells_cleared_by_later_success(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.append({"event": "cell_failed", "cell": "a",
+                            "final": True, "error": "E: boom"})
+            journal.append({"event": "cell_failed", "cell": "b",
+                            "final": True, "error": "E: boom"})
+            journal.append({"event": "cell_ok", "cell": "b",
+                            "records": []})
+        assert list(scan_journal(path).failed_cells()) == ["a"]
+
+
+class TestCompaction:
+    def test_compact_preserves_resume_semantics(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.append({"event": "run_start", "fingerprint": "fp",
+                        "cells": 2})
+        journal.append({"event": "cell_start", "cell": "a", "attempt": 1})
+        journal.append({"event": "cell_failed", "cell": "a", "attempt": 1,
+                        "final": False, "error": "E"})
+        journal.append({"event": "cell_start", "cell": "a", "attempt": 2})
+        journal.append({"event": "cell_ok", "cell": "a", "attempt": 2,
+                        "records": [{"v": 1}]})
+        journal.append({"event": "cell_start", "cell": "b", "attempt": 1})
+        journal.append({"event": "cell_failed", "cell": "b", "attempt": 1,
+                        "final": True, "error": "E"})
+        journal.close()
+
+        before = scan_journal(path)
+        removed = RunJournal(path, resume=True).compact()
+        after = scan_journal(path)
+        assert removed == 4   # three cell_start + one transient failure
+        assert after.fingerprint == "fp"
+        assert after.completed_cells() == before.completed_cells()
+        assert list(after.failed_cells()) == list(before.failed_cells())

@@ -1,0 +1,131 @@
+"""Pretrain disk cache: checksum verification and retrain fallback."""
+
+import numpy as np
+import pytest
+
+from repro.train import trainer as trainer_mod
+from repro.train.trainer import (_CHECKSUM_KEY, _read_disk_cache,
+                                 _state_checksum, _write_disk_cache,
+                                 pretrain_robust)
+
+TINY = dict(image_size=8, train_samples=48, epochs=1, seed=0)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Isolated disk cache plus a fresh in-memory cache per test."""
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+    monkeypatch.setattr(trainer_mod, "_MEMORY_CACHE", {})
+    return tmp_path
+
+
+def cache_file(cache_dir):
+    files = sorted(cache_dir.glob("robust_*.npz"))
+    assert len(files) == 1
+    return files[0]
+
+
+def forbid_training(monkeypatch):
+    def fit(self, dataset, val=None):
+        raise AssertionError("retrained when the disk cache should serve")
+    monkeypatch.setattr(trainer_mod.Trainer, "fit", fit)
+
+
+def count_training(monkeypatch):
+    calls = {"n": 0}
+    original = trainer_mod.Trainer.fit
+
+    def fit(self, dataset, val=None):
+        calls["n"] += 1
+        return original(self, dataset, val)
+
+    monkeypatch.setattr(trainer_mod.Trainer, "fit", fit)
+    return calls
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        state = {"w": np.arange(6, dtype=np.float32).reshape(2, 3),
+                 "b": np.zeros(3, dtype=np.float32)}
+        target = tmp_path / "weights.npz"
+        _write_disk_cache(target, state)
+        restored = _read_disk_cache(target)
+        assert restored is not None
+        assert sorted(restored) == ["b", "w"]
+        for name in state:
+            np.testing.assert_array_equal(restored[name], state[name])
+
+    def test_checksum_covers_names_shapes_and_bytes(self):
+        base = {"w": np.ones((2, 2), dtype=np.float32)}
+        renamed = {"v": np.ones((2, 2), dtype=np.float32)}
+        reshaped = {"w": np.ones(4, dtype=np.float32)}
+        perturbed = {"w": np.full((2, 2), 1.0 + 1e-7, dtype=np.float32)}
+        digests = {_state_checksum(s)
+                   for s in (base, renamed, reshaped, perturbed)}
+        assert len(digests) == 4
+
+    def test_disk_cache_serves_without_retraining(self, cache_dir,
+                                                  monkeypatch):
+        trained = pretrain_robust("wrn40_2", **TINY)
+        assert cache_file(cache_dir).exists()
+
+        # a "new process": empty memory cache, training forbidden
+        monkeypatch.setattr(trainer_mod, "_MEMORY_CACHE", {})
+        forbid_training(monkeypatch)
+        cached = pretrain_robust("wrn40_2", **TINY)
+        for key, value in trained.state_dict().items():
+            np.testing.assert_array_equal(value, cached.state_dict()[key])
+
+
+class TestCorruptionFallback:
+    def test_truncated_archive_triggers_retrain_and_clean_rewrite(
+            self, cache_dir, monkeypatch):
+        pretrain_robust("wrn40_2", **TINY)
+        target = cache_file(cache_dir)
+        target.write_bytes(target.read_bytes()[:100])   # torn write
+
+        monkeypatch.setattr(trainer_mod, "_MEMORY_CACHE", {})
+        calls = count_training(monkeypatch)
+        model = pretrain_robust("wrn40_2", **TINY)
+        assert calls["n"] == 1                          # retrained once
+        assert model is not None
+        # and the rewrite left a verifiable archive behind
+        assert _read_disk_cache(cache_file(cache_dir)) is not None
+
+    def test_tampered_weights_with_stale_checksum_rejected(
+            self, cache_dir, monkeypatch):
+        pretrain_robust("wrn40_2", **TINY)
+        target = cache_file(cache_dir)
+        with np.load(target) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        tampered_name = next(n for n in payload if n != _CHECKSUM_KEY)
+        payload[tampered_name] = payload[tampered_name] + 1.0
+        np.savez_compressed(target, **payload)          # checksum now stale
+
+        monkeypatch.setattr(trainer_mod, "_MEMORY_CACHE", {})
+        calls = count_training(monkeypatch)
+        pretrain_robust("wrn40_2", **TINY)
+        assert calls["n"] == 1
+        assert not target.exists() or \
+            _read_disk_cache(cache_file(cache_dir)) is not None
+
+    def test_legacy_archive_without_checksum_rejected(self, cache_dir,
+                                                      monkeypatch):
+        pretrain_robust("wrn40_2", **TINY)
+        target = cache_file(cache_dir)
+        with np.load(target) as archive:
+            payload = {name: archive[name] for name in archive.files
+                       if name != _CHECKSUM_KEY}
+        np.savez_compressed(target, **payload)          # pre-checksum format
+
+        monkeypatch.setattr(trainer_mod, "_MEMORY_CACHE", {})
+        calls = count_training(monkeypatch)
+        pretrain_robust("wrn40_2", **TINY)
+        assert calls["n"] == 1
+
+    def test_unusable_cache_file_is_removed(self, cache_dir, monkeypatch):
+        pretrain_robust("wrn40_2", **TINY)
+        target = cache_file(cache_dir)
+        target.write_bytes(b"not a zip archive at all")
+        assert _read_disk_cache(target) is None
+        assert not target.exists()
