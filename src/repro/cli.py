@@ -23,7 +23,11 @@ Commands
     ASCII trade-off scatter (Figs. 5/8/11/12 projection).
 ``bench``
     Time the execution-engine leaf kernels (conv forward/backward, one
-    BN-Opt step) per backend and write ``BENCH_engine.json``.
+    BN-Opt step) per backend plus native sweep throughput (serial vs
+    ``--workers`` processes; skip with ``--no-sweep``) and write
+    ``BENCH_engine.json``; ``--compare BASELINE --tolerance PCT`` turns
+    the run into a perf-regression gate that exits non-zero when any
+    metric slowed past the tolerance (CI runs this on every PR).
 ``stream``
     Play a corrupted SynthCIFAR stream through an adaptation method for
     real, optionally injecting faults (``--faults "nan:0.2,constant@3"``)
@@ -34,7 +38,10 @@ Commands
     crash-safe execution: ``--journal`` appends every cell outcome to a
     JSONL run journal, ``--resume`` skips cells already journaled ok,
     and ``--max-retries`` / ``--cell-timeout`` bound retries and
-    per-cell wall time (see :mod:`repro.resilience`).
+    per-cell wall time (see :mod:`repro.resilience`).  ``--workers N``
+    schedules the same cells across N worker processes with identical
+    journal/resume semantics and canonically-ordered, byte-identical
+    merged output (see :mod:`repro.parallel`).
 
 Global flags ``--backend {numpy,threaded}`` and ``--threads N`` select
 the execution backend (see :mod:`repro.engine`) for any command that
@@ -222,7 +229,7 @@ def _cmd_native(args: argparse.Namespace) -> int:
         backend=args.backend or "numpy", threads=args.threads or 0,
         journal=args.journal or "", resume=args.resume,
         max_retries=args.max_retries, cell_timeout=args.cell_timeout,
-        seed=args.seed)
+        workers=args.workers, seed=args.seed)
     result = run_native_study(config, per_corruption=args.per_corruption)
     print(result.to_table(title="Native study grid (measured):"))
     if args.json:
@@ -244,14 +251,27 @@ def _cmd_native(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.engine.bench import (DEFAULT_BENCH_PATH, format_engine_bench,
-                                    write_engine_bench)
+    import json as json_module
+    from pathlib import Path
+
+    from repro.engine.bench import (DEFAULT_BENCH_PATH, compare_engine_bench,
+                                    format_bench_comparison,
+                                    format_engine_bench, write_engine_bench)
     backends = tuple(args.backends) if args.backends else BACKEND_NAMES
     doc = write_engine_bench(
         args.json or DEFAULT_BENCH_PATH, backends=backends,
-        threads=args.threads or 0, batch=args.batch, repeats=args.repeats)
+        threads=args.threads or 0, batch=args.batch, repeats=args.repeats,
+        sweep=not args.no_sweep, sweep_workers=args.workers)
     print(format_engine_bench(doc))
     print(f"wrote {args.json or DEFAULT_BENCH_PATH}")
+    if args.compare:
+        baseline = json_module.loads(Path(args.compare).read_text())
+        comparison = compare_engine_bench(doc, baseline,
+                                          tolerance_pct=args.tolerance)
+        print(format_bench_comparison(comparison))
+        if comparison["regressions"]:
+            print(f"perf regression vs {args.compare}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -379,6 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
     native.add_argument("--resume", action="store_true",
                         help="skip cells the journal already records as "
                              "ok (requires --journal)")
+    native.add_argument("--workers", type=_non_negative_int, default=0,
+                        metavar="N",
+                        help="worker processes for the grid (0 = serial; "
+                             "see repro.parallel)")
     native.add_argument("--max-retries", type=_non_negative_int, default=0,
                         help="extra attempts per failing cell")
     native.add_argument("--cell-timeout", type=float, default=0.0,
@@ -402,6 +426,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing repetitions (best is reported)")
     bench.add_argument("--json", metavar="PATH", default=None,
                        help="output path (default BENCH_engine.json)")
+    bench.add_argument("--workers", type=_non_negative_int, default=0,
+                       metavar="N",
+                       help="worker processes for the sweep-throughput "
+                            "section (0 = one per CPU core)")
+    bench.add_argument("--no-sweep", action="store_true",
+                       help="skip the native sweep-throughput section "
+                            "(kernel timings only)")
+    bench.add_argument("--compare", metavar="BASELINE", default=None,
+                       help="compare against a baseline BENCH_engine.json "
+                            "and exit non-zero on perf regression")
+    bench.add_argument("--tolerance", type=float, default=25.0,
+                       metavar="PCT",
+                       help="allowed slowdown before --compare fails "
+                            "(percent, default 25)")
     bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -88,6 +88,13 @@ class StudyConfig:
     max_retries: int = 0
     #: soft per-cell watchdog deadline in seconds (0 = no deadline)
     cell_timeout: float = 0.0
+    #: worker *processes* for the native grid (:mod:`repro.parallel`);
+    #: 0 = serial in-process execution via the ResilientExecutor.  A
+    #: wall-clock-only knob: it never changes the measured records, so
+    #: (like ``threads``) it is excluded from the resume fingerprint —
+    #: a journal written serially can be resumed with workers and vice
+    #: versa.
+    workers: int = 0
     seed: int = 0
 
     def cases(self) -> List[Case]:

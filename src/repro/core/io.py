@@ -98,6 +98,26 @@ def dumps(result: StudyResult) -> str:
     return json.dumps(payload, indent=2)
 
 
+def canonical_dumps(result: StudyResult, *,
+                    strip_timing: bool = False) -> str:
+    """:func:`dumps` as a canonical comparison form.
+
+    JSON encoding makes NaN fields comparable (NaN != NaN, but both
+    encode to ``null``).  With ``strip_timing=True`` the fields that
+    legitimately vary between separate *executions* of the same config —
+    wall-clock ``forward_time_s`` and retry ``attempts`` — are zeroed
+    out, which is the equality contract between a parallel sweep and
+    its serial twin (everything measured is bit-identical; only wall
+    time is not).  Replays of one journal need no stripping: they are
+    byte-equal under plain :func:`dumps`.
+    """
+    if not strip_timing:
+        return dumps(result)
+    from dataclasses import replace
+    return dumps(StudyResult([replace(r, forward_time_s=0.0, attempts=1)
+                              for r in result.records]))
+
+
 def loads(text: str) -> StudyResult:
     """Parse a study result from :func:`dumps` output (strict)."""
     payload = json.loads(text)

@@ -158,8 +158,19 @@ def run_native_study(config: Optional[StudyConfig] = None,
     the run durable and resumable — a resumed run replays completed
     cells from the journal bit-identically instead of re-executing
     them.
+
+    With ``config.workers > 0`` the same cells are scheduled across
+    that many worker *processes* by a
+    :class:`~repro.parallel.ParallelExecutor` instead: each spawned
+    worker re-enters the configured backend, rebuilds its streams, and
+    shares pre-trained checkpoints through the file-locked disk cache,
+    while the parent remains the single journal writer and merges
+    records in canonical grid order — every field of the merged result
+    except wall-clock timing is bit-identical to the serial run's.
     """
     config = config or StudyConfig()
+    if config.workers:
+        return _run_native_study_parallel(config, models, per_corruption)
     backend = create_backend(config.backend, threads=config.threads)
     try:
         with use_backend(backend):
@@ -196,15 +207,35 @@ def _config_fingerprint(config: StudyConfig, backend_name: str,
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
+def _build_streams(config: StudyConfig) -> List[CorruptionStream]:
+    """The per-corruption evaluation streams, seeded from the config.
+
+    Depends only on config fields inside the resume fingerprint, so a
+    serial parent and every parallel worker rebuild identical streams.
+    """
+    test = make_synth_cifar(config.stream_samples, size=config.image_size,
+                            seed=config.seed + 12345)
+    return [CorruptionStream.from_dataset(test, corruption,
+                                          severity=config.severity,
+                                          seed=config.seed)
+            for corruption in config.corruptions]
+
+
+def _grid_specs(config: StudyConfig, backend_name: str) -> List[CellSpec]:
+    """Cell specs for the native grid, in canonical grid order."""
+    return [CellSpec(key=f"{model_name}/{method_name}/{batch_size}",
+                     model=model_name, method=method_name,
+                     batch_size=batch_size, device="host",
+                     backend=backend_name, guarded=config.guard)
+            for model_name in config.models
+            for method_name in config.methods
+            for batch_size in config.batch_sizes]
+
+
 def _run_native_study(config: StudyConfig, backend,
                       models: Optional[Dict[str, object]],
                       per_corruption: bool) -> StudyResult:
-    test = make_synth_cifar(config.stream_samples, size=config.image_size,
-                            seed=config.seed + 12345)
-    streams = [CorruptionStream.from_dataset(test, corruption,
-                                             severity=config.severity,
-                                             seed=config.seed)
-               for corruption in config.corruptions]
+    streams = _build_streams(config)
     fault_specs = (parse_fault_specs(config.faults)
                    if config.faults else None)
 
@@ -230,16 +261,8 @@ def _run_native_study(config: StudyConfig, backend,
                                         streams, fault_specs, per_corruption)
         return run_cell
 
-    cells = []
-    for model_name in config.models:
-        for method_name in config.methods:
-            for batch_size in config.batch_sizes:
-                spec = CellSpec(
-                    key=f"{model_name}/{method_name}/{batch_size}",
-                    model=model_name, method=method_name,
-                    batch_size=batch_size, device="host",
-                    backend=backend.name, guarded=config.guard)
-                cells.append((spec, make_cell(spec)))
+    cells = [(spec, make_cell(spec))
+             for spec in _grid_specs(config, backend.name)]
 
     journal = (RunJournal(config.journal, resume=config.resume)
                if config.journal else None)
@@ -250,6 +273,82 @@ def _run_native_study(config: StudyConfig, backend,
                                         per_corruption))
     try:
         return executor.run(cells)
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+# ----------------------------------------------------------------------
+# Process-parallel native execution (:mod:`repro.parallel`)
+# ----------------------------------------------------------------------
+
+#: per-worker-process context, keyed by config fingerprint: the spawned
+#: interpreter builds its backend/streams/models once and reuses them
+#: for every cell it pulls (one config per worker in practice; a new
+#: fingerprint evicts the old context)
+_WORKER_CONTEXT: Dict[str, dict] = {}
+
+
+def _native_cell_worker(payload: dict, spec: CellSpec
+                        ) -> List[MeasurementRecord]:
+    """Module-level cell runner for parallel workers (spawn-picklable).
+
+    ``payload`` ships once per worker: the :class:`StudyConfig`, the
+    run fingerprint, ``per_corruption``, and optionally pre-built
+    models (pickled whole).  Models not shipped are resolved through
+    :func:`repro.train.pretrain_robust`, whose disk cache is file-locked
+    so concurrent workers train each checkpoint exactly once.
+    """
+    config: StudyConfig = payload["config"]
+    context = _WORKER_CONTEXT.get(payload["fingerprint"])
+    if context is None:
+        _WORKER_CONTEXT.clear()
+        context = {
+            "backend": create_backend(config.backend,
+                                      threads=config.threads),
+            "streams": _build_streams(config),
+            "fault_specs": (parse_fault_specs(config.faults)
+                            if config.faults else None),
+            "models": dict(payload.get("models") or {}),
+        }
+        _WORKER_CONTEXT[payload["fingerprint"]] = context
+    model = context["models"].get(spec.model)
+    if model is None:
+        model = pretrain_robust(
+            spec.model, image_size=config.image_size,
+            train_samples=config.train_samples,
+            epochs=config.train_epochs, seed=config.seed)
+        context["models"][spec.model] = model
+    # re-enter the backend: use_backend() is thread-local and this is a
+    # fresh spawned interpreter
+    with use_backend(context["backend"]):
+        return _run_native_cell(config, model, spec, context["streams"],
+                                context["fault_specs"],
+                                payload["per_corruption"])
+
+
+def _run_native_study_parallel(config: StudyConfig,
+                               models: Optional[Dict[str, object]],
+                               per_corruption: bool) -> StudyResult:
+    """Drive the native grid across ``config.workers`` processes."""
+    from repro.parallel import ParallelExecutor
+
+    probe = create_backend(config.backend, threads=1)
+    backend_name = probe.name
+    probe.close()
+    fingerprint = _config_fingerprint(config, backend_name, per_corruption)
+    cells = [(spec, _native_cell_worker)
+             for spec in _grid_specs(config, backend_name)]
+    payload = {"config": config, "fingerprint": fingerprint,
+               "per_corruption": per_corruption, "models": models}
+    journal = (RunJournal(config.journal, resume=config.resume)
+               if config.journal else None)
+    executor = ParallelExecutor(
+        journal, workers=config.workers, resume=config.resume,
+        max_retries=config.max_retries, cell_timeout=config.cell_timeout,
+        seed=config.seed, fingerprint=fingerprint)
+    try:
+        return executor.run(cells, payload=payload)
     finally:
         if journal is not None:
             journal.close()

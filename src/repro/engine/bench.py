@@ -17,6 +17,17 @@ comparable perf trajectory.  Three workloads:
 Timings are best-of-``repeats`` wall clock (median is also recorded);
 the arena's hit-rate over the measured iterations is reported per
 backend.
+
+With ``sweep=True`` the document also gets a ``sweep`` section: a small
+native adaptation grid is driven once serially and once through the
+process-parallel scheduler (:mod:`repro.parallel`), recording wall time
+and cells/sec for each so the sweep-throughput trajectory is tracked
+alongside the kernel timings.
+
+:func:`compare_engine_bench` turns two documents into a perf-regression
+verdict — ``python -m repro bench --compare BASELINE.json`` exits
+non-zero when any kernel slowed down (or sweep throughput dropped)
+beyond the tolerance, which is what CI's perf gate runs on every PR.
 """
 
 from __future__ import annotations
@@ -34,8 +45,9 @@ from repro.engine import Backend, create_backend, use_backend
 
 DEFAULT_BENCH_PATH = "BENCH_engine.json"
 
-#: schema version for BENCH_engine.json (bump on incompatible change)
-BENCH_FORMAT_VERSION = 1
+#: schema version for BENCH_engine.json (bump on incompatible change);
+#: v2 added the optional ``sweep`` throughput section
+BENCH_FORMAT_VERSION = 2
 
 
 def _time(fn: Callable[[], None], repeats: int, warmup: int = 1) -> Dict[str, float]:
@@ -109,14 +121,61 @@ def _bench_bn_opt_step(backend: Backend, batch: int, repeats: int,
         return _time(step, repeats)
 
 
+def _bench_sweep(workers: int, seed: int) -> dict:
+    """Time a small native adaptation grid serially vs in parallel.
+
+    One tiny *untrained* WRN-40-2 (shipped pre-built, so no training
+    cost pollutes the throughput number) over a 3-method x 2-batch grid
+    with two corruption streams: 6 cells, each real adaptation work on
+    the numpy engine.  Cells/sec is the sweep-scheduling metric the
+    parallel executor is supposed to move.
+    """
+    from repro.core.config import StudyConfig
+    from repro.core.runner import run_native_study
+    from repro.models.registry import build_model
+
+    base = StudyConfig(models=("wrn40_2",),
+                       methods=("no_adapt", "bn_norm", "bn_opt"),
+                       batch_sizes=(32, 64),
+                       corruptions=("gaussian_noise", "fog"),
+                       image_size=16, stream_samples=96, seed=seed)
+    models = {"wrn40_2": build_model("wrn40_2", profile="tiny")}
+    cells = (len(base.models) * len(base.methods) * len(base.batch_sizes))
+    section: dict = {
+        "cells": cells,
+        "grid": {"models": list(base.models),
+                 "methods": list(base.methods),
+                 "batch_sizes": list(base.batch_sizes),
+                 "corruptions": list(base.corruptions),
+                 "stream_samples": base.stream_samples},
+    }
+    from dataclasses import replace as _replace
+    for label, n in (("serial", 0), ("parallel", workers)):
+        start = time.perf_counter()
+        run_native_study(_replace(base, workers=n), models=models)
+        wall = time.perf_counter() - start
+        section[label] = {"wall_s": wall, "cells_per_s": cells / wall}
+        if label == "parallel":
+            section[label]["workers"] = workers
+    section["speedup_parallel_vs_serial"] = (
+        section["parallel"]["cells_per_s"] / section["serial"]["cells_per_s"])
+    return section
+
+
 def run_engine_bench(backends: Sequence[str] = ("numpy", "threaded"),
                      threads: int = 0,
                      batch: int = 64,
                      channels: int = 16,
                      size: int = 16,
                      repeats: int = 5,
-                     seed: int = 0) -> dict:
-    """Benchmark every named backend; return the BENCH_engine document."""
+                     seed: int = 0,
+                     sweep: bool = False,
+                     sweep_workers: int = 0) -> dict:
+    """Benchmark every named backend; return the BENCH_engine document.
+
+    ``sweep=True`` appends the sweep-throughput section (serial vs
+    ``sweep_workers`` processes; 0 means one per CPU core).
+    """
     results: Dict[str, dict] = {}
     for name in backends:
         backend = create_backend(name, threads=threads)
@@ -157,6 +216,9 @@ def run_engine_bench(backends: Sequence[str] = ("numpy", "threaded"),
             for op in ("conv_forward", "conv_backward", "bn_opt_step")
             if results["threaded"][op]["best_s"] > 0
         }
+    if sweep:
+        doc["sweep"] = _bench_sweep(sweep_workers or os.cpu_count() or 1,
+                                    seed)
     return doc
 
 
@@ -190,4 +252,92 @@ def format_engine_bench(doc: dict) -> str:
         rendered = ", ".join(f"{op} x{ratio:.2f}"
                              for op, ratio in speedups.items())
         lines.append(f"threaded speedup vs numpy: {rendered}")
+    sweep = doc.get("sweep")
+    if sweep:
+        lines.append(
+            f"sweep ({sweep['cells']} cells): "
+            f"serial {sweep['serial']['cells_per_s']:.2f} cells/s, "
+            f"parallel[{sweep['parallel']['workers']}] "
+            f"{sweep['parallel']['cells_per_s']:.2f} cells/s "
+            f"(x{sweep['speedup_parallel_vs_serial']:.2f})")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Perf-regression comparison (the CI gate behind ``bench --compare``)
+# ----------------------------------------------------------------------
+
+#: kernel metrics compared per backend (lower is better)
+_KERNEL_OPS = ("conv_forward", "conv_backward", "bn_opt_step")
+
+
+def compare_engine_bench(current: dict, baseline: dict,
+                         tolerance_pct: float = 25.0) -> dict:
+    """Compare two BENCH_engine documents; flag regressions.
+
+    A kernel regresses when its best time exceeds the baseline's by
+    more than ``tolerance_pct`` percent; sweep throughput regresses
+    when cells/sec drops by more than the same margin.  Metrics present
+    on only one side are skipped, not failed — a v1 baseline (no
+    ``sweep`` section) gates the kernels it has and nothing else, so
+    the gate never breaks on its own format growth.
+
+    Returns ``{"tolerance_pct", "checked", "regressions", "skipped"}``
+    where each entry of ``checked``/``regressions`` is ``{"metric",
+    "baseline", "current", "ratio"}`` (ratio > 1 means slower/worse).
+    """
+    if tolerance_pct < 0:
+        raise ValueError(
+            f"tolerance_pct must be >= 0, got {tolerance_pct}")
+    allowed = 1.0 + tolerance_pct / 100.0
+    checked: List[dict] = []
+    regressions: List[dict] = []
+    skipped: List[str] = []
+
+    def check(metric: str, base_value: Optional[float],
+              cur_value: Optional[float], *, lower_is_better: bool) -> None:
+        if not base_value or not cur_value or base_value <= 0 \
+                or cur_value <= 0:
+            skipped.append(metric)
+            return
+        ratio = (cur_value / base_value if lower_is_better
+                 else base_value / cur_value)
+        entry = {"metric": metric, "baseline": base_value,
+                 "current": cur_value, "ratio": ratio}
+        checked.append(entry)
+        if ratio > allowed:
+            regressions.append(entry)
+
+    base_backends = baseline.get("backends", {})
+    for name, entry in current.get("backends", {}).items():
+        base_entry = base_backends.get(name, {})
+        for op in _KERNEL_OPS:
+            check(f"{name}/{op}/best_s",
+                  base_entry.get(op, {}).get("best_s"),
+                  entry.get(op, {}).get("best_s"), lower_is_better=True)
+    for mode in ("serial", "parallel"):
+        check(f"sweep/{mode}/cells_per_s",
+              baseline.get("sweep", {}).get(mode, {}).get("cells_per_s"),
+              current.get("sweep", {}).get(mode, {}).get("cells_per_s"),
+              lower_is_better=False)
+    return {"tolerance_pct": tolerance_pct, "checked": checked,
+            "regressions": regressions, "skipped": skipped}
+
+
+def format_bench_comparison(comparison: dict) -> str:
+    """Human-readable verdict for a :func:`compare_engine_bench` result."""
+    tolerance = comparison["tolerance_pct"]
+    lines = [f"perf comparison (tolerance {tolerance:g}%): "
+             f"{len(comparison['checked'])} metric(s) checked, "
+             f"{len(comparison['regressions'])} regression(s)"]
+    flagged = {entry["metric"] for entry in comparison["regressions"]}
+    for entry in comparison["checked"]:
+        verdict = "REGRESSED" if entry["metric"] in flagged else "ok"
+        lines.append(
+            f"  {entry['metric']:<32s} {entry['ratio']:6.2f}x "
+            f"({entry['baseline']:.4g} -> {entry['current']:.4g})  "
+            f"{verdict}")
+    if comparison["skipped"]:
+        lines.append("  skipped (absent on one side): "
+                     + ", ".join(comparison["skipped"]))
     return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Advisory inter-process file lock for shared on-disk caches.
+
+The pretrain-checkpoint cache is shared by every worker process of a
+parallel sweep; without mutual exclusion N workers would each spend
+minutes training the *same* model and then race to write the same cache
+file.  :class:`FileLock` serializes them: the first worker trains while
+the rest block, then find the checkpoint already on disk.
+
+POSIX hosts use ``fcntl.flock`` on a sidecar ``.lock`` file (the kernel
+releases it automatically if the holder dies, so a crashed trainer can
+never wedge the cache).  Where ``fcntl`` is unavailable the lock falls
+back to ``O_CREAT | O_EXCL`` spin acquisition with stale-lock breaking
+(a lock file older than ``stale_after`` seconds is presumed orphaned).
+
+The lock is advisory: only cooperating :class:`FileLock` users exclude
+each other, which is exactly the contract a cache needs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+try:                                      # pragma: no cover - platform gate
+    import fcntl
+except ImportError:                       # pragma: no cover - non-POSIX
+    fcntl = None
+
+
+class FileLockTimeout(TimeoutError):
+    """The lock could not be acquired within the requested timeout."""
+
+
+class FileLock:
+    """Context-managed advisory lock on ``path``.
+
+    Parameters
+    ----------
+    path:
+        The lock file (created if missing; never deleted under flock —
+        deleting a locked file would let a racer lock a fresh inode).
+    timeout:
+        Seconds to wait for acquisition; ``None`` waits forever.
+    poll_interval:
+        Sleep between acquisition attempts in the non-blocking paths.
+    stale_after:
+        Fallback-mode only: break a lock file untouched for this many
+        seconds (its holder is presumed dead; flock never needs this).
+    """
+
+    def __init__(self, path: Union[str, Path], *,
+                 timeout: Optional[float] = None,
+                 poll_interval: float = 0.05,
+                 stale_after: float = 600.0) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.stale_after = stale_after
+        self._fd: Optional[int] = None
+        self._owns_file = False
+
+    @property
+    def locked(self) -> bool:
+        return self._fd is not None
+
+    # -- acquisition ---------------------------------------------------
+
+    def acquire(self) -> "FileLock":
+        if self._fd is not None:
+            raise RuntimeError(f"{self.path} is already held by this lock")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = None if self.timeout is None \
+            else time.monotonic() + self.timeout
+        if fcntl is not None:
+            self._acquire_flock(deadline)
+        else:                             # pragma: no cover - non-POSIX
+            self._acquire_exclusive_create(deadline)
+        return self
+
+    def _acquire_flock(self, deadline: Optional[float]) -> None:
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if deadline is not None and time.monotonic() >= deadline:
+                        raise FileLockTimeout(
+                            f"could not lock {self.path} within "
+                            f"{self.timeout:g}s") from None
+                    time.sleep(self.poll_interval)
+        except BaseException:
+            os.close(fd)
+            raise
+        self._fd = fd
+
+    def _acquire_exclusive_create(self, deadline: Optional[float]) -> None:
+        # pragma: no cover - exercised only where fcntl is missing
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644)
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                self._fd = fd
+                self._owns_file = True
+                return
+            except FileExistsError:
+                self._break_if_stale()
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise FileLockTimeout(
+                        f"could not lock {self.path} within "
+                        f"{self.timeout:g}s") from None
+                time.sleep(self.poll_interval)
+
+    def _break_if_stale(self) -> None:
+        # pragma: no cover - fallback mode only
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return
+        if age > self.stale_after:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    # -- release -------------------------------------------------------
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        if self._owns_file:               # pragma: no cover - fallback mode
+            self._owns_file = False
+            os.close(fd)
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+            return
+        fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -34,7 +34,9 @@ from repro.resilience.journal import (
 )
 
 _EXECUTOR_NAMES = ("CellFn", "CellSpec", "CellTimeoutError",
-                   "ExecutorStats", "ResilientExecutor")
+                   "ExecutorStats", "ResilientExecutor", "RetryPolicy",
+                   "call_with_deadline", "make_failed_record",
+                   "recover_completed", "run_cell_attempts")
 
 __all__ = [
     "atomic_path",

@@ -23,6 +23,14 @@ measurement campaigns actually hit:
 The executor is generic over what a cell computes; only
 :class:`CellSpec` ties it to the study grid's coordinates (needed to
 synthesize a placeholder record when a cell ultimately fails).
+
+The per-cell attempt loop lives in the module-level
+:func:`run_cell_attempts` (parameterized by a :class:`RetryPolicy` and
+an ``emit`` callback for journal-schema events) so the process-parallel
+scheduler (:mod:`repro.parallel`) drives the *same* retry, watchdog,
+and journaling semantics from inside its worker processes — the only
+difference is where the emitted events end up (appended to the journal
+directly here; funnelled through the single-writer result queue there).
 """
 
 from __future__ import annotations
@@ -59,6 +67,7 @@ class CellSpec:
 
 
 CellFn = Callable[[], List[MeasurementRecord]]
+EmitFn = Callable[[dict], None]
 
 
 @dataclass
@@ -69,6 +78,129 @@ class ExecutorStats:
     skipped: int = 0
     failed: int = 0
     retries: int = 0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a cell's attempts are bounded, spaced, and deadlined.
+
+    Shared by :class:`ResilientExecutor` (serial) and the worker
+    processes of :class:`repro.parallel.ParallelExecutor`; being frozen
+    and plain-data it pickles across a ``spawn`` boundary.
+    """
+
+    max_retries: int = 0
+    cell_timeout: float = 0.0
+    backoff_base: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+
+    @property
+    def attempts(self) -> int:
+        return self.max_retries + 1
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Seeded jittered exponential backoff before attempt+1."""
+        rng = np.random.default_rng(
+            (self.seed, zlib.crc32(key.encode("utf-8")), attempt))
+        return self.backoff_base * (2.0 ** (attempt - 1)) \
+            * float(rng.uniform(0.5, 1.5))
+
+
+def call_with_deadline(fn: CellFn, timeout: float) -> List[MeasurementRecord]:
+    """Run ``fn``; abandon it past ``timeout`` seconds (0 = run inline).
+
+    The soft deadline runs ``fn`` on a daemonic thread and gives up on
+    it (the thread keeps running but nobody waits) — a *soft* watchdog,
+    the strongest guarantee a single process can give.
+    """
+    if timeout <= 0:
+        return fn()
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as error:   # noqa: BLE001 — re-raised below
+            box["error"] = error
+
+    worker = threading.Thread(target=target, daemon=True,
+                              name="repro-cell-watchdog")
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        raise CellTimeoutError(
+            f"cell exceeded soft deadline of {timeout:g}s")
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+def run_cell_attempts(spec: CellSpec, fn: CellFn, policy: RetryPolicy,
+                      emit: EmitFn,
+                      sleep: Callable[[float], None] = time.sleep,
+                      ) -> Tuple[Optional[List[MeasurementRecord]], int,
+                                 Optional[BaseException]]:
+    """Drive one cell's bounded attempts; returns (records, attempts, error).
+
+    ``records`` is ``None`` when every attempt failed (``error`` is then
+    the last one).  Every journal-schema event (``cell_start``,
+    ``cell_failed``, ``cell_ok``) is handed to ``emit`` as it happens.
+    After the *final* failed attempt the loop exits immediately — no
+    trailing backoff is slept (there is no next attempt to space out).
+    """
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, policy.attempts + 1):
+        emit({"event": "cell_start", "cell": spec.key, "attempt": attempt})
+        try:
+            records = call_with_deadline(fn, policy.cell_timeout)
+        except Exception as error:       # noqa: BLE001 — isolation is
+            # the point; KeyboardInterrupt et al. still propagate
+            final = attempt == policy.attempts
+            emit({
+                "event": "cell_failed", "cell": spec.key,
+                "attempt": attempt, "final": final,
+                "error": f"{type(error).__name__}: {error}",
+                "error_type": type(error).__name__,
+                "traceback": traceback.format_exc()})
+            last_error = error
+            if final:
+                break
+            sleep(policy.backoff_delay(spec.key, attempt))
+            continue
+        stamped = [replace(r, status="ok", attempts=attempt)
+                   for r in records]
+        emit({"event": "cell_ok", "cell": spec.key, "attempt": attempt,
+              "records": [record_to_dict(r) for r in stamped]})
+        return stamped, attempt, None
+    return None, policy.attempts, last_error
+
+
+def make_failed_record(spec: CellSpec, attempts: int,
+                       status: str = "failed") -> MeasurementRecord:
+    """Placeholder record for a cell that never produced measurements."""
+    return MeasurementRecord(
+        model=spec.model, method=spec.method,
+        batch_size=spec.batch_size, device=spec.device,
+        error_pct=float("nan"), forward_time_s=float("nan"),
+        energy_j=float("nan"), backend=spec.backend,
+        guarded=spec.guarded, status=status, attempts=attempts)
+
+
+def recover_completed(journal: RunJournal, fingerprint: str) -> dict:
+    """Scan a journal for resumable cells, refusing a foreign config."""
+    scan = journal.scan()
+    recorded = scan.fingerprint
+    if recorded is not None and fingerprint and recorded != fingerprint:
+        raise ValueError(
+            f"journal {journal.path} was written by a different "
+            f"study configuration (fingerprint {recorded} != "
+            f"{fingerprint}); refusing to resume")
+    return scan.completed_cells()
 
 
 class ResilientExecutor:
@@ -104,31 +236,24 @@ class ResilientExecutor:
                  cell_timeout: float = 0.0, backoff_base: float = 0.05,
                  seed: int = 0, fingerprint: str = "",
                  sleep: Callable[[float], None] = time.sleep) -> None:
-        if max_retries < 0:
-            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.policy = RetryPolicy(max_retries=max_retries,
+                                  cell_timeout=cell_timeout,
+                                  backoff_base=backoff_base, seed=seed)
         self.journal = journal
         self.resume = resume
-        self.max_retries = max_retries
-        self.cell_timeout = cell_timeout
-        self.backoff_base = backoff_base
-        self.seed = seed
         self.fingerprint = fingerprint
         self.sleep = sleep
         self.stats = ExecutorStats()
-        self._completed = self._recover() if (journal and resume) else {}
+        self._completed = recover_completed(journal, fingerprint) \
+            if (journal and resume) else {}
 
-    # -- resume -------------------------------------------------------
+    @property
+    def max_retries(self) -> int:
+        return self.policy.max_retries
 
-    def _recover(self) -> dict:
-        scan = self.journal.scan()
-        recorded = scan.fingerprint
-        if recorded is not None and self.fingerprint \
-                and recorded != self.fingerprint:
-            raise ValueError(
-                f"journal {self.journal.path} was written by a different "
-                f"study configuration (fingerprint {recorded} != "
-                f"{self.fingerprint}); refusing to resume")
-        return scan.completed_cells()
+    @property
+    def cell_timeout(self) -> float:
+        return self.policy.cell_timeout
 
     # -- the drive loop -----------------------------------------------
 
@@ -155,76 +280,21 @@ class ResilientExecutor:
 
     def _run_cell(self, spec: CellSpec,
                   fn: CellFn) -> List[MeasurementRecord]:
-        last_error: Optional[BaseException] = None
-        for attempt in range(1, self.max_retries + 2):
-            self._append({"event": "cell_start", "cell": spec.key,
-                          "attempt": attempt})
-            try:
-                records = self._call(fn)
-            except Exception as error:       # noqa: BLE001 — isolation is
-                # the point; KeyboardInterrupt et al. still propagate
-                final = attempt == self.max_retries + 1
-                self._append({
-                    "event": "cell_failed", "cell": spec.key,
-                    "attempt": attempt, "final": final,
-                    "error": f"{type(error).__name__}: {error}",
-                    "traceback": traceback.format_exc()})
-                last_error = error
-                if final:
-                    break
-                self.stats.retries += 1
-                self.sleep(self._backoff_delay(spec.key, attempt))
-                continue
-            stamped = [replace(r, status="ok", attempts=attempt)
-                       for r in records]
-            self._append({"event": "cell_ok", "cell": spec.key,
-                          "attempt": attempt,
-                          "records": [record_to_dict(r) for r in stamped]})
-            self.stats.executed += 1
-            return stamped
-        self.stats.failed += 1
-        return [self._failed_record(spec, self.max_retries + 1, last_error)]
-
-    def _call(self, fn: CellFn) -> List[MeasurementRecord]:
-        if self.cell_timeout <= 0:
-            return fn()
-        box: dict = {}
-
-        def target() -> None:
-            try:
-                box["result"] = fn()
-            except BaseException as error:   # noqa: BLE001 — re-raised below
-                box["error"] = error
-
-        worker = threading.Thread(target=target, daemon=True,
-                                  name="repro-cell-watchdog")
-        worker.start()
-        worker.join(self.cell_timeout)
-        if worker.is_alive():
-            raise CellTimeoutError(
-                f"cell exceeded soft deadline of {self.cell_timeout:g}s")
-        if "error" in box:
-            raise box["error"]
-        return box["result"]
+        records, attempts, error = run_cell_attempts(
+            spec, fn, self.policy, self._append, self.sleep)
+        self.stats.retries += attempts - 1
+        if records is None:
+            self.stats.failed += 1
+            status = "timeout" if isinstance(error, CellTimeoutError) \
+                else "failed"
+            return [make_failed_record(spec, attempts, status)]
+        self.stats.executed += 1
+        return records
 
     # -- helpers ------------------------------------------------------
 
     def _backoff_delay(self, key: str, attempt: int) -> float:
-        rng = np.random.default_rng(
-            (self.seed, zlib.crc32(key.encode("utf-8")), attempt))
-        return self.backoff_base * (2.0 ** (attempt - 1)) \
-            * float(rng.uniform(0.5, 1.5))
-
-    def _failed_record(self, spec: CellSpec, attempts: int,
-                       error: Optional[BaseException]) -> MeasurementRecord:
-        status = "timeout" if isinstance(error, CellTimeoutError) \
-            else "failed"
-        return MeasurementRecord(
-            model=spec.model, method=spec.method,
-            batch_size=spec.batch_size, device=spec.device,
-            error_pct=float("nan"), forward_time_s=float("nan"),
-            energy_j=float("nan"), backend=spec.backend,
-            guarded=spec.guarded, status=status, attempts=attempts)
+        return self.policy.backoff_delay(key, attempt)
 
     def _append(self, entry: dict) -> None:
         if self.journal is not None:

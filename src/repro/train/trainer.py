@@ -137,6 +137,20 @@ def _disk_cache_dir() -> Path:
     return path
 
 
+def pretrain_cache_path(key: Tuple) -> Path:
+    """Content-addressed checkpoint path for one pretraining request.
+
+    The file name embeds a digest of the full request key (model,
+    sizes, epochs, adversarial flag, seed) rather than the raw values,
+    so every distinct configuration maps to exactly one address that is
+    stable across processes — the property the parallel workers'
+    file-locked sharing relies on.  The leading model name is kept
+    human-readable for cache spelunking.
+    """
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:16]
+    return _disk_cache_dir() / f"robust_{key[0]}_{digest}.npz"
+
+
 def _state_checksum(state: Dict[str, np.ndarray]) -> str:
     """Content digest of a state dict (names, dtypes, shapes, bytes)."""
     digest = hashlib.sha256()
@@ -200,10 +214,15 @@ def pretrain_robust(model_name: str, image_size: int = 16,
     the full configuration, so examples and benchmarks pay the training
     cost once.
 
-    The disk cache is crash-safe: files are written atomically (tmp +
-    rename) with an embedded content checksum, and a corrupt, truncated,
-    or tampered archive is detected on load and silently replaced by a
-    retrain rather than crashing the study.
+    The disk cache is crash-safe and shareable: files are
+    content-addressed (:func:`pretrain_cache_path`), written atomically
+    (tmp + rename) with an embedded content checksum, and guarded by an
+    advisory :class:`~repro.parallel.filelock.FileLock` — of N
+    concurrent processes (e.g. the workers of a parallel sweep) needing
+    the same checkpoint, exactly one trains while the rest block and
+    then load it.  A corrupt, truncated, or tampered archive is
+    detected on load and silently replaced by a retrain rather than
+    crashing the study.
     """
     if adversarial is None:
         adversarial = model_name == "resnet18"
@@ -211,21 +230,33 @@ def pretrain_robust(model_name: str, image_size: int = 16,
     model = build_model(model_name, profile="tiny")
 
     state = _MEMORY_CACHE.get(key)
-    cache_file = _disk_cache_dir() / ("robust_" + "_".join(map(str, key)) + ".npz")
-    if state is None and use_disk_cache and cache_file.exists():
-        state = _read_disk_cache(cache_file)
     if state is not None:
         model.load_state_dict(state)
         model.eval()
         return model
 
-    dataset = make_synth_cifar(train_samples, size=image_size, seed=seed)
-    config = TrainConfig(epochs=epochs, seed=seed,
-                         adversarial_fraction=0.3 if adversarial else 0.0)
-    Trainer(model, config).fit(dataset)
-    state = model.state_dict()
+    def train() -> Dict[str, np.ndarray]:
+        dataset = make_synth_cifar(train_samples, size=image_size, seed=seed)
+        config = TrainConfig(epochs=epochs, seed=seed,
+                             adversarial_fraction=0.3 if adversarial else 0.0)
+        Trainer(model, config).fit(dataset)
+        return model.state_dict()
+
+    if not use_disk_cache:
+        state = train()
+    else:
+        from repro.parallel.filelock import FileLock
+
+        cache_file = pretrain_cache_path(key)
+        # the lock spans read-or-train: a second process arriving while
+        # training is underway blocks here, then finds the checkpoint
+        with FileLock(str(cache_file) + ".lock"):
+            state = _read_disk_cache(cache_file) \
+                if cache_file.exists() else None
+            if state is None:
+                state = train()
+                _write_disk_cache(cache_file, state)
     _MEMORY_CACHE[key] = state
-    if use_disk_cache:
-        _write_disk_cache(cache_file, state)
+    model.load_state_dict(state)
     model.eval()
     return model

@@ -98,7 +98,7 @@ class TestNativeCommand:
                      "--corruptions", "fog", "--samples", "120",
                      "--journal", str(journal), "--resume",
                      "--max-retries", "2", "--cell-timeout", "90",
-                     "--seed", "7"]) == 0
+                     "--workers", "3", "--seed", "7"]) == 0
         config = stub_runner["config"]
         assert config.models == ("wrn40_2",)
         assert config.methods == ("no_adapt", "bn_norm")
@@ -107,6 +107,7 @@ class TestNativeCommand:
         assert config.stream_samples == 120
         assert config.journal == str(journal) and config.resume
         assert config.max_retries == 2 and config.cell_timeout == 90.0
+        assert config.workers == 3
         assert config.seed == 7
         assert "Native study grid" in capsys.readouterr().out
 

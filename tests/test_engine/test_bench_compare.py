@@ -1,0 +1,124 @@
+"""The perf-regression gate: compare_engine_bench + ``bench --compare``."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine.bench import (BENCH_FORMAT_VERSION, compare_engine_bench,
+                                format_bench_comparison, run_engine_bench)
+
+
+@pytest.fixture(scope="module")
+def bench_doc():
+    """One cheap real bench run shared by the whole module."""
+    return run_engine_bench(backends=("numpy",), batch=4, channels=4,
+                            size=8, repeats=1, sweep=True, sweep_workers=1)
+
+
+def scale_times(doc, factor):
+    """A fabricated run of the same shape, ``factor``x slower."""
+    scaled = copy.deepcopy(doc)
+    for entry in scaled["backends"].values():
+        for op in ("conv_forward", "conv_backward", "bn_opt_step"):
+            entry[op]["best_s"] *= factor
+            entry[op]["median_s"] *= factor
+    for mode in ("serial", "parallel"):
+        scaled["sweep"][mode]["wall_s"] *= factor
+        scaled["sweep"][mode]["cells_per_s"] /= factor
+    return scaled
+
+
+class TestCompareEngineBench:
+    def test_identical_documents_pass(self, bench_doc):
+        comparison = compare_engine_bench(bench_doc, bench_doc,
+                                          tolerance_pct=0.0)
+        assert comparison["regressions"] == []
+        # kernels and both sweep throughputs were all actually gated
+        metrics = {c["metric"] for c in comparison["checked"]}
+        assert "numpy/conv_forward/best_s" in metrics
+        assert "sweep/serial/cells_per_s" in metrics
+        assert "sweep/parallel/cells_per_s" in metrics
+
+    def test_injected_2x_slowdown_fails(self, bench_doc):
+        comparison = compare_engine_bench(scale_times(bench_doc, 2.0),
+                                          bench_doc, tolerance_pct=40.0)
+        flagged = {c["metric"] for c in comparison["regressions"]}
+        assert "numpy/conv_forward/best_s" in flagged
+        assert "sweep/serial/cells_per_s" in flagged
+        assert all(c["ratio"] == pytest.approx(2.0)
+                   for c in comparison["regressions"])
+        assert "REGRESSED" in format_bench_comparison(comparison)
+
+    def test_tolerance_is_respected(self, bench_doc):
+        slower = scale_times(bench_doc, 1.2)      # 20% slower
+        assert not compare_engine_bench(slower, bench_doc,
+                                        tolerance_pct=40.0)["regressions"]
+        assert compare_engine_bench(slower, bench_doc,
+                                    tolerance_pct=10.0)["regressions"]
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_engine_bench(bench_doc, bench_doc, tolerance_pct=-1)
+
+    def test_speedups_never_flagged(self, bench_doc):
+        faster = scale_times(bench_doc, 0.25)
+        comparison = compare_engine_bench(faster, bench_doc,
+                                          tolerance_pct=0.0)
+        assert comparison["regressions"] == []
+
+    def test_v1_baseline_without_sweep_is_tolerated(self, bench_doc):
+        legacy = copy.deepcopy(bench_doc)
+        del legacy["sweep"]
+        legacy["version"] = 1
+        comparison = compare_engine_bench(bench_doc, legacy,
+                                          tolerance_pct=40.0)
+        assert comparison["regressions"] == []
+        assert "sweep/serial/cells_per_s" in comparison["skipped"]
+        # kernels are still gated against a v1 baseline
+        assert any(c["metric"].startswith("numpy/")
+                   for c in comparison["checked"])
+
+    def test_document_version_is_2_with_sweep_section(self, bench_doc):
+        assert BENCH_FORMAT_VERSION == 2
+        assert bench_doc["version"] == 2
+        sweep = bench_doc["sweep"]
+        assert sweep["cells"] == 6
+        assert sweep["serial"]["cells_per_s"] > 0
+        assert sweep["parallel"]["cells_per_s"] > 0
+        assert sweep["parallel"]["workers"] == 1
+
+
+class TestBenchCompareCli:
+    """`repro bench --compare` — green on parity, red on regression."""
+
+    @pytest.fixture
+    def stub_bench(self, bench_doc, monkeypatch):
+        """Make the CLI's bench run instant and deterministic."""
+        import repro.engine.bench as bench_mod
+
+        def fake_run(**kwargs):
+            return copy.deepcopy(bench_doc)
+
+        monkeypatch.setattr(bench_mod, "run_engine_bench", fake_run)
+        return bench_doc
+
+    def test_parity_baseline_exits_zero(self, stub_bench, tmp_path,
+                                        capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(stub_bench))
+        out = tmp_path / "bench-ci.json"
+        assert main(["bench", "--json", str(out), "--compare",
+                     str(baseline), "--tolerance", "40"]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+        assert json.loads(out.read_text())["version"] == 2
+
+    def test_regression_exits_nonzero(self, stub_bench, tmp_path, capsys):
+        # a baseline 2x *faster* than the stubbed current run == the
+        # current run slowed 2x against its baseline
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(scale_times(stub_bench, 0.5)))
+        assert main(["bench", "--json", str(tmp_path / "b.json"),
+                     "--compare", str(baseline), "--tolerance", "40"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "perf regression" in captured.err

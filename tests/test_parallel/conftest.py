@@ -1,0 +1,31 @@
+"""Fixtures for the process-parallel suite.
+
+``REPRO_TEST_WORKERS`` sets the pool size the suite exercises (CI runs
+one matrix leg with 2 so the multiprocessing path is covered on every
+Python version); ``REPRO_JOURNAL_DIR`` mirrors the resilience suite so
+failing runs leave their journals behind as CI artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def workers() -> int:
+    return max(int(os.environ.get("REPRO_TEST_WORKERS", "2")), 1)
+
+
+@pytest.fixture
+def journal_dir(tmp_path, request):
+    root = os.environ.get("REPRO_JOURNAL_DIR")
+    if not root:
+        return tmp_path
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", request.node.name)
+    path = Path(root) / safe
+    path.mkdir(parents=True, exist_ok=True)
+    return path

@@ -1,0 +1,68 @@
+"""Cross-process advisory file locking for the checkpoint cache."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.parallel import FileLock, FileLockTimeout
+
+
+def _hold_lock(path, hold_s, acquired):
+    with FileLock(path):
+        acquired.set()
+        time.sleep(hold_s)
+
+
+def _append_under_lock(lock_path, data_path, token):
+    with FileLock(lock_path, timeout=30.0):
+        with open(data_path, "a") as handle:
+            handle.write(f"begin {token}\n")
+            time.sleep(0.05)
+            handle.write(f"end {token}\n")
+
+
+class TestFileLock:
+    def test_reentrant_use_in_sequence(self, tmp_path):
+        path = tmp_path / "cache.lock"
+        with FileLock(path):
+            pass
+        with FileLock(path):          # re-acquirable after release
+            pass
+        assert path.exists()          # lock file is left behind by design
+
+    def test_times_out_when_held_elsewhere(self, tmp_path):
+        path = tmp_path / "held.lock"
+        ctx = multiprocessing.get_context("spawn")
+        acquired = ctx.Event()
+        holder = ctx.Process(target=_hold_lock, args=(str(path), 10.0,
+                                                      acquired))
+        holder.start()
+        try:
+            assert acquired.wait(timeout=30.0)
+            with pytest.raises(FileLockTimeout):
+                with FileLock(path, timeout=0.3, poll_interval=0.05):
+                    pass
+        finally:
+            holder.terminate()
+            holder.join(timeout=10.0)
+
+    def test_serializes_cross_process_critical_sections(self, tmp_path):
+        lock_path = str(tmp_path / "data.lock")
+        data_path = str(tmp_path / "data.txt")
+        ctx = multiprocessing.get_context("spawn")
+        procs = [ctx.Process(target=_append_under_lock,
+                             args=(lock_path, data_path, t))
+                 for t in ("a", "b", "c")]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60.0)
+        assert all(p.exitcode == 0 for p in procs)
+        lines = (tmp_path / "data.txt").read_text().splitlines()
+        # under the lock, every begin is immediately followed by its end
+        assert len(lines) == 6
+        for i in range(0, 6, 2):
+            token = lines[i].split()[1]
+            assert lines[i] == f"begin {token}"
+            assert lines[i + 1] == f"end {token}"

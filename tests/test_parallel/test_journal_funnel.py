@@ -1,0 +1,111 @@
+"""Single-writer journal ordering under concurrent producers.
+
+N workers emit events concurrently, but only the parent writes the
+journal; these tests pin what that buys: every line parses (no
+interleaved torn writes), per-cell event order is coherent, and the
+journal alone reconstructs the same StudyResult the run returned —
+including when a worker crashes mid-sweep.
+"""
+
+import json
+
+from repro.core import io as study_io
+from repro.core.records import StudyResult
+from repro.parallel import ParallelExecutor
+from repro.resilience.journal import RunJournal, scan_journal
+
+from tests.test_parallel.runners import (crash_runner, echo_runner,
+                                         make_spec)
+
+
+def wide_grid(n=12):
+    specs = [make_spec(f"cell/{i}", batch_size=10 + i) for i in range(n)]
+    payload = {"values": {s.key: float(i) for i, s in enumerate(specs)}}
+    return specs, payload
+
+
+def replay(path):
+    """Rebuild a StudyResult purely from the journal's cell_ok rows."""
+    done = scan_journal(path).completed_cells()
+    records = []
+    for key in sorted(done, key=lambda k: int(k.split("/")[1])):
+        records.extend(study_io.record_from_dict(row) for row in done[key])
+    return StudyResult(records)
+
+
+class TestSingleWriterOrdering:
+    def test_every_line_parses_and_frames_the_run(self, journal_dir,
+                                                  workers):
+        path = journal_dir / "funnel.jsonl"
+        specs, payload = wide_grid()
+        with RunJournal(path) as journal:
+            ParallelExecutor(journal, workers=workers,
+                             fingerprint="fp").run(
+                [(s, echo_runner) for s in specs], payload)
+        # scan_journal would raise on any interior corruption
+        scan = scan_journal(path)
+        assert not scan.truncated
+        events = [e["event"] for e in scan.entries]
+        assert events[0] == "run_start" and events[-1] == "run_end"
+        assert events.count("cell_ok") == len(specs)
+        # raw-line check: the funnel serialized whole JSON objects only
+        for line in path.read_bytes().splitlines():
+            assert isinstance(json.loads(line), dict)
+
+    def test_per_cell_event_order_is_coherent(self, journal_dir, workers):
+        path = journal_dir / "order.jsonl"
+        specs, payload = wide_grid()
+        with RunJournal(path) as journal:
+            ParallelExecutor(journal, workers=workers,
+                             fingerprint="fp").run(
+                [(s, echo_runner) for s in specs], payload)
+        # within one cell, cell_start always precedes its cell_ok even
+        # though cells from different workers interleave freely
+        position = {}
+        for index, entry in enumerate(scan_journal(path).entries):
+            if entry["event"] == "cell_start":
+                position[entry["cell"]] = index
+            elif entry["event"] == "cell_ok":
+                assert position[entry["cell"]] < index
+        # funnelled cell events carry their producer's worker id
+        workers_seen = {e.get("worker")
+                        for e in scan_journal(path).entries
+                        if e["event"] == "cell_ok"}
+        assert workers_seen and None not in workers_seen
+
+    def test_journal_replays_to_the_runs_own_result(self, journal_dir,
+                                                    workers):
+        path = journal_dir / "replay.jsonl"
+        specs, payload = wide_grid()
+        with RunJournal(path) as journal:
+            run = ParallelExecutor(journal, workers=workers,
+                                   fingerprint="fp").run(
+                [(s, echo_runner) for s in specs], payload)
+        assert study_io.dumps(replay(path)) == study_io.dumps(run)
+
+    def test_journal_replay_matches_serial_twin_despite_worker_crash(
+            self, journal_dir, workers):
+        if workers < 2:
+            import pytest
+            pytest.skip("needs a surviving worker")
+        path = journal_dir / "crashed.jsonl"
+        specs, payload = wide_grid(8)
+        crashing = dict(payload, crash=(specs[3].key,))
+        with RunJournal(path) as journal:
+            ParallelExecutor(journal, workers=workers,
+                             fingerprint="fp").run(
+                [(s, crash_runner) for s in specs], crashing)
+        # the crash is journaled as a final cell_failed...
+        failures = scan_journal(path).failed_cells()
+        assert set(failures) == {specs[3].key}
+        assert "WorkerCrashError" in failures[specs[3].key]["error"]
+        # ...and a healed parallel resume merges to the serial twin
+        with RunJournal(path, resume=True) as journal:
+            resumed = ParallelExecutor(journal, workers=workers,
+                                       resume=True, fingerprint="fp").run(
+                [(s, crash_runner) for s in specs], payload)
+        from tests.test_parallel.test_executor_parallel import run_serial
+        assert study_io.dumps(resumed) == study_io.dumps(
+            run_serial(specs, payload))
+        # the journal now replays to that same StudyResult too
+        assert study_io.dumps(replay(path)) == study_io.dumps(resumed)

@@ -1,0 +1,82 @@
+"""run_native_study with ``workers``: real cells across real processes.
+
+These are the end-to-end guarantees of the parallel scheduler on the
+actual native grid: a parallel sweep produces the serial sweep's records
+(modulo wall-clock timing), its journal replays bit-identically in
+either execution mode, and concurrent workers share one file-locked
+pretrained checkpoint instead of training it twice.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import io as study_io
+from repro.core.config import StudyConfig
+from repro.core.runner import run_native_study
+from repro.resilience.journal import scan_journal
+
+
+def study_config(**overrides):
+    base = dict(models=("wrn40_2",), methods=("no_adapt", "bn_norm"),
+                batch_sizes=(50,), corruptions=("fog", "gaussian_noise"),
+                image_size=16, stream_samples=150)
+    base.update(overrides)
+    return StudyConfig(**base)
+
+
+@pytest.fixture
+def models(micro_trained_model):
+    model, _ = micro_trained_model
+    return {"wrn40_2": model}
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(request):
+    model, _ = request.getfixturevalue("micro_trained_model")
+    return run_native_study(study_config(), models={"wrn40_2": model})
+
+
+class TestParallelNativeStudy:
+    def test_matches_serial_modulo_wall_clock(self, models, workers,
+                                              serial_baseline):
+        parallel = run_native_study(study_config(workers=workers),
+                                    models=models)
+        assert study_io.canonical_dumps(parallel, strip_timing=True) == \
+            study_io.canonical_dumps(serial_baseline, strip_timing=True)
+        # canonical grid order survives out-of-order arrival
+        assert [r.method for r in parallel] == ["no_adapt", "bn_norm"]
+
+    def test_parallel_journal_replays_bit_identically_both_modes(
+            self, models, workers, journal_dir):
+        journal = journal_dir / "native-parallel.jsonl"
+        first = run_native_study(
+            study_config(workers=workers, journal=str(journal)),
+            models=models)
+        events = [e["event"] for e in scan_journal(journal).entries]
+        assert events[0] == "run_start" and events[-1] == "run_end"
+
+        # replayed under workers: bit-identical, wall clock included
+        resumed_parallel = run_native_study(
+            study_config(workers=workers, journal=str(journal),
+                         resume=True), models=models)
+        assert study_io.dumps(resumed_parallel) == study_io.dumps(first)
+
+        # the fingerprint excludes `workers`, so the same journal also
+        # replays serially (workers=0) — bit-identical again
+        resumed_serial = run_native_study(
+            study_config(journal=str(journal), resume=True), models=models)
+        assert study_io.dumps(resumed_serial) == study_io.dumps(first)
+
+    def test_workers_share_one_file_locked_checkpoint(
+            self, tmp_path, monkeypatch, workers):
+        cache = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE", str(cache))
+        # no models= passed: every worker must pretrain wrn40_2 itself,
+        # and the file lock must collapse that to a single training run
+        config = study_config(train_samples=200, train_epochs=1,
+                              workers=max(workers, 2))
+        result = run_native_study(config)
+        assert [r.status for r in result] == ["ok", "ok"]
+        checkpoints = sorted(cache.glob("robust_wrn40_2_*.npz"))
+        assert len(checkpoints) == 1

@@ -15,7 +15,6 @@ same records as an uninterrupted run (wall-clock timing aside).
 """
 
 import math
-from dataclasses import replace
 
 import pytest
 
@@ -42,10 +41,7 @@ def strip_timing(result):
     """Canonical form for comparison across separate executions:
     wall-clock timing and attempt counts are all that may legitimately
     differ, and JSON encoding makes NaN fields (NaN != NaN) comparable."""
-    from repro.core.records import StudyResult
-    return study_io.dumps(StudyResult(
-        [replace(r, forward_time_s=0.0, attempts=1)
-         for r in result.records]))
+    return study_io.canonical_dumps(result, strip_timing=True)
 
 
 @pytest.fixture

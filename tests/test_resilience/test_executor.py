@@ -103,6 +103,20 @@ class TestRetry:
         assert result.records[0].attempts == 3
         assert calls["c0"] == 3
 
+    def test_no_backoff_slept_after_the_final_failed_attempt(self):
+        # exhaustion must exit immediately: backoff buys time before a
+        # retry, and after the last attempt there is nothing to wait for
+        sleeps = []
+        cells, _ = make_cells(1, failing="c0")
+        executor = ResilientExecutor(max_retries=2, sleep=sleeps.append)
+        executor.run(cells)
+        assert len(sleeps) == 2      # one per *retry*, none trailing
+        # same contract when every attempt is spent successfully
+        sleeps.clear()
+        ok_cells, _ = make_cells(1, failing="c0", fail_times={"c0": 2})
+        ResilientExecutor(max_retries=2, sleep=sleeps.append).run(ok_cells)
+        assert len(sleeps) == 2
+
     def test_backoff_is_seeded_deterministic_and_exponential(self):
         def delays(seed):
             executor = ResilientExecutor(seed=seed, backoff_base=0.1)
