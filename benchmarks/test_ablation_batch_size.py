@@ -6,10 +6,8 @@ locates, per device, the largest feasible BN-Opt batch for each model —
 quantifying the diminishing-returns-vs-cost trade the paper describes.
 """
 
-import pytest
 
 from repro.devices import device_info, estimate_memory, forward_latency
-from repro.devices.calibrate import METHOD_FLAGS
 
 BATCHES = (25, 50, 100, 200, 400, 800)
 

@@ -8,7 +8,6 @@ the overhead scales with BN elements even within one architecture family.
 """
 
 import numpy as np
-import pytest
 
 from repro.devices import device_info, forward_latency
 from repro.models.mobilenet import mobilenet_v2

@@ -15,7 +15,6 @@ This bench quantifies both proposals on the simulator:
 import pytest
 
 from repro.devices import device_info, estimate_memory, forward_latency
-from repro.devices.energy import energy_per_batch
 
 
 def _bnopt_time(summary, device):

@@ -7,7 +7,6 @@ across all (device, weight-case) combinations — showing the selection
 methodology itself is a meaningful experimental knob.
 """
 
-import pytest
 
 from repro.core.objectives import NORMALIZATION_SCHEMES, WEIGHT_CASES, select_best
 

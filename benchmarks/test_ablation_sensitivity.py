@@ -8,7 +8,6 @@ points to every device constant and ranks the levers — the quantitative
 version of Section IV-G(v).
 """
 
-import pytest
 
 from repro.devices import device_info
 from repro.devices.whatif import (

@@ -6,7 +6,6 @@ BN-Norm and significant for BN-Opt; all three models are profilable on
 the Pi (unlike the Ultra96).
 """
 
-import pytest
 
 from repro.devices import device_info
 from repro.profiling import breakdown_table, format_breakdown

@@ -16,7 +16,6 @@ Raspberry Pi-class bedside unit with the wall-meter simulator.
 Run:  python examples/medical_edge_adaptation.py
 """
 
-import numpy as np
 
 from repro.adapt import BNOpt, NoAdapt
 from repro.data import CorruptionStream, make_synth_cifar

@@ -54,7 +54,7 @@ def main() -> None:
         model = pretrain_robust("wrn40_2", image_size=16,
                                 train_samples=4000, epochs=10)
         if bits is not None:
-            report = quantize_model_weights(model, bits)
+            quantize_model_weights(model, bits)
         weight_mb = model.num_parameters() * ((bits or 32) / 8) / 1e6
         frozen = mean_error("no_adapt", model, streams)
         adapted = mean_error("bn_norm", model, streams)

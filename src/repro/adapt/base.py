@@ -9,7 +9,6 @@ import numpy as np
 
 from repro import nn
 from repro.nn.module import Module
-from repro.tensor.tensor import Tensor
 
 
 def bn_layers(model: Module) -> List[nn.BatchNorm2d]:

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.adapt.base import AdaptationMethod, bn_layers, bn_parameters, configure_bn_only_grads
+from repro.adapt.base import (AdaptationMethod,
+                              bn_parameters,
+                              configure_bn_only_grads)
 from repro.nn.module import Module
 from repro.nn.optim import Adam
 from repro.tensor import functional as F

@@ -20,13 +20,12 @@ These are the observability hooks the paper's deployment scenarios
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from repro.adapt.base import AdaptationMethod, bn_layers
-from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor, no_grad
 
 

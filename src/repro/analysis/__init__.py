@@ -1,0 +1,74 @@
+"""Correctness tooling: static invariant linter + runtime numeric sanitizer.
+
+PRs 1–4 bought this repo expensive guarantees — seeded determinism,
+bit-identical resume, atomic IO, thread-local backend state — and every
+one of them can silently regress in a future refactor.  This package
+enforces them mechanically, in two complementary passes:
+
+- **static** (:mod:`repro.analysis.engine` + :mod:`repro.analysis.rules`):
+  an AST rule engine with project-specific ``REPxxx`` rules, per-line
+  ``# repro: noqa[REPxxx]`` suppressions, a committed baseline for
+  legacy findings, and text/JSON reporters.  Runs as ``repro check``
+  and gates CI.
+- **dynamic** (:mod:`repro.analysis.sanitize`): a
+  :class:`SanitizerBackend` that wraps any execution backend and
+  validates every leaf op's arrays (NaN/Inf, float32 dtype drift,
+  shape contracts) with op-site attribution.  Runs as
+  ``--backend sanitize``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.context import FileContext
+from repro.analysis.engine import (
+    PARSE_ERROR_CODE,
+    RuleEngine,
+    UsageError,
+    check_paths,
+    iter_python_files,
+    resolve_codes,
+)
+from repro.analysis.findings import Finding, finding_from_dict
+from repro.analysis.reporters import (
+    format_json,
+    format_rule_catalog,
+    format_text,
+)
+from repro.analysis.rules import RULE_CODES, RULES, RULES_BY_CODE, Rule
+from repro.analysis.sanitize import (
+    NumericFaultError,
+    SanitizerBackend,
+    SanitizerFinding,
+)
+
+__all__ = [
+    "BaselineError",
+    "FileContext",
+    "Finding",
+    "NumericFaultError",
+    "PARSE_ERROR_CODE",
+    "Rule",
+    "RuleEngine",
+    "RULES",
+    "RULES_BY_CODE",
+    "RULE_CODES",
+    "SanitizerBackend",
+    "SanitizerFinding",
+    "UsageError",
+    "apply_baseline",
+    "check_paths",
+    "finding_from_dict",
+    "format_json",
+    "format_rule_catalog",
+    "format_text",
+    "iter_python_files",
+    "load_baseline",
+    "resolve_codes",
+    "write_baseline",
+]

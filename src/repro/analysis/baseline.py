@@ -1,0 +1,79 @@
+"""Baseline files: let legacy findings ride while blocking new ones.
+
+A baseline is a committed JSON multiset of ``(path, code, text)``
+triples.  Matching deliberately ignores line numbers — editing code
+*above* a legacy finding must not invalidate its baseline entry — but
+includes the stripped source text, so changing the offending line itself
+(or copying it somewhere new) surfaces the finding again.
+
+Multiset semantics: a baseline entry absorbs at most one live finding,
+so duplicating a baselined violation produces a fresh finding for the
+copy.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.analysis.findings import Finding
+from repro.resilience.atomic import atomic_write_text
+
+PathLike = Union[str, Path]
+
+_FORMAT = "repro.check_baseline"
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be used (bad JSON, wrong format)."""
+
+
+def _key(finding: Finding) -> Tuple[str, str, str]:
+    return (finding.path, finding.code, finding.text)
+
+
+def load_baseline(path: PathLike) -> Counter:
+    """Read a baseline into a ``Counter`` of ``(path, code, text)`` keys."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: "
+                            f"{error}") from error
+    if (not isinstance(payload, dict)
+            or payload.get("format") != _FORMAT
+            or not isinstance(payload.get("findings"), list)):
+        raise BaselineError(f"baseline {path} is not a {_FORMAT} document")
+    entries = Counter()
+    for row in payload["findings"]:
+        entries[(row["path"], row["code"], row["text"])] += 1
+    return entries
+
+
+def apply_baseline(findings: List[Finding],
+                   baseline: Counter) -> List[Finding]:
+    """Drop findings absorbed by the baseline (multiset subtraction)."""
+    remaining = Counter(baseline)
+    fresh: List[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh
+
+
+def write_baseline(path: PathLike, findings: List[Finding]) -> None:
+    """Atomically (re)write a baseline absorbing ``findings``."""
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "findings": [{"path": f.path, "code": f.code, "text": f.text}
+                     for f in sorted(findings, key=Finding.sort_key)],
+    }
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")

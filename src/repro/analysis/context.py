@@ -1,0 +1,127 @@
+"""Per-file analysis context: parsed AST, source lines, structure queries.
+
+One :class:`FileContext` is built per checked file and shared by every
+rule.  It owns the queries rules keep needing — "what encloses this
+node", "is this inside a ``with`` block", "which names did an
+``atomic_path`` context bind" — so individual rules stay declarative.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path, PurePath
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+PathLike = Union[str, Path]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class FileContext:
+    """Everything the rules may ask about one source file."""
+
+    def __init__(self, path: PathLike, source: str,
+                 tree: Optional[ast.Module] = None):
+        self.path = PurePath(path).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree if tree is not None else ast.parse(source,
+                                                            filename=self.path)
+        #: path components (directories + file name)
+        self.segments: Tuple[str, ...] = PurePath(self.path).parts
+        stem = PurePath(self.path).stem
+        self.is_test = (stem.startswith("test_") or stem.endswith("_test")
+                        or "tests" in self.segments[:-1]
+                        or stem == "conftest")
+        self._parents: Dict[int, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        self._global_decls: Dict[int, Set[str]] = {}
+
+    # -- structure queries ---------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module node."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The innermost def/lambda containing ``node`` (None at module scope)."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, _FUNCTION_NODES):
+                return ancestor
+        return None
+
+    def inside_with(self, node: ast.AST,
+                    within: Optional[ast.AST] = None) -> bool:
+        """True when a ``with`` block sits between ``node`` and ``within``.
+
+        ``within`` bounds the search (typically the enclosing function);
+        ancestors above it do not count.
+        """
+        for ancestor in self.ancestors(node):
+            if ancestor is within:
+                return False
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                return True
+        return False
+
+    def atomic_path_bindings(self, node: ast.AST) -> Set[str]:
+        """Names bound by enclosing ``with atomic_path(...) as name`` items."""
+        names: Set[str] = set()
+        for ancestor in self.ancestors(node):
+            if not isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                continue
+            for item in ancestor.items:
+                expr = item.context_expr
+                if not (isinstance(expr, ast.Call)
+                        and (dotted_name(expr.func) or "").split(".")[-1]
+                        == "atomic_path"):
+                    continue
+                if isinstance(item.optional_vars, ast.Name):
+                    names.add(item.optional_vars.id)
+        return names
+
+    def global_declarations(self, function: ast.AST) -> Set[str]:
+        """Names a function declares ``global`` (nested defs excluded)."""
+        cached = self._global_decls.get(id(function))
+        if cached is not None:
+            return cached
+        names: Set[str] = set()
+        body = getattr(function, "body", [])
+        stack = list(body) if isinstance(body, list) else []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _FUNCTION_NODES):
+                continue          # nested scope: its globals are its own
+            if isinstance(node, ast.Global):
+                names.update(node.names)
+            stack.extend(ast.iter_child_nodes(node))
+        self._global_decls[id(function)] = names
+        return names
+
+    def in_packages(self, names: Tuple[str, ...]) -> bool:
+        """True when any *directory* component matches one of ``names``."""
+        return any(segment in names for segment in self.segments[:-1])
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""

@@ -1,0 +1,153 @@
+"""The rule engine: parse files, dispatch rules, honor suppressions.
+
+The engine walks each file's AST exactly once.  Every active rule
+(filtered by ``--select``/``--ignore`` and by the rule's own scope) gets
+each node dispatched to its ``visit_<NodeType>`` handlers; findings on
+lines carrying a ``# repro: noqa[REPxxx]`` (or blanket
+``# repro: noqa``) comment are dropped before reporting.
+
+A file that fails to parse yields a single ``REP000`` finding rather
+than aborting the run — a syntax error in one file must not hide
+findings in the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULE_CODES, RULES
+
+PathLike = Union[str, Path]
+
+#: ``# repro: noqa`` (all codes) or ``# repro: noqa[REP001,REP003]``
+_NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+#: code reported for unparseable files
+PARSE_ERROR_CODE = "REP000"
+
+#: directories never descended into
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv",
+                        "node_modules", ".eggs", "build", "dist"})
+
+
+class UsageError(ValueError):
+    """A bad engine invocation (unknown rule code, missing path)."""
+
+
+def resolve_codes(spec: Optional[str], option: str) -> Optional[Set[str]]:
+    """Parse a comma-separated ``--select``/``--ignore`` code list."""
+    if spec is None or spec == "":
+        return None
+    codes = {code.strip().upper() for code in spec.split(",") if code.strip()}
+    unknown = codes - set(RULE_CODES)
+    if unknown:
+        raise UsageError(
+            f"unknown rule code(s) for {option}: {', '.join(sorted(unknown))} "
+            f"(valid: {', '.join(RULE_CODES)})")
+    return codes
+
+
+def _noqa_codes(line: str) -> Optional[Set[str]]:
+    """Codes suppressed on this physical line (empty set = all codes)."""
+    match = _NOQA_PATTERN.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return set()
+    return {code.strip().upper() for code in codes.split(",") if code.strip()}
+
+
+def _suppressed(finding: Finding, context: FileContext) -> bool:
+    codes = _noqa_codes(context.source_line(finding.line))
+    if codes is None:
+        return False
+    return not codes or finding.code in codes
+
+
+class RuleEngine:
+    """Run a set of rules over source files and collect findings."""
+
+    def __init__(self, select: Optional[Iterable[str]] = None,
+                 ignore: Optional[Iterable[str]] = None):
+        selected = set(select) if select is not None else set(RULE_CODES)
+        ignored = set(ignore) if ignore is not None else set()
+        self.rules = tuple(rule for rule in RULES
+                           if rule.code in selected
+                           and rule.code not in ignored)
+
+    # -- single-source entry points ------------------------------------
+    def check_source(self, source: str, path: PathLike) -> List[Finding]:
+        """Check one in-memory source blob (the unit the tests drive)."""
+        try:
+            context = FileContext(path, source)
+        except SyntaxError as error:
+            line = error.lineno or 1
+            return [Finding(
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {error.msg}",
+                path=Path(path).as_posix(), line=line,
+                col=(error.offset or 1) - 1,
+                text=(source.splitlines()[line - 1].strip()
+                      if 0 < line <= len(source.splitlines()) else ""))]
+        active = [rule(context) for rule in self.rules
+                  if rule.applies(context)]
+        if not active:
+            return []
+        for rule in active:
+            rule.begin_module()
+        for node in ast.walk(context.tree):
+            handler_name = "visit_" + type(node).__name__
+            for rule in active:
+                handler = getattr(rule, handler_name, None)
+                if handler is not None:
+                    handler(node)
+        findings = [finding
+                    for rule in active
+                    for finding in rule.findings
+                    if not _suppressed(finding, context)]
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def check_file(self, path: PathLike) -> List[Finding]:
+        source = Path(path).read_text(encoding="utf-8")
+        return self.check_source(source, path)
+
+    # -- tree walking --------------------------------------------------
+    def check_paths(self, paths: Sequence[PathLike]) -> List[Finding]:
+        """Check files and/or directory trees; findings in stable order."""
+        findings: List[Finding] = []
+        for path in iter_python_files(paths):
+            findings.extend(self.check_file(path))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in deterministic order."""
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            raise UsageError(f"path does not exist: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if not _SKIP_DIRS.intersection(candidate.parts):
+                yield candidate
+
+
+def check_paths(paths: Sequence[PathLike],
+                select: Optional[str] = None,
+                ignore: Optional[str] = None) -> List[Finding]:
+    """One-call façade: resolve code specs, build the engine, run it."""
+    engine = RuleEngine(select=resolve_codes(select, "--select"),
+                        ignore=resolve_codes(ignore, "--ignore"))
+    return engine.check_paths(paths)

@@ -1,0 +1,45 @@
+"""The unit of static-analysis output: one :class:`Finding` per rule hit.
+
+A finding pins a rule code to an exact file/line/column plus the
+stripped source text of the offending line.  The source text is part of
+the finding's identity on purpose: the baseline (see
+:mod:`repro.analysis.baseline`) matches on ``(path, code, text)`` rather
+than line numbers, so unrelated edits above a legacy finding do not
+invalidate the baseline entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    code: str       #: rule code, e.g. ``"REP001"``
+    message: str    #: human-readable description of this specific hit
+    path: str       #: file path as given to the engine (posix separators)
+    line: int       #: 1-based line number
+    col: int        #: 0-based column offset
+    text: str       #: stripped source of the offending line
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def describe(self) -> str:
+        """``path:line:col: CODE message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "message": self.message,
+                "path": self.path, "line": self.line, "col": self.col,
+                "text": self.text}
+
+
+def finding_from_dict(row: dict) -> Finding:
+    """Inverse of :meth:`Finding.to_dict` (strict about field names)."""
+    return Finding(code=row["code"], message=row["message"],
+                   path=row["path"], line=int(row["line"]),
+                   col=int(row["col"]), text=row["text"])

@@ -1,0 +1,45 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """``path:line:col: CODE message`` lines plus a per-code summary."""
+    if not findings:
+        return "repro check: no findings"
+    lines: List[str] = [finding.describe() for finding in findings]
+    by_code = Counter(finding.code for finding in findings)
+    summary = ", ".join(f"{code} x{count}"
+                        for code, count in sorted(by_code.items()))
+    lines.append(f"repro check: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """Stable JSON document (what CI archives as an artifact)."""
+    payload = {
+        "format": "repro.check_report",
+        "version": 1,
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def format_rule_catalog() -> str:
+    """The ``--list-rules`` table: code, name, scope, rationale."""
+    lines = []
+    for rule in RULES:
+        scope = ("tests" if not rule.runs_on_source
+                 else "/".join(rule.scope_dirs) if rule.scope_dirs
+                 else "src+tests" if rule.runs_on_tests else "src")
+        lines.append(f"{rule.code}  {rule.name:<20s} [{scope}]")
+        lines.append(f"        {rule.rationale}")
+    return "\n".join(lines)

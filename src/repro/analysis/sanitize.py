@@ -1,0 +1,257 @@
+"""ASan-style numeric sanitizer for the execution engine.
+
+:class:`SanitizerBackend` wraps any :class:`~repro.engine.base.Backend`
+and validates every leaf op's inputs and outputs — NaN/Inf, dtype drift
+away from the engine's float32 convention, and shape-contract violations
+— attributing each violation to the exact op invocation and argument
+where it first appears.  Validation only *reads* the arrays, so a clean
+run is bit-for-bit identical to running the inner backend directly.
+
+Two modes:
+
+- record (default): findings accumulate on ``backend.findings`` and the
+  computation proceeds untouched — the mode the native study and the
+  robustness tests use to show *where* an injected fault enters the
+  engine while the guard layer handles recovery.
+- ``fail_fast=True``: the first finding raises
+  :class:`NumericFaultError` — the mode for pinning "this computation
+  is finite" in tests.
+
+Select it as ``--backend sanitize`` on the CLI (it wraps the reference
+:class:`~repro.engine.numpy_backend.NumpyBackend`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.base import Backend
+
+
+@dataclass(frozen=True)
+class SanitizerFinding:
+    """One numeric-contract violation at a specific op invocation."""
+
+    op: str          #: kernel name, e.g. ``"conv2d_forward"``
+    call_index: int  #: 0-based invocation count of that kernel
+    argument: str    #: which array — an input name or ``"out"``/``"out[i]"``
+    kind: str        #: ``"nan"`` / ``"inf"`` / ``"dtype"`` / ``"shape"`` / ``"range"``
+    detail: str      #: human-readable specifics (counts, first index, shapes)
+
+    def describe(self) -> str:
+        return (f"{self.op}[call {self.call_index}] {self.argument}: "
+                f"{self.kind} — {self.detail}")
+
+
+class NumericFaultError(RuntimeError):
+    """Raised in ``fail_fast`` mode on the first sanitizer finding."""
+
+    def __init__(self, finding: SanitizerFinding):
+        super().__init__(finding.describe())
+        self.finding = finding
+
+
+class SanitizerBackend(Backend):
+    """Delegating wrapper that validates every kernel's arrays.
+
+    Shares the inner backend's arena (like
+    :class:`~repro.engine.instrument.InstrumentedBackend`) and returns
+    the inner backend's results unmodified.
+    """
+
+    name = "sanitize"
+
+    def __init__(self, inner: Optional[Backend] = None, *,
+                 dtype: np.dtype = np.float32, fail_fast: bool = False,
+                 max_findings: int = 1000):
+        # No super().__init__(): the wrapper shares the inner arena
+        # rather than owning a second one.
+        if inner is None:
+            from repro.engine.numpy_backend import NumpyBackend
+            inner = NumpyBackend()
+        self.inner = inner
+        self.arena = inner.arena
+        self.dtype = np.dtype(dtype)
+        self.fail_fast = fail_fast
+        self.max_findings = max_findings
+        self.findings: List[SanitizerFinding] = []
+        self.truncated = False
+        self._calls: Dict[str, int] = {}
+
+    # -- recording ------------------------------------------------------
+    def clear(self) -> None:
+        """Drop accumulated findings and invocation counters."""
+        self.findings = []
+        self.truncated = False
+        self._calls = {}
+
+    def describe(self) -> str:
+        if not self.findings:
+            return "sanitizer: clean (no findings)"
+        lines = [finding.describe() for finding in self.findings]
+        if self.truncated:
+            lines.append(f"... findings truncated at {self.max_findings}")
+        lines.append(f"sanitizer: {len(self.findings)} finding(s)")
+        return "\n".join(lines)
+
+    def _record(self, op: str, index: int, argument: str, kind: str,
+                detail: str) -> None:
+        finding = SanitizerFinding(op=op, call_index=index,
+                                   argument=argument, kind=kind,
+                                   detail=detail)
+        if self.fail_fast:
+            raise NumericFaultError(finding)
+        if len(self.findings) < self.max_findings:
+            self.findings.append(finding)
+        else:
+            self.truncated = True
+
+    # -- array validation ----------------------------------------------
+    def _check(self, op: str, index: int, argument: str,
+               array: np.ndarray,
+               expect_shape: Optional[Tuple[int, ...]] = None) -> None:
+        if expect_shape is not None and tuple(array.shape) != expect_shape:
+            self._record(op, index, argument, "shape",
+                         f"shape {tuple(array.shape)} violates the op "
+                         f"contract (expected {expect_shape})")
+        if not np.issubdtype(array.dtype, np.floating):
+            return                    # integer arrays (argmax) are exempt
+        if array.dtype != self.dtype:
+            self._record(op, index, argument, "dtype",
+                         f"dtype drifted to {array.dtype} (engine "
+                         f"convention is {self.dtype})")
+        if not np.isfinite(array).all():
+            nan_count = int(np.isnan(array).sum())
+            inf_count = int(np.isinf(array).sum())
+            bad = ~np.isfinite(array)
+            first = int(np.flatnonzero(bad.ravel())[0])
+            if nan_count:
+                self._record(op, index, argument, "nan",
+                             f"{nan_count} NaN value(s) (first at flat "
+                             f"index {first} of shape {tuple(array.shape)})")
+            if inf_count:
+                self._record(op, index, argument, "inf",
+                             f"{inf_count} Inf value(s) (first at flat "
+                             f"index {first} of shape {tuple(array.shape)})")
+
+    def _enter(self, op: str) -> int:
+        index = self._calls.get(op, 0)
+        self._calls[op] = index + 1
+        return index
+
+    # -- delegated, validated kernels ----------------------------------
+    def conv2d_forward(self, xp, weight, stride, groups):
+        index = self._enter("conv2d_forward")
+        self._check("conv2d_forward", index, "xp", xp)
+        self._check("conv2d_forward", index, "weight", weight)
+        out = self.inner.conv2d_forward(xp, weight, stride, groups)
+        n, c, h, w = xp.shape
+        co, cig, kh, kw = weight.shape
+        sh, sw = stride
+        expected = (n, co, (h - kh) // sh + 1, (w - kw) // sw + 1)
+        if cig * groups != c:
+            self._record("conv2d_forward", index, "weight", "shape",
+                         f"weight expects {cig * groups} input channels "
+                         f"(groups={groups}) but input has {c}")
+        self._check("conv2d_forward", index, "out", out,
+                    expect_shape=expected)
+        return out
+
+    def conv2d_backward(self, grad, xp, weight, stride, groups,
+                        need_input_grad, need_weight_grad):
+        index = self._enter("conv2d_backward")
+        self._check("conv2d_backward", index, "grad", grad)
+        self._check("conv2d_backward", index, "xp", xp)
+        self._check("conv2d_backward", index, "weight", weight)
+        dxp, dw = self.inner.conv2d_backward(
+            grad, xp, weight, stride, groups,
+            need_input_grad, need_weight_grad)
+        if dxp is not None:
+            self._check("conv2d_backward", index, "out[d_input]", dxp,
+                        expect_shape=tuple(xp.shape))
+        if dw is not None:
+            self._check("conv2d_backward", index, "out[d_weight]", dw,
+                        expect_shape=tuple(weight.shape))
+        return dxp, dw
+
+    def matmul(self, a, b):
+        index = self._enter("matmul")
+        self._check("matmul", index, "a", a)
+        self._check("matmul", index, "b", b)
+        if a.ndim >= 2 and b.ndim >= 2 and a.shape[-1] != b.shape[-2]:
+            self._record("matmul", index, "b", "shape",
+                         f"inner dimensions do not contract: "
+                         f"{a.shape} @ {b.shape}")
+        out = self.inner.matmul(a, b)
+        self._check("matmul", index, "out", out)
+        return out
+
+    def batchnorm_stats(self, x):
+        index = self._enter("batchnorm_stats")
+        self._check("batchnorm_stats", index, "x", x)
+        mean, var = self.inner.batchnorm_stats(x)
+        channels = (x.shape[1],) if x.ndim >= 2 else tuple(mean.shape)
+        self._check("batchnorm_stats", index, "out[mean]", mean,
+                    expect_shape=channels)
+        self._check("batchnorm_stats", index, "out[var]", var,
+                    expect_shape=channels)
+        if np.issubdtype(var.dtype, np.floating) and (var < 0).any():
+            self._record("batchnorm_stats", index, "out[var]", "range",
+                         f"{int((var < 0).sum())} negative variance "
+                         "value(s) — numerically impossible for a "
+                         "correct reduction")
+        return mean, var
+
+    def max_pool2d_forward(self, x, kernel, stride):
+        index = self._enter("max_pool2d_forward")
+        self._check("max_pool2d_forward", index, "x", x)
+        out, arg = self.inner.max_pool2d_forward(x, kernel, stride)
+        self._check("max_pool2d_forward", index, "out", out,
+                    expect_shape=self._pool_shape(x.shape, kernel, stride))
+        return out, arg
+
+    def max_pool2d_backward(self, grad, arg, x_shape, kernel, stride):
+        index = self._enter("max_pool2d_backward")
+        self._check("max_pool2d_backward", index, "grad", grad)
+        out = self.inner.max_pool2d_backward(grad, arg, x_shape,
+                                             kernel, stride)
+        self._check("max_pool2d_backward", index, "out", out,
+                    expect_shape=tuple(x_shape))
+        return out
+
+    def avg_pool2d_forward(self, x, kernel, stride):
+        index = self._enter("avg_pool2d_forward")
+        self._check("avg_pool2d_forward", index, "x", x)
+        out = self.inner.avg_pool2d_forward(x, kernel, stride)
+        self._check("avg_pool2d_forward", index, "out", out,
+                    expect_shape=self._pool_shape(x.shape, kernel, stride))
+        return out
+
+    def avg_pool2d_backward(self, grad, x_shape, kernel, stride):
+        index = self._enter("avg_pool2d_backward")
+        self._check("avg_pool2d_backward", index, "grad", grad)
+        out = self.inner.avg_pool2d_backward(grad, x_shape, kernel, stride)
+        self._check("avg_pool2d_backward", index, "out", out,
+                    expect_shape=tuple(x_shape))
+        return out
+
+    def pad_input(self, x, ph, pw):
+        index = self._enter("pad_input")
+        self._check("pad_input", index, "x", x)
+        return self.inner.pad_input(x, ph, pw)
+
+    @staticmethod
+    def _pool_shape(x_shape, kernel, stride) -> Tuple[int, ...]:
+        n, c, h, w = x_shape
+        kh, kw = kernel
+        sh, sw = stride
+        return (n, c, (h - kh) // sh + 1, (w - kw) // sw + 1)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:
+        return f"SanitizerBackend({self.inner!r}, fail_fast={self.fail_fast})"

@@ -42,10 +42,22 @@ Commands
     schedules the same cells across N worker processes with identical
     journal/resume semantics and canonically-ordered, byte-identical
     merged output (see :mod:`repro.parallel`).
+``check``
+    Run the project-aware invariant linter (:mod:`repro.analysis`) over
+    source trees: AST rules ``REP001``-``REP007`` guarding seeded
+    determinism, atomic IO, lock-guarded globals and friends, with
+    ``--select``/``--ignore`` code filters, ``--format json`` for CI,
+    and a committed ``--baseline`` that absorbs legacy findings.  Exit
+    codes follow the CLI convention: 0 clean, 1 findings, 2 usage
+    error.
 
-Global flags ``--backend {numpy,threaded}`` and ``--threads N`` select
-the execution backend (see :mod:`repro.engine`) for any command that
-executes the numpy engine natively.
+Global flags ``--backend {numpy,threaded,sanitize}`` and ``--threads N``
+select the execution backend (see :mod:`repro.engine`) for any command
+that executes the numpy engine natively; ``sanitize`` wraps the
+reference backend in the numeric sanitizer
+(:class:`~repro.analysis.sanitize.SanitizerBackend`), which validates
+every leaf op's arrays and attributes any NaN/Inf/dtype/shape violation
+to the op where it entered.
 """
 
 from __future__ import annotations
@@ -220,6 +232,11 @@ def _cmd_native(args: argparse.Namespace) -> int:
     if args.resume and not args.journal:
         print("error: --resume requires --journal", file=sys.stderr)
         return 2
+    if args.backend == "sanitize" and args.workers:
+        print("error: --backend sanitize requires serial execution "
+              "(worker-local sanitizer findings cannot be surfaced); "
+              "drop --workers", file=sys.stderr)
+        return 2
     config = StudyConfig(
         models=tuple(args.models), methods=tuple(args.methods),
         batch_sizes=tuple(args.batch_sizes),
@@ -230,7 +247,14 @@ def _cmd_native(args: argparse.Namespace) -> int:
         journal=args.journal or "", resume=args.resume,
         max_retries=args.max_retries, cell_timeout=args.cell_timeout,
         workers=args.workers, seed=args.seed)
-    result = run_native_study(config, per_corruption=args.per_corruption)
+    sanitizer = None
+    if config.backend == "sanitize":
+        # build the backend here so its findings survive the run and
+        # can be printed (run_native_study leaves a passed backend open)
+        from repro.analysis import SanitizerBackend
+        sanitizer = SanitizerBackend()
+    result = run_native_study(config, per_corruption=args.per_corruption,
+                              backend=sanitizer)
     print(result.to_table(title="Native study grid (measured):"))
     if args.json:
         from repro.core.io import save_json
@@ -240,6 +264,13 @@ def _cmd_native(args: argparse.Namespace) -> int:
         from repro.core.io import save_csv
         save_csv(result, args.csv)
         print(f"wrote {args.csv}")
+    exit_code = 0
+    if sanitizer is not None:
+        print()
+        print(sanitizer.describe())
+        if sanitizer.findings:
+            exit_code = 1
+        sanitizer.close()
     broken = [r for r in result if r.status != "ok"]
     if broken:
         where = f"; journal: {args.journal}" if args.journal else ""
@@ -247,7 +278,39 @@ def _cmd_native(args: argparse.Namespace) -> int:
               f"({', '.join(sorted({r.status for r in broken}))}){where}",
               file=sys.stderr)
         return 1
-    return 0
+    return exit_code
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import (BaselineError, UsageError, apply_baseline,
+                                check_paths, format_json,
+                                format_rule_catalog, format_text,
+                                load_baseline, write_baseline)
+
+    if args.list_rules:
+        print(format_rule_catalog())
+        return 0
+    try:
+        findings = check_paths(args.paths or ["src"],
+                               select=args.select, ignore=args.ignore)
+        if args.update_baseline:
+            if not args.baseline:
+                print("error: --update-baseline requires --baseline PATH",
+                      file=sys.stderr)
+                return 2
+            write_baseline(args.baseline, findings)
+            print(f"wrote {args.baseline} ({len(findings)} finding(s) "
+                  "absorbed)")
+            return 0
+        if args.baseline:
+            findings = apply_baseline(findings,
+                                      load_baseline(args.baseline))
+    except (UsageError, BaselineError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    reporter = format_json if args.format == "json" else format_text
+    print(reporter(findings))
+    return 1 if findings else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -414,6 +477,28 @@ def build_parser() -> argparse.ArgumentParser:
     native.add_argument("--csv", metavar="PATH", default=None,
                         help="write the grid as CSV")
     native.set_defaults(func=_cmd_native)
+
+    check = sub.add_parser(
+        "check", help="project-aware invariant linter (REP001-REP007)")
+    check.add_argument("paths", nargs="*", metavar="PATH",
+                       help="files or directory trees to check "
+                            "(default: src)")
+    check.add_argument("--select", metavar="CODES", default=None,
+                       help="run only these comma-separated rule codes "
+                            "(e.g. REP001,REP003)")
+    check.add_argument("--ignore", metavar="CODES", default=None,
+                       help="skip these comma-separated rule codes")
+    check.add_argument("--format", choices=("text", "json"),
+                       default="text", help="report format")
+    check.add_argument("--baseline", metavar="PATH", default=None,
+                       help="baseline JSON absorbing legacy findings "
+                            "(the repo commits .repro-check-baseline.json)")
+    check.add_argument("--update-baseline", action="store_true",
+                       help="rewrite --baseline to absorb every current "
+                            "finding, then exit 0")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print the rule catalog and exit")
+    check.set_defaults(func=_cmd_check)
 
     bench = sub.add_parser("bench",
                            help="time engine leaf kernels per backend")

@@ -18,7 +18,7 @@ is also why adaptation keeps working after weight quantization).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.data.corruptions import CORRUPTION_NAMES
 from repro.devices.catalog import DEVICE_NAMES

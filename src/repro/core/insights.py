@@ -24,7 +24,7 @@ Insights (paraphrased):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro.core.objectives import WEIGHT_CASES, select_best
 from repro.core.records import StudyResult

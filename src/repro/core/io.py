@@ -12,7 +12,7 @@ import io
 import json
 import math
 from pathlib import Path
-from typing import List, Union
+from typing import Union
 
 from repro.core.records import MeasurementRecord, StudyResult
 from repro.resilience.atomic import atomic_write_text

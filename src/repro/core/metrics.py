@@ -14,7 +14,7 @@ compared against robustness papers directly.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Mapping
 
 
 def corruption_errors(per_corruption: Mapping[str, float]) -> float:

@@ -7,13 +7,13 @@ text.  ASCII bar charts are used where the paper uses bar figures.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
 from repro.core.config import PAPER_BATCH_SIZES, STUDY_METHODS, STUDY_MODELS, case_label
 from repro.core.objectives import format_selection_table
 from repro.core.pareto import pareto_front
-from repro.core.records import MeasurementRecord, StudyResult
-from repro.core.reference import BATCH_SIZES, reference_error_pct
+from repro.core.records import StudyResult
+from repro.core.reference import reference_error_pct
 
 _BAR_WIDTH = 42
 

@@ -35,7 +35,7 @@ from repro.devices.catalog import device_info
 from repro.devices.cost_model import forward_latency
 from repro.devices.energy import energy_per_batch
 from repro.devices.memory import estimate_memory
-from repro.models.registry import MODEL_NAMES, build_model
+from repro.models.registry import build_model
 from repro.models.summary import ModelSummary, summarize
 from repro.resilience.executor import CellSpec, ResilientExecutor
 from repro.resilience.journal import RunJournal
@@ -125,7 +125,8 @@ def run_simulated_study(config: Optional[StudyConfig] = None) -> StudyResult:
 
 def run_native_study(config: Optional[StudyConfig] = None,
                      models: Optional[Dict[str, object]] = None,
-                     per_corruption: bool = False) -> StudyResult:
+                     per_corruption: bool = False,
+                     backend=None) -> StudyResult:
     """Execute the adaptation grid for real on tiny-profile models.
 
     ``models`` may supply already-trained models keyed by name (else they
@@ -141,7 +142,11 @@ def run_native_study(config: Optional[StudyConfig] = None,
 
     Execution runs on the backend named by ``config.backend`` (with
     ``config.threads`` workers for the threaded backend); every record's
-    ``backend`` field says which engine produced it.
+    ``backend`` field says which engine produced it.  For serial runs a
+    pre-built ``backend`` instance may be passed instead: it is used
+    as-is and left open, so the caller can inspect it afterwards — how
+    the CLI surfaces :class:`~repro.analysis.sanitize.SanitizerBackend`
+    findings after a ``--backend sanitize`` study.
 
     ``config.faults`` injects faults into every stream on a seeded
     schedule, and ``config.guard`` wraps each method in
@@ -170,14 +175,24 @@ def run_native_study(config: Optional[StudyConfig] = None,
     """
     config = config or StudyConfig()
     if config.workers:
+        if backend is not None:
+            raise ValueError("an explicit backend instance cannot be "
+                             "shipped to worker processes; leave "
+                             "backend=None when config.workers > 0")
         return _run_native_study_parallel(config, models, per_corruption)
-    backend = create_backend(config.backend, threads=config.threads)
+    # A caller-supplied backend instance (e.g. a SanitizerBackend whose
+    # findings the caller wants to inspect afterwards) is used as-is
+    # and stays open; an engine-built one is owned and closed here.
+    owns_backend = backend is None
+    if backend is None:
+        backend = create_backend(config.backend, threads=config.threads)
     try:
         with use_backend(backend):
             return _run_native_study(config, backend, models,
                                      per_corruption)
     finally:
-        backend.close()
+        if owns_backend:
+            backend.close()
 
 
 def _config_fingerprint(config: StudyConfig, backend_name: str,
@@ -285,8 +300,11 @@ def _run_native_study(config: StudyConfig, backend,
 #: per-worker-process context, keyed by config fingerprint: the spawned
 #: interpreter builds its backend/streams/models once and reuses them
 #: for every cell it pulls (one config per worker in practice; a new
-#: fingerprint evicts the old context)
+#: fingerprint evicts the old context).  Workers are single-threaded
+#: today, but mutation stays behind the lock so a future threaded
+#: worker loop cannot corrupt the context mid-build (REP005).
 _WORKER_CONTEXT: Dict[str, dict] = {}
+_WORKER_CONTEXT_LOCK = threading.Lock()
 
 
 def _native_cell_worker(payload: dict, spec: CellSpec
@@ -302,7 +320,6 @@ def _native_cell_worker(payload: dict, spec: CellSpec
     config: StudyConfig = payload["config"]
     context = _WORKER_CONTEXT.get(payload["fingerprint"])
     if context is None:
-        _WORKER_CONTEXT.clear()
         context = {
             "backend": create_backend(config.backend,
                                       threads=config.threads),
@@ -311,7 +328,9 @@ def _native_cell_worker(payload: dict, spec: CellSpec
                             if config.faults else None),
             "models": dict(payload.get("models") or {}),
         }
-        _WORKER_CONTEXT[payload["fingerprint"]] = context
+        with _WORKER_CONTEXT_LOCK:
+            _WORKER_CONTEXT.clear()
+            _WORKER_CONTEXT[payload["fingerprint"]] = context
     model = context["models"].get(spec.model)
     if model is None:
         model = pretrain_robust(

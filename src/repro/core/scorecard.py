@@ -18,7 +18,7 @@ this is the fast, deterministic half of the audit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import List
 
 import numpy as np
 

@@ -22,8 +22,8 @@ studies) or measured per-batch accuracies (native runs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Optional
 
 from repro.core.reference import reference_error_pct
 from repro.devices.cost_model import forward_latency

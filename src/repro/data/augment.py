@@ -11,7 +11,7 @@ the benchmark protocol.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import Callable, List
 
 import numpy as np
 from scipy import ndimage

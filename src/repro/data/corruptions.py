@@ -14,7 +14,7 @@ functions are deterministic given the ``seed`` argument.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List
 
 import numpy as np
 from scipy import fft as scipy_fft

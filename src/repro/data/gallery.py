@@ -14,6 +14,7 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.data.corruptions import CORRUPTION_NAMES, apply_corruption
+from repro.resilience.atomic import atomic_write_bytes
 
 _ASCII_RAMP = " .:-=+*#%@"
 
@@ -32,7 +33,7 @@ def save_pgm(image: np.ndarray, path: Union[str, Path]) -> None:
     pixels = np.clip(gray * 255.0, 0, 255).astype(np.uint8)
     height, width = pixels.shape
     header = f"P5\n{width} {height}\n255\n".encode("ascii")
-    Path(path).write_bytes(header + pixels.tobytes())
+    atomic_write_bytes(path, header + pixels.tobytes())
 
 
 def load_pgm(path: Union[str, Path]) -> np.ndarray:

@@ -11,7 +11,7 @@ protocol over SynthCIFAR data: a clean test split is corrupted once
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 

@@ -11,7 +11,6 @@ the paper's Autograd-profiler figures (4, 7, 10) show, and what
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.devices.spec import DeviceSpec
 from repro.models.summary import ModelSummary

@@ -9,8 +9,7 @@ observable each constant controls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ constant change — so hardware proposals can be ranked by leverage.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from repro.devices.cost_model import forward_latency
 from repro.devices.energy import energy_per_batch

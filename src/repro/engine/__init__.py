@@ -42,15 +42,25 @@ from repro.engine.numpy_backend import NumpyBackend
 from repro.engine.threaded import ThreadedBackend
 
 #: names accepted by :func:`create_backend` and the CLI ``--backend`` flag
-BACKEND_NAMES = ("numpy", "threaded")
+BACKEND_NAMES = ("numpy", "threaded", "sanitize")
 
 
 def create_backend(name: str, threads: int = 0) -> Backend:
-    """Build a backend by CLI name (``threads`` only affects "threaded")."""
+    """Build a backend by CLI name (``threads`` only affects "threaded").
+
+    ``"sanitize"`` wraps the reference NumpyBackend in the numeric
+    sanitizer (:class:`~repro.analysis.sanitize.SanitizerBackend`),
+    which validates every leaf op's arrays with op-site attribution.
+    """
     if name == "numpy":
         return NumpyBackend()
     if name == "threaded":
         return ThreadedBackend(threads=threads)
+    if name == "sanitize":
+        # imported lazily: repro.analysis imports repro.engine.base, so
+        # a top-level import here would tie the packages in a cycle
+        from repro.analysis.sanitize import SanitizerBackend
+        return SanitizerBackend(NumpyBackend())
     raise ValueError(
         f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")
 

@@ -226,7 +226,8 @@ def write_engine_bench(path: Union[str, Path] = DEFAULT_BENCH_PATH,
                        **kwargs) -> dict:
     """Run the bench and write the JSON document to ``path``."""
     doc = run_engine_bench(**kwargs)
-    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    from repro.resilience.atomic import atomic_write_text
+    atomic_write_text(path, json.dumps(doc, indent=2) + "\n")
     return doc
 
 

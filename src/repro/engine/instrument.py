@@ -21,9 +21,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
-import numpy as np
 
 from repro.engine.arena import ArenaStats
 from repro.engine.base import Backend

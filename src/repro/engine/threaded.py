@@ -24,7 +24,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.numpy_backend import NumpyBackend, col2im, im2col_view
+from repro.engine.numpy_backend import NumpyBackend
 
 
 def _cpu_count() -> int:

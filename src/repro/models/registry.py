@@ -11,7 +11,7 @@ the algorithm test-suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict
 
 from repro.models.mobilenet import mobilenet_v2
 from repro.models.resnet import resnet18

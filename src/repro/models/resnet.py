@@ -9,7 +9,6 @@ stock torchvision variant would have 9600).
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro import nn
 from repro.tensor.tensor import Tensor

@@ -78,11 +78,13 @@ class ModelSummary:
     @property
     def bn_elements(self) -> float:
         """Per-sample elements flowing through BN layers (stat-recompute work)."""
-        return sum(l.input_elements for l in self.layers if l.kind == "bn")
+        return sum(layer.input_elements for layer in self.layers
+                   if layer.kind == "bn")
 
     @property
     def conv_macs(self) -> float:
-        return sum(l.macs for l in self.layers if l.kind in ("conv", "linear"))
+        return sum(layer.macs for layer in self.layers
+                   if layer.kind in ("conv", "linear"))
 
     def macs_by_flavor(self) -> Dict[str, float]:
         """Split conv/linear MACs into dense / grouped / depthwise.
@@ -104,8 +106,8 @@ class ModelSummary:
     @property
     def act_elements(self) -> float:
         """Per-sample elements through activation and pooling layers."""
-        return sum(l.input_elements for l in self.layers
-                   if l.kind in ("act", "pool"))
+        return sum(layer.input_elements for layer in self.layers
+                   if layer.kind in ("act", "pool"))
 
     @property
     def saved_activation_elements(self) -> float:
@@ -138,7 +140,7 @@ class ModelSummary:
         return self.total_params * 4
 
     def bn_layer_count(self) -> int:
-        return sum(1 for l in self.layers if l.kind == "bn")
+        return sum(1 for layer in self.layers if layer.kind == "bn")
 
     def describe(self) -> str:
         """One-line human summary matching the paper's Section III-B style."""

@@ -2,17 +2,20 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Tuple
 
 import numpy as np
 
 _rng = np.random.default_rng(0)
+_RNG_LOCK = threading.Lock()
 
 
 def seed(value: int) -> None:
     """Re-seed the global initializer RNG (for reproducible model builds)."""
     global _rng
-    _rng = np.random.default_rng(value)
+    with _RNG_LOCK:
+        _rng = np.random.default_rng(value)
 
 
 def _fan_in(shape: Tuple[int, ...]) -> int:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -23,11 +24,23 @@ class TraceRecord:
     duration_s: float = 0.0
 
 
-_TRACE_STACK: List[List[TraceRecord]] = []
+# Per-thread trace stacks, mirroring use_backend()/no_grad(): concurrent
+# summary builds (the grid summary cache races them deliberately) must
+# each observe only their own trace.
+_TRACE_TLS = threading.local()
+
+
+def _trace_stack() -> List[List[TraceRecord]]:
+    stack = getattr(_TRACE_TLS, "stack", None)
+    if stack is None:
+        stack = []
+        _TRACE_TLS.stack = stack
+    return stack
 
 
 def _active_trace() -> Optional[List[TraceRecord]]:
-    return _TRACE_STACK[-1] if _TRACE_STACK else None
+    stack = _trace_stack()
+    return stack[-1] if stack else None
 
 
 @contextlib.contextmanager
@@ -37,14 +50,16 @@ def trace_calls():
     Yields the list that will be filled with :class:`TraceRecord` entries
     in execution order — the raw material for the model summaries
     (:mod:`repro.models.summary`) and the op-level profiler
-    (:mod:`repro.profiling`).
+    (:mod:`repro.profiling`).  The stack is thread-local, so traces on
+    one thread are invisible to models running on another.
     """
     records: List[TraceRecord] = []
-    _TRACE_STACK.append(records)
+    stack = _trace_stack()
+    stack.append(records)
     try:
         yield records
     finally:
-        _TRACE_STACK.pop()
+        stack.pop()
 
 
 class Parameter(Tensor):

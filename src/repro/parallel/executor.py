@@ -44,7 +44,7 @@ import multiprocessing
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.io import record_from_dict
-from repro.core.records import MeasurementRecord, StudyResult
+from repro.core.records import StudyResult
 from repro.resilience.executor import (CellSpec, ExecutorStats, RetryPolicy,
                                        make_failed_record, recover_completed)
 from repro.resilience.journal import RunJournal

@@ -118,7 +118,9 @@ class FileLock:
     def _break_if_stale(self) -> None:
         # pragma: no cover - fallback mode only
         try:
-            age = time.time() - self.path.stat().st_mtime
+            # stale-lock age is *defined* against the file's mtime, so
+            # this comparison needs the wall clock, not a monotonic one
+            age = time.time() - self.path.stat().st_mtime  # repro: noqa[REP002]
         except OSError:
             return
         if age > self.stale_after:

@@ -11,9 +11,9 @@ the reason the paper could not profile ResNeXt on the Ultra96-v2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from repro.devices.cost_model import LatencyBreakdown, forward_latency
+from repro.devices.cost_model import forward_latency
 from repro.engine import ArenaStats
 from repro.devices.memory import PROFILER_OVERHEAD, estimate_memory
 from repro.devices.spec import DeviceSpec

@@ -74,7 +74,9 @@ def atomic_write_bytes(path: PathLike, data: bytes) -> None:
     target = Path(path)
     tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
     try:
-        with open(tmp, "wb") as handle:
+        # the one sanctioned raw write: this *is* the atomic helper —
+        # it writes only to its own temp sibling, never the target
+        with open(tmp, "wb") as handle:  # repro: noqa[REP003]
             handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())

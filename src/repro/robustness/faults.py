@@ -28,7 +28,7 @@ benign for correctness but stress batch-size assumptions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np

@@ -19,7 +19,7 @@ batch, computed from logits in a numerically stable way.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

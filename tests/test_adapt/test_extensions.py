@@ -60,7 +60,7 @@ class TestBNNormSourceBlend:
 
     def test_buffers_blend_between_source_and_batch(self, model, batch):
         layers = bn_layers(model)
-        source_means = [l.running_mean.copy() for l in layers]
+        source_means = [layer.running_mean.copy() for layer in layers]
         blend = BNNormSourceBlend(source_count=16).prepare(model)
         blend.forward(batch + 1.0)
         # the first BN layer's buffer moved toward the (shifted) batch

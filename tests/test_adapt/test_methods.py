@@ -15,7 +15,6 @@ from repro.adapt import (
     configure_bn_only_grads,
 )
 from repro.models import build_model
-from repro.tensor import Tensor
 
 
 @pytest.fixture
@@ -31,7 +30,7 @@ def batch(rng):
 class TestUtilities:
     def test_bn_layers_found(self, model):
         layers = bn_layers(model)
-        assert layers and all(isinstance(l, nn.BatchNorm2d) for l in layers)
+        assert layers and all(isinstance(layer, nn.BatchNorm2d) for layer in layers)
 
     def test_bn_parameters_are_affine_pairs(self, model):
         params = list(bn_parameters(model))
@@ -39,7 +38,7 @@ class TestUtilities:
 
     def test_configure_bn_only_grads_count(self, model):
         count = configure_bn_only_grads(model)
-        expected = sum(2 * l.num_features for l in bn_layers(model))
+        expected = sum(2 * layer.num_features for layer in bn_layers(model))
         assert count == expected
         for name, p in model.named_parameters():
             is_bn_affine = any(p is q for q in bn_parameters(model))
@@ -92,12 +91,12 @@ class TestBNNorm:
         method = BNNorm().prepare(model)
         weights_before = {name: p.data.copy()
                           for name, p in model.named_parameters()}
-        stats_before = [l.running_mean.copy() for l in bn_layers(model)]
+        stats_before = [layer.running_mean.copy() for layer in bn_layers(model)]
         method.forward(batch + 2.0)   # shifted batch
         for name, p in model.named_parameters():
             np.testing.assert_array_equal(p.data, weights_before[name])
-        changed = any(not np.allclose(l.running_mean, s)
-                      for l, s in zip(bn_layers(model), stats_before))
+        changed = any(not np.allclose(layer.running_mean, saved)
+                      for layer, saved in zip(bn_layers(model), stats_before))
         assert changed
         assert method.batches_adapted == 1
 
@@ -120,7 +119,7 @@ class TestBNNorm:
 
     def test_reset_restores_stats(self, model, batch):
         method = BNNorm().prepare(model)
-        original = [l.running_mean.copy() for l in bn_layers(model)]
+        original = [layer.running_mean.copy() for layer in bn_layers(model)]
         method.forward(batch + 3.0)
         method.reset()
         for layer, before in zip(bn_layers(model), original):
@@ -150,7 +149,7 @@ class TestBNOpt:
 
     def test_trainable_params_matches_bn_count(self, model):
         method = BNOpt().prepare(model)
-        expected = sum(2 * l.num_features for l in bn_layers(model))
+        expected = sum(2 * layer.num_features for layer in bn_layers(model))
         assert method.trainable_params == expected
 
     def test_entropy_recorded(self, model, batch):

@@ -1,0 +1,77 @@
+"""Baseline files: multiset absorption, line-insensitivity, errors."""
+
+import json
+
+import pytest
+
+from repro.analysis import (BaselineError, Finding, apply_baseline,
+                            load_baseline, write_baseline)
+
+
+def make_finding(line=10, text="_CACHE[key] = value", code="REP005",
+                 path="src/repro/models/mod.py"):
+    return Finding(code=code, message="write outside lock", path=path,
+                   line=line, col=4, text=text)
+
+
+class TestRoundTrip:
+    def test_written_baseline_absorbs_its_findings(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        findings = [make_finding(), make_finding(line=20, code="REP001",
+                                                 text="np.random.seed(0)")]
+        write_baseline(baseline_path, findings)
+        baseline = load_baseline(baseline_path)
+        assert apply_baseline(findings, baseline) == []
+
+    def test_document_format(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, [make_finding()])
+        payload = json.loads(baseline_path.read_text())
+        assert payload["format"] == "repro.check_baseline"
+        assert payload["findings"] == [{"path": "src/repro/models/mod.py",
+                                        "code": "REP005",
+                                        "text": "_CACHE[key] = value"}]
+
+
+class TestMatching:
+    def test_line_number_changes_stay_absorbed(self, tmp_path):
+        """Edits above a legacy finding shift its line, not its entry."""
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, [make_finding(line=10)])
+        moved = [make_finding(line=57)]
+        assert apply_baseline(moved, load_baseline(baseline_path)) == []
+
+    def test_changed_text_resurfaces(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, [make_finding()])
+        edited = [make_finding(text="_CACHE[key] = (value, stamp)")]
+        assert apply_baseline(edited,
+                              load_baseline(baseline_path)) == edited
+
+    def test_multiset_semantics(self, tmp_path):
+        """One baseline entry absorbs at most one live finding, so a
+        copy-pasted violation surfaces as fresh."""
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, [make_finding()])
+        duplicated = [make_finding(line=10), make_finding(line=30)]
+        fresh = apply_baseline(duplicated, load_baseline(baseline_path))
+        assert fresh == [make_finding(line=30)]
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BaselineError, match="cannot read"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            load_baseline(bad)
+
+    def test_wrong_format_marker(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "something.else",
+                                   "findings": []}))
+        with pytest.raises(BaselineError, match="check_baseline"):
+            load_baseline(bad)

@@ -1,0 +1,121 @@
+"""``repro check`` CLI: exit-code contract (0/1/2), formats, baselines."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.rules import RULE_CODES
+from repro.cli import main
+
+VIOLATING = textwrap.dedent("""
+    import numpy as np
+
+    def seed_everything():
+        np.random.seed(0)
+
+    def dump(path, payload):
+        with open(path, "w") as fp:
+            fp.write(payload)
+""")
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text("ANSWER = 42\n")
+    return target
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    package = tmp_path / "src" / "repro" / "core"
+    package.mkdir(parents=True)
+    (package / "bad.py").write_text(VIOLATING)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, clean_file, capsys):
+        assert main(["check", str(clean_file)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, bad_tree, capsys):
+        assert main(["check", str(bad_tree)]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_unknown_select_code_exits_two(self, clean_file, capsys):
+        assert main(["check", str(clean_file),
+                     "--select", "REP999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "absent")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_update_baseline_without_path_exits_two(self, bad_tree, capsys):
+        assert main(["check", str(bad_tree), "--update-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_corrupt_baseline_exits_two(self, bad_tree, tmp_path, capsys):
+        broken = tmp_path / "broken-baseline.json"
+        broken.write_text("{not json")
+        assert main(["check", str(bad_tree),
+                     "--baseline", str(broken)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_json_report(self, bad_tree, capsys):
+        assert main(["check", str(bad_tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro.check_report"
+        assert payload["count"] == 2
+        assert [f["code"] for f in payload["findings"]] == ["REP001",
+                                                            "REP003"]
+        assert all(f["path"].endswith("bad.py")
+                   for f in payload["findings"])
+
+    def test_select_filters_rules(self, bad_tree, capsys):
+        assert main(["check", str(bad_tree), "--format", "json",
+                     "--select", "REP001"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["code"] for f in payload["findings"]] == ["REP001"]
+
+    def test_ignore_drops_rules(self, bad_tree, capsys):
+        assert main(["check", str(bad_tree), "--format", "json",
+                     "--ignore", "REP001,REP003"]) == 0
+        assert json.loads(capsys.readouterr().out)["count"] == 0
+
+    def test_list_rules_catalog(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULE_CODES:
+            assert code in out
+
+
+class TestBaselineWorkflow:
+    def test_update_then_check_then_regress(self, bad_tree, tmp_path,
+                                            capsys):
+        baseline = tmp_path / "baseline.json"
+        # 1. absorb the legacy findings
+        assert main(["check", str(bad_tree), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert "2 finding(s) absorbed" in capsys.readouterr().out
+        # 2. the baselined tree is now clean
+        assert main(["check", str(bad_tree),
+                     "--baseline", str(baseline)]) == 0
+        # 3. a NEW violation still gates
+        extra = bad_tree / "src" / "repro" / "core" / "worse.py"
+        extra.write_text("import random\nrandom.seed(0)\n")
+        assert main(["check", str(bad_tree),
+                     "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "worse.py" in out and "REP001" in out
+
+
+class TestSanitizeBackendFlag:
+    def test_sanitize_with_workers_is_usage_error(self, capsys):
+        assert main(["--backend", "sanitize", "native",
+                     "--workers", "2"]) == 2
+        assert "serial" in capsys.readouterr().err

@@ -1,0 +1,302 @@
+"""Fixture-snippet tests: every REPxxx rule, positive and negative."""
+
+import textwrap
+
+from repro.analysis import RuleEngine
+
+SOURCE_PATH = "src/repro/models/mod.py"   # in-scope for unscoped rules
+CORE_PATH = "src/repro/core/mod.py"       # in-scope for REP002/REP005
+TEST_PATH = "tests/test_mod.py"           # in-scope for REP007
+
+_ENGINE = RuleEngine()
+
+
+def check(source, path=SOURCE_PATH):
+    return _ENGINE.check_source(textwrap.dedent(source), path)
+
+
+def codes(source, path=SOURCE_PATH):
+    return [finding.code for finding in check(source, path)]
+
+
+class TestGlobalRandomRule:
+    def test_numpy_global_seed_flagged(self):
+        findings = check("""
+            import numpy as np
+            def seed_everything():
+                np.random.seed(0)
+        """)
+        assert [f.code for f in findings] == ["REP001"]
+        assert "default_rng" in findings[0].message
+        assert findings[0].line == 4
+
+    def test_full_module_name_and_shuffle_flagged(self):
+        assert codes("""
+            import numpy
+            def mix(items):
+                numpy.random.shuffle(items)
+        """) == ["REP001"]
+
+    def test_stdlib_random_flagged(self):
+        assert codes("""
+            import random
+            def pick(items):
+                return random.choice(items)
+        """) == ["REP001"]
+
+    def test_seeded_generator_not_flagged(self):
+        assert codes("""
+            import numpy as np
+            def pick(items, seed):
+                rng = np.random.default_rng(seed)
+                rng.shuffle(items)
+                return rng.integers(0, 10)
+        """) == []
+
+    def test_flagged_in_tests_too(self):
+        assert codes("""
+            import numpy as np
+            def test_x():
+                np.random.seed(0)
+        """, path=TEST_PATH) == ["REP001"]
+
+
+class TestWallClockRule:
+    def test_time_time_in_core_flagged(self):
+        findings = check("""
+            import time
+            def stamp():
+                return time.time()
+        """, path=CORE_PATH)
+        assert [f.code for f in findings] == ["REP002"]
+        assert "perf_counter" in findings[0].message
+
+    def test_datetime_now_in_resilience_flagged(self):
+        assert codes("""
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+        """, path="src/repro/resilience/mod.py") == ["REP002"]
+
+    def test_monotonic_timers_allowed(self):
+        assert codes("""
+            import time
+            def duration():
+                return time.perf_counter() - time.monotonic()
+        """, path=CORE_PATH) == []
+
+    def test_out_of_scope_package_not_flagged(self):
+        assert codes("""
+            import time
+            def stamp():
+                return time.time()
+        """, path="src/repro/models/mod.py") == []
+
+
+class TestRawWriteRule:
+    def test_raw_open_write_flagged(self):
+        findings = check("""
+            def dump(path, payload):
+                with open(path, "w") as fp:
+                    fp.write(payload)
+        """)
+        assert [f.code for f in findings] == ["REP003"]
+        assert "atomic" in findings[0].message
+
+    def test_open_mode_keyword_flagged(self):
+        assert codes("""
+            def dump(path, payload):
+                with open(path, mode="wb") as fp:
+                    fp.write(payload)
+        """) == ["REP003"]
+
+    def test_read_modes_allowed(self):
+        assert codes("""
+            def load(path):
+                with open(path) as fp:
+                    return fp.read() + open(path, "rb").read().decode()
+        """) == []
+
+    def test_path_write_text_flagged(self):
+        assert codes("""
+            from pathlib import Path
+            def write(path, text):
+                Path(path).write_text(text)
+        """) == ["REP003"]
+
+    def test_json_dump_and_np_save_flagged(self):
+        assert codes("""
+            import json
+            import numpy as np
+            def dump(fp, obj, path, arr):
+                json.dump(obj, fp)
+                np.save(path, arr)
+        """) == ["REP003", "REP003"]
+
+    def test_write_inside_atomic_path_sanctioned(self):
+        assert codes("""
+            import numpy as np
+            from repro.resilience.atomic import atomic_path
+            def save(path, payload, arr):
+                with atomic_path(path) as tmp:
+                    with open(tmp, "wb") as fp:
+                        fp.write(payload)
+                    np.save(tmp, arr)
+        """) == []
+
+    def test_not_run_on_tests(self):
+        assert codes("""
+            def test_write(tmp_path):
+                (tmp_path / "x.txt").write_text("scratch")
+        """, path=TEST_PATH) == []
+
+
+class TestMutableDefaultRule:
+    def test_list_and_dict_defaults_flagged(self):
+        assert codes("""
+            def merge(items=[], table={}):
+                return items, table
+        """) == ["REP004", "REP004"]
+
+    def test_constructor_and_kwonly_defaults_flagged(self):
+        assert codes("""
+            def collect(*, seen=set()):
+                return seen
+        """) == ["REP004"]
+
+    def test_none_and_tuple_defaults_allowed(self):
+        assert codes("""
+            def merge(items=None, pair=(), name="x"):
+                return items or [], pair, name
+        """) == []
+
+
+class TestGlobalMutationRule:
+    def test_unguarded_subscript_write_flagged(self):
+        findings = check("""
+            _CACHE = {}
+            def put(key, value):
+                _CACHE[key] = value
+        """, path=CORE_PATH)
+        assert [f.code for f in findings] == ["REP005"]
+        assert "_CACHE" in findings[0].message
+
+    def test_unguarded_mutator_call_flagged(self):
+        assert codes("""
+            _ITEMS = []
+            def add(x):
+                _ITEMS.append(x)
+        """, path=CORE_PATH) == ["REP005"]
+
+    def test_unguarded_global_rebind_flagged(self):
+        assert codes("""
+            _STATE = []
+            def reset():
+                global _STATE
+                _STATE = []
+        """, path=CORE_PATH) == ["REP005"]
+
+    def test_lock_guarded_write_sanctioned(self):
+        assert codes("""
+            import threading
+            _LOCK = threading.Lock()
+            _CACHE = {}
+            def put(key, value):
+                with _LOCK:
+                    _CACHE[key] = value
+        """, path=CORE_PATH) == []
+
+    def test_import_time_mutation_allowed(self):
+        assert codes("""
+            _ITEMS = []
+            _ITEMS.append("seed")
+        """, path=CORE_PATH) == []
+
+    def test_local_shadow_not_flagged(self):
+        assert codes("""
+            _CACHE = {}
+            def scratch():
+                local = {}
+                local["k"] = 1
+                return local
+        """, path=CORE_PATH) == []
+
+
+class TestSwallowedExceptionRule:
+    def test_bare_except_flagged(self):
+        findings = check("""
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    return None
+        """)
+        assert [f.code for f in findings] == ["REP006"]
+        assert "KeyboardInterrupt" in findings[0].message
+
+    def test_broad_except_pass_flagged(self):
+        assert codes("""
+            def poke(fn):
+                try:
+                    fn()
+                except Exception:
+                    pass
+        """) == ["REP006"]
+
+    def test_broad_except_in_tuple_flagged(self):
+        assert codes("""
+            def poke(fn):
+                try:
+                    fn()
+                except (ValueError, Exception):
+                    pass
+        """) == ["REP006"]
+
+    def test_broad_except_that_acts_allowed(self):
+        assert codes("""
+            def poke(fn, journal):
+                try:
+                    fn()
+                except Exception as error:
+                    journal.record(error)
+        """) == []
+
+    def test_narrow_except_pass_allowed(self):
+        assert codes("""
+            def poke(fn):
+                try:
+                    fn()
+                except ValueError:
+                    pass
+        """) == []
+
+
+class TestArrayEqualityRule:
+    def test_eq_all_in_test_flagged(self):
+        findings = check("""
+            def test_identity(a, b):
+                assert (a == b).all()
+        """, path=TEST_PATH)
+        assert [f.code for f in findings] == ["REP007"]
+        assert "np.array_equal" in findings[0].message
+
+    def test_np_any_neq_in_test_flagged(self):
+        assert codes("""
+            import numpy as np
+            def test_differs(a, b):
+                assert np.any(a != b)
+        """, path=TEST_PATH) == ["REP007"]
+
+    def test_array_equal_and_allclose_allowed(self):
+        assert codes("""
+            import numpy as np
+            def test_identity(a, b):
+                assert np.array_equal(a, b)
+                assert np.allclose(a, 2 * b)
+        """, path=TEST_PATH) == []
+
+    def test_not_run_on_source(self):
+        assert codes("""
+            def same(a, b):
+                return (a == b).all()
+        """, path=SOURCE_PATH) == []

@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.compress import QuantReport, quantize_model_weights, quantize_tensor, quantized_cost
+from repro.compress import (quantize_model_weights,
+                            quantize_tensor,
+                            quantized_cost)
 from repro.models import build_model
 from repro.tensor import Tensor, no_grad
 

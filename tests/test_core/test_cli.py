@@ -78,9 +78,10 @@ class TestNativeCommand:
         from repro.core.records import MeasurementRecord, StudyResult
         captured = {}
 
-        def fake(config, models=None, per_corruption=False):
+        def fake(config, models=None, per_corruption=False, backend=None):
             captured["config"] = config
             captured["per_corruption"] = per_corruption
+            captured["backend"] = backend
             return StudyResult([MeasurementRecord(
                 model="wrn40_2", method="bn_norm", batch_size=50,
                 device="host", error_pct=12.0, forward_time_s=0.5,

@@ -1,6 +1,5 @@
 """Study configuration, case labels, and measurement records."""
 
-import math
 
 import pytest
 

@@ -1,7 +1,5 @@
 """Pareto-front utilities, including hypothesis properties."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

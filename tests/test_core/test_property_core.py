@@ -115,4 +115,4 @@ def test_quantize_preserves_sign_and_bound(bits, size):
     max_abs = float(np.abs(values).max())
     assert np.abs(out).max() <= max_abs * (1 + 2 ** -11) + 1e-6
     nonzero = out != 0
-    assert (np.sign(out[nonzero]) == np.sign(values[nonzero])).all()
+    assert np.array_equal(np.sign(out[nonzero]), np.sign(values[nonzero]))

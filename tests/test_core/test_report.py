@@ -1,6 +1,5 @@
 """Figure/table renderers."""
 
-import pytest
 
 from repro.core.report import (
     render_error_grid,

@@ -1,7 +1,6 @@
 """SynthCIFAR generator: determinism, balance, ranges, class structure."""
 
 import numpy as np
-import pytest
 
 from repro.data.synthetic import NUM_CLASSES, SynthCIFAR, make_synth_cifar
 

@@ -88,7 +88,6 @@ class TestFlavorEfficiency:
         assert split["grouped"] > 0
 
     def test_depthwise_derate_largest_on_gpu(self, full_summaries):
-        mnv2 = full_summaries["mobilenet_v2"]
         gpu = device_info("xavier_nx_gpu")
         cpu = device_info("rpi4")
         assert gpu.depthwise_efficiency < gpu.grouped_efficiency

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.devices import device_info, forward_latency
-from repro.devices.cost_model import LatencyBreakdown
 from repro.models import build_model, summarize
 from repro.profiling import profile_native
 from repro.tensor import functional as F

@@ -1,6 +1,5 @@
 """Energy model and the simulated wall power meter."""
 
-import numpy as np
 import pytest
 
 from repro.devices import PowerMeter, device_info, energy_per_batch, forward_latency

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.devices import DEVICE_NAMES, DeviceSpec, device_info, list_devices
+from repro.devices import DEVICE_NAMES, device_info, list_devices
 from repro.devices.catalog import RPI4, ULTRA96, XAVIER_NX_CPU, XAVIER_NX_GPU
 
 

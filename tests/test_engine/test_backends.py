@@ -16,7 +16,7 @@ from repro.engine import (
     use_backend,
 )
 from repro.tensor import Tensor, no_grad
-from repro.tensor.conv import avg_pool2d, conv2d, max_pool2d
+from repro.tensor.conv import conv2d, max_pool2d
 from repro.tensor import functional as F
 
 

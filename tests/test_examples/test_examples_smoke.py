@@ -6,7 +6,6 @@ work is main-guarded) and fully executes the two simulation-only ones.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -5,7 +5,6 @@ quantize -> adapt again -> price on a device.  Uses the session-scoped
 micro model so the whole scenario runs in seconds.
 """
 
-import numpy as np
 import pytest
 
 from repro.adapt import AdaptationMonitor, BNNorm, NoAdapt

@@ -5,7 +5,7 @@ import pytest
 
 from repro.models import build_model
 from repro.models.mobilenet import InvertedResidual, MobileNetV2
-from repro.models.registry import MODEL_NAMES, PROFILES, build_model, model_info
+from repro.models.registry import MODEL_NAMES, build_model, model_info
 from repro.models.resnet import BasicBlock, ResNet18
 from repro.models.resnext import ResNeXt29, ResNeXtBlock
 from repro.models.wide_resnet import PreActBlock, WideResNet

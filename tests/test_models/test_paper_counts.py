@@ -8,7 +8,7 @@ within rounding.
 
 import pytest
 
-from repro.models import build_model, model_info, summarize
+from repro.models import build_model, model_info
 from repro.models.registry import MODEL_NAMES
 
 

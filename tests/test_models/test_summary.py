@@ -1,12 +1,8 @@
 """Model-summary machinery: tracing, aggregation, caching, flavors."""
 
-import numpy as np
 import pytest
 
-from repro import nn
 from repro.models import build_model, summarize
-from repro.models.summary import ModelSummary, _SUMMARY_CACHE
-from repro.tensor import Tensor
 
 
 class TestSummaryAggregates:

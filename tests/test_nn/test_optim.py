@@ -5,7 +5,6 @@ import pytest
 
 from repro import nn
 from repro.nn.module import Parameter
-from repro.tensor import Tensor
 
 
 def param(values):
@@ -94,7 +93,6 @@ class TestAdam:
         p = param([4.0])
         opt = nn.Adam([p], lr=0.3)
         for _ in range(200):
-            t = Tensor(p.data)
             p.grad = 2.0 * p.data  # d/dx x^2
             opt.step()
         assert abs(p.data[0]) < 0.05

@@ -7,7 +7,6 @@ either execution mode, and concurrent workers share one file-locked
 pretrained checkpoint instead of training it twice.
 """
 
-from dataclasses import replace
 
 import pytest
 

@@ -118,7 +118,8 @@ class TestApplyFault:
     def test_constant_batch_has_zero_variance(self, batch):
         images, labels = batch
         out, _ = apply_fault(images, labels, "constant", fault_rng())
-        assert (out == out.flat[0]).all() and 0.0 <= out.flat[0] <= 1.0
+        assert np.array_equal(out, np.full_like(out, out.flat[0]))
+        assert 0.0 <= out.flat[0] <= 1.0
         assert out.shape == images.shape
 
     def test_wrong_range_scales_to_uint8_range(self, batch):
@@ -136,7 +137,7 @@ class TestApplyFault:
         images, labels = batch
         out, _ = apply_fault(images, labels, "duplicated", fault_rng())
         assert out.shape == images.shape
-        assert (out == out[0]).all()
+        assert np.array_equal(out, np.broadcast_to(out[0], out.shape))
 
     def test_unknown_fault_raises(self, batch):
         images, labels = batch

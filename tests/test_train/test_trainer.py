@@ -63,8 +63,11 @@ class TestEvaluate:
     def test_perfect_and_worst_case(self, tiny_data):
         class Oracle:
             training = False
-            def eval(self): return self
-            def train(self, mode=True): return self
+            def eval(self):
+                return self
+
+            def train(self, mode=True):
+                return self
             def __call__(self, x):
                 from repro.tensor import Tensor
                 logits = np.full((len(x.data), 10), -10.0, dtype=np.float32)
