@@ -50,6 +50,11 @@ def load_baseline(path: PathLike) -> Counter:
         raise BaselineError(f"baseline {path} is not a {_FORMAT} document")
     entries = Counter()
     for row in payload["findings"]:
+        if (not isinstance(row, dict)
+                or not all(isinstance(row.get(key), str)
+                           for key in ("path", "code", "text"))):
+            raise BaselineError(f"baseline {path} has a malformed findings "
+                                f"row: {row!r}")
         entries[(row["path"], row["code"], row["text"])] += 1
     return entries
 

@@ -2,7 +2,7 @@
 
 One :class:`FileContext` is built per checked file and shared by every
 rule.  It owns the queries rules keep needing — "what encloses this
-node", "is this inside a ``with`` block", "which names did an
+node", "is this write inside a lock-guarded block", "which names did an
 ``atomic_path`` context bind" — so individual rules stay declarative.
 """
 
@@ -15,6 +15,29 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 PathLike = Union[str, Path]
 
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+#: substrings that mark a context-manager name as a concurrency guard
+_LOCK_NAME_HINTS = ("lock", "mutex", "semaphore", "condition")
+
+
+def _looks_lock_like(expr: ast.AST) -> bool:
+    """Heuristic: does this ``with`` context expression guard concurrency?
+
+    Matches dotted names whose components mention a lock (``_LOCK``,
+    ``self._lock``, ``threading.RLock()``) and ``.acquire(...)``-style
+    managers; anything else (``open``, ``tempfile``, arbitrary CMs) does
+    not count as a guard.
+    """
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            return True
+        expr = func
+    name = dotted_name(expr)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(hint in lowered for hint in _LOCK_NAME_HINTS)
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:
@@ -69,17 +92,22 @@ class FileContext:
                 return ancestor
         return None
 
-    def inside_with(self, node: ast.AST,
+    def inside_lock(self, node: ast.AST,
                     within: Optional[ast.AST] = None) -> bool:
-        """True when a ``with`` block sits between ``node`` and ``within``.
+        """True when a lock-like ``with`` sits between ``node`` and ``within``.
 
         ``within`` bounds the search (typically the enclosing function);
-        ancestors above it do not count.
+        ancestors above it do not count.  Only context managers that look
+        like concurrency guards count — ``with open(...)`` or
+        ``with tempfile...`` blocks are not locks and must not sanction a
+        shared-state write.
         """
         for ancestor in self.ancestors(node):
             if ancestor is within:
                 return False
-            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            if (isinstance(ancestor, (ast.With, ast.AsyncWith))
+                    and any(_looks_lock_like(item.context_expr)
+                            for item in ancestor.items)):
                 return True
         return False
 

@@ -319,7 +319,7 @@ class GlobalMutationRule(Rule):
         function = self.context.enclosing_function(node)
         if function is None:
             return False             # import-time init is single-threaded
-        return not self.context.inside_with(node, within=function)
+        return not self.context.inside_lock(node, within=function)
 
     def _is_global_name(self, node: ast.AST, name: str) -> bool:
         function = self.context.enclosing_function(node)

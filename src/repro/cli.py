@@ -253,8 +253,16 @@ def _cmd_native(args: argparse.Namespace) -> int:
         # can be printed (run_native_study leaves a passed backend open)
         from repro.analysis import SanitizerBackend
         sanitizer = SanitizerBackend()
-    result = run_native_study(config, per_corruption=args.per_corruption,
-                              backend=sanitizer)
+    try:
+        result = run_native_study(config, per_corruption=args.per_corruption,
+                                  backend=sanitizer)
+    finally:
+        # surface findings and release the shared arena even when the
+        # study dies mid-run — otherwise the fault that killed it is lost
+        if sanitizer is not None:
+            print()
+            print(sanitizer.describe())
+            sanitizer.close()
     print(result.to_table(title="Native study grid (measured):"))
     if args.json:
         from repro.core.io import save_json
@@ -264,13 +272,7 @@ def _cmd_native(args: argparse.Namespace) -> int:
         from repro.core.io import save_csv
         save_csv(result, args.csv)
         print(f"wrote {args.csv}")
-    exit_code = 0
-    if sanitizer is not None:
-        print()
-        print(sanitizer.describe())
-        if sanitizer.findings:
-            exit_code = 1
-        sanitizer.close()
+    exit_code = 1 if sanitizer is not None and sanitizer.findings else 0
     broken = [r for r in result if r.status != "ok"]
     if broken:
         where = f"; journal: {args.journal}" if args.journal else ""

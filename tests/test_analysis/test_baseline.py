@@ -75,3 +75,20 @@ class TestErrors:
                                    "findings": []}))
         with pytest.raises(BaselineError, match="check_baseline"):
             load_baseline(bad)
+
+    def test_findings_row_missing_key(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "repro.check_baseline",
+                                   "version": 1,
+                                   "findings": [{"path": "a.py",
+                                                 "code": "REP001"}]}))
+        with pytest.raises(BaselineError, match="malformed findings row"):
+            load_baseline(bad)
+
+    def test_findings_row_not_a_dict(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "repro.check_baseline",
+                                   "version": 1,
+                                   "findings": [["a.py", "REP001", "x"]]}))
+        with pytest.raises(BaselineError, match="malformed findings row"):
+            load_baseline(bad)

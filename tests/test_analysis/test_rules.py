@@ -206,6 +206,23 @@ class TestGlobalMutationRule:
                     _CACHE[key] = value
         """, path=CORE_PATH) == []
 
+    def test_non_lock_with_block_is_not_a_guard(self):
+        """`with open(...)` is a resource manager, not a lock."""
+        assert codes("""
+            _CACHE = {}
+            def put(path, key):
+                with open(path) as handle:
+                    _CACHE[key] = handle.read()
+        """, path=CORE_PATH) == ["REP005"]
+
+    def test_acquire_style_manager_sanctioned(self):
+        assert codes("""
+            _CACHE = {}
+            def put(guard, key, value):
+                with guard.acquire(timeout=1):
+                    _CACHE[key] = value
+        """, path=CORE_PATH) == []
+
     def test_import_time_mutation_allowed(self):
         assert codes("""
             _ITEMS = []
