@@ -97,6 +97,29 @@ class AdaptationMethod(abc.ABC):
         self.batches_adapted = 0
         self._configure(self.model)
 
+    def runtime_state(self) -> dict:
+        """Mid-stream method state beyond what lives in the model.
+
+        Everything a checkpoint needs so that a freshly ``bind()``-ed
+        twin of this method, pointed at a bit-identical model, continues
+        the stream bit-identically: the adapted-batch counter plus any
+        optimizer moments (methods owning an ``optimizer`` attribute,
+        e.g. BN-Opt's Adam).  Model parameters and BN buffers are *not*
+        included — they are the model's state, checkpointed separately.
+        """
+        state: dict = {"batches_adapted": self.batches_adapted}
+        optimizer = getattr(self, "optimizer", None)
+        if optimizer is not None:
+            state["optimizer"] = optimizer.state_dict()
+        return state
+
+    def load_runtime_state(self, state: dict) -> None:
+        """Restore :meth:`runtime_state` output onto a bound method."""
+        self.batches_adapted = int(state["batches_adapted"])
+        optimizer = getattr(self, "optimizer", None)
+        if optimizer is not None and state.get("optimizer") is not None:
+            optimizer.load_state_dict(state["optimizer"])
+
     def _require_model(self) -> Module:
         if self.model is None:
             raise RuntimeError(f"{self.name}: forward() before prepare()")

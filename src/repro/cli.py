@@ -42,6 +42,20 @@ Commands
     schedules the same cells across N worker processes with identical
     journal/resume semantics and canonically-ordered, byte-identical
     merged output (see :mod:`repro.parallel`).
+``serve``
+    Run the multi-tenant adaptation daemon (:mod:`repro.serve`): TCP
+    wire protocol, per-tenant :class:`~repro.serve.session.AdaptationSession`
+    streams with guarded adaptation and admission control, and
+    journal-backed crash recovery — ``--journal`` checkpoints every
+    tenant after every batch, ``--resume`` restores every open tenant
+    bit-identically after a kill.
+``serve-client``
+    Drive a corrupted (optionally faulted) SynthCIFAR stream into a
+    running daemon as one tenant; print the scorecard.
+    ``--expect-rollbacks`` turns the run into a smoke assertion (exit 1
+    unless the daemon reported guard rollbacks), ``--start-batch`` skips
+    already-processed batches when replaying after a daemon resume, and
+    ``--shutdown`` stops the daemon afterwards.
 ``check``
     Run the project-aware invariant linter (:mod:`repro.analysis`) over
     source trees: AST rules ``REP001``-``REP007`` guarding seeded
@@ -283,6 +297,79 @@ def _cmd_native(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeDaemon, SessionManager
+
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    manager = SessionManager(
+        journal=args.journal or None, resume=args.resume,
+        backend=args.backend or "numpy", max_tenants=args.max_tenants,
+        checkpoint_every=args.checkpoint_every)
+    daemon = ServeDaemon(manager, args.host, args.port)
+    host, port = daemon.address
+    # flushed before blocking: test/CI wrappers parse this line to learn
+    # the bound port (especially with --port 0)
+    print(f"repro serve listening on {host}:{port}", flush=True)
+    try:
+        daemon.serve_forever()
+    finally:
+        daemon.close()
+    return 0
+
+
+def _cmd_serve_client(args: argparse.Namespace) -> int:
+    from repro.data.stream import CorruptionStream
+    from repro.data.synthetic import make_synth_cifar
+    from repro.robustness.faults import FaultInjector, parse_fault_specs
+    from repro.serve import ServeClient, TenantSpec
+
+    spec = TenantSpec(
+        tenant=args.tenant, model=args.model, method=args.method,
+        batch_size=args.batch_size, guard=args.guard,
+        queue_capacity=args.queue_capacity, train=args.train,
+        seed=args.seed)
+    data = make_synth_cifar(args.frames, size=spec.image_size,
+                            seed=args.seed + 12345)
+    stream = CorruptionStream.from_dataset(data, args.corruption,
+                                           severity=args.severity,
+                                           seed=args.seed)
+    batch_iter = stream.batches(args.batch_size)
+    injector = None
+    if args.faults:
+        injector = FaultInjector(parse_fault_specs(args.faults),
+                                 seed=args.seed)
+        batch_iter = injector.inject(batch_iter)
+    with ServeClient.connect(args.host, args.port,
+                             timeout=args.connect_timeout) as client:
+        welcome = client.hello(spec)
+        print(f"tenant {args.tenant}: resumed={welcome['resumed']} "
+              f"batches_done={welcome['batches_done']}")
+        # the injector must see every batch so a replay reproduces the
+        # same fault schedule; --start-batch only skips the *sending*
+        # (faults in skipped batches were reported by the previous run
+        # and live in the resumed checkpoint)
+        reported = 0
+        for index, (images, labels) in enumerate(batch_iter):
+            injected = injector.faults_injected if injector else 0
+            delta, reported = injected - reported, injected
+            if index < args.start_batch:
+                continue
+            client.send_frames(images, labels, faults=delta)
+        if args.no_close:
+            card = client.scorecard()
+        else:
+            card = client.close_tenant(restore=args.restore)
+        print(card.describe())
+        if args.shutdown:
+            client.shutdown()
+    if args.expect_rollbacks and card.rollbacks < 1:
+        print("error: expected guard rollbacks, saw none", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis import (BaselineError, UsageError, apply_baseline,
                                 check_paths, format_json,
@@ -479,6 +566,80 @@ def build_parser() -> argparse.ArgumentParser:
     native.add_argument("--csv", metavar="PATH", default=None,
                         help="write the grid as CSV")
     native.set_defaults(func=_cmd_native)
+
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant adaptation daemon (journal/resume)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=_non_negative_int, default=0,
+                       help="TCP port (0 = OS-assigned; the bound port "
+                            "is printed on startup)")
+    serve.add_argument("--journal", metavar="PATH", default=None,
+                       help="checkpoint every tenant batch to this JSONL "
+                            "run journal (crash-safe, fsync'd)")
+    serve.add_argument("--resume", action="store_true",
+                       help="restore open tenants from the journal "
+                            "(requires --journal)")
+    serve.add_argument("--max-tenants", type=_positive_int, default=8,
+                       help="admission limit on concurrent tenants")
+    serve.add_argument("--checkpoint-every", type=_positive_int, default=1,
+                       metavar="N",
+                       help="journal a tenant checkpoint every N batches")
+    serve.set_defaults(func=_cmd_serve)
+
+    serve_client = sub.add_parser(
+        "serve-client",
+        help="stream one tenant's frames into a running daemon")
+    serve_client.add_argument("--host", default="127.0.0.1")
+    serve_client.add_argument("--port", type=_positive_int, required=True)
+    serve_client.add_argument("--tenant", required=True,
+                              help="tenant name (one stream per tenant)")
+    serve_client.add_argument("--model", choices=MODEL_NAMES,
+                              default="wrn40_2")
+    serve_client.add_argument("--method",
+                              choices=METHOD_NAMES + EXTENSION_METHOD_NAMES,
+                              default="bn_opt")
+    serve_client.add_argument("--batch-size", type=_positive_int, default=16)
+    serve_client.add_argument("--no-guard", dest="guard",
+                              action="store_false",
+                              help="run the tenant unguarded (guarded "
+                                   "adaptation is the default)")
+    serve_client.add_argument("--queue-capacity", type=_non_negative_int,
+                              default=2,
+                              help="batches of backlog before drops")
+    serve_client.add_argument("--train", action="store_true",
+                              help="tenant model is robustly pre-trained "
+                                   "(cached) instead of seed-initialized")
+    serve_client.add_argument("--frames", type=_positive_int, default=128,
+                              help="total frames to stream")
+    serve_client.add_argument("--corruption",
+                              choices=tuple(CORRUPTION_NAMES) + ("clean",),
+                              default="gaussian_noise")
+    serve_client.add_argument("--severity", type=int, choices=range(1, 6),
+                              default=5)
+    serve_client.add_argument("--faults", metavar="SPEC", default=None,
+                              help="client-side fault injection "
+                                   "(see 'stream')")
+    serve_client.add_argument("--start-batch", type=_non_negative_int,
+                              default=0, metavar="N",
+                              help="skip sending the first N batches "
+                                   "(replay after a daemon resume)")
+    serve_client.add_argument("--no-close", action="store_true",
+                              help="leave the tenant open (print a live "
+                                   "scorecard instead of closing)")
+    serve_client.add_argument("--restore", action="store_true",
+                              help="restore the tenant model to its "
+                                   "source state on close")
+    serve_client.add_argument("--expect-rollbacks", action="store_true",
+                              help="exit 1 unless the daemon reported "
+                                   "guard rollbacks (CI smoke assertion)")
+    serve_client.add_argument("--shutdown", action="store_true",
+                              help="stop the daemon after this stream")
+    serve_client.add_argument("--connect-timeout", type=float, default=30.0,
+                              metavar="SECONDS",
+                              help="retry window for the initial connect")
+    serve_client.add_argument("--seed", type=_non_negative_int, default=0)
+    serve_client.set_defaults(func=_cmd_serve_client)
 
     check = sub.add_parser(
         "check", help="project-aware invariant linter (REP001-REP007)")

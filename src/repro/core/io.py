@@ -21,12 +21,13 @@ _FIELDS = ["model", "method", "batch_size", "device", "error_pct",
            "forward_time_s", "energy_j", "memory_gb", "oom",
            "adapt_overhead_s", "corruption", "backend",
            "faults_injected", "rollbacks", "degraded_batches",
-           "fallback_frames", "guarded", "status", "attempts"]
+           "fallback_frames", "guarded", "tenant", "status", "attempts"]
 
-# The guard-counter fields (pre-robustness documents) and the
-# status/attempts fields (pre-resilience documents) are absent from
-# older version-1 files; _record_from_dict leaves them to the dataclass
-# defaults, so old files still load.
+# The guard-counter fields (pre-robustness documents), the
+# status/attempts fields (pre-resilience documents) and the tenant
+# field (pre-serve documents) are absent from older version-1 files;
+# _record_from_dict leaves them to the dataclass defaults, so old
+# files still load.
 
 _FORMAT_VERSION = 1
 

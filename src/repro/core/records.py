@@ -41,6 +41,10 @@ class MeasurementRecord:
     fallback_frames: int = 0
     #: whether GuardedAdaptation wrapped the method for this record
     guarded: bool = False
+    #: serve-daemon tenant that produced this record ("" = batch study);
+    #: lets per-tenant scorecards flow into the same result files the
+    #: sweep runners write
+    tenant: str = ""
     # resilient-execution accounting (repro.resilience): "ok" records are
     # real measurements; "failed"/"timeout" records are placeholders the
     # executor emits for cells that exhausted their retries (their cost

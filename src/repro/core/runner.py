@@ -18,7 +18,6 @@ import hashlib
 import json
 import math
 import threading
-import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -41,6 +40,7 @@ from repro.resilience.executor import CellSpec, ResilientExecutor
 from repro.resilience.journal import RunJournal
 from repro.robustness.faults import FaultInjector, parse_fault_specs
 from repro.robustness.guard import GuardedAdaptation
+from repro.serve.session import AdaptationSession
 from repro.train.trainer import pretrain_robust
 
 
@@ -377,7 +377,16 @@ def _run_native_cell(config: StudyConfig, model, spec: CellSpec,
                      streams: Sequence[CorruptionStream],
                      fault_specs, per_corruption: bool
                      ) -> List[MeasurementRecord]:
-    """Execute one isolated grid cell over the full corruption set."""
+    """Execute one isolated grid cell over the full corruption set.
+
+    Each corruption stream is driven through an
+    :class:`~repro.serve.session.AdaptationSession` with the
+    ``"always"``-restore policy: the session harvests the guard
+    counters and then resets the method whether the stream finished or
+    raised, so a failed cell cannot leak adapted BN state into the
+    cells that share this model instance — and every stream of the
+    cell starts from the same pristine state (episodic evaluation).
+    """
     kwargs = dict(config.method_kwargs.get(spec.method, {}))
     if spec.method == "bn_opt":
         kwargs.setdefault("lr", config.bn_opt_lr)
@@ -391,41 +400,30 @@ def _run_native_cell(config: StudyConfig, model, spec: CellSpec,
     counters = np.zeros(4, dtype=int)   # faults, rollbacks,
     #                                     degraded, fallback
     for stream_index, stream in enumerate(streams):
-        method.prepare(model)
-        try:
-            batch_iter = stream.batches(spec.batch_size)
-            injector = None
-            if fault_specs is not None:
-                injector = FaultInjector(
-                    fault_specs,
-                    seed=config.seed + 7919 * stream_index)
-                batch_iter = injector.inject(batch_iter)
-            correct = 0
-            total = 0
+        batch_iter = stream.batches(spec.batch_size)
+        injector = None
+        if fault_specs is not None:
+            injector = FaultInjector(
+                fault_specs,
+                seed=config.seed + 7919 * stream_index)
+            batch_iter = injector.inject(batch_iter)
+        with AdaptationSession(model, method,
+                               restore="always") as session:
             for images, labels in batch_iter:
-                start = time.perf_counter()
-                logits = method.forward(images)
-                wall += time.perf_counter() - start
-                batches += 1
-                predictions = np.nan_to_num(logits).argmax(axis=-1)
-                correct += int((predictions == labels).sum())
-                total += len(labels)
-            stream_counters = np.array([
-                injector.faults_injected if injector else 0,
-                getattr(method, "rollbacks", 0),
-                getattr(method, "degraded_batches", 0),
-                getattr(method, "fallback_frames", 0)])
-            counters += stream_counters
-        finally:
-            # harvest before reset(): the guard re-arms its counters
-            # when it re-prepares.  reset() runs even when the stream
-            # raises, so a failed cell cannot leak adapted BN state
-            # into the cells that share this model instance.
-            method.reset()
+                session.process_batch(images, labels)
+            session.faults_injected = (injector.faults_injected
+                                       if injector else 0)
+        wall += session.wall_time_s
+        batches += session.batches_total
+        stream_counters = np.array([
+            session.faults_injected, session.rollbacks,
+            session.degraded_batches, session.fallback_frames])
+        counters += stream_counters
         # a stream shorter than the batch size yields zero samples;
         # report NaN for it rather than dividing by zero
-        error = (100.0 * (1.0 - correct / total) if total
-                 else float("nan"))
+        error = (100.0 * (1.0 - session.frames_correct
+                          / session.frames_processed)
+                 if session.frames_processed else float("nan"))
         errors.append(error)
         if per_corruption:
             records.append(MeasurementRecord(

@@ -68,6 +68,8 @@ class StreamScorecard:
     rollbacks: int = 0            # BN-snapshot restores by the guard
     degraded_batches: int = 0     # batches served below the requested method
     fallback_frames: int = 0      # frames answered by the bottom-rung fallback
+    #: serve-daemon tenant this card scores ("" = single-stream run)
+    tenant: str = ""
 
     @property
     def drop_rate(self) -> float:
@@ -78,7 +80,8 @@ class StreamScorecard:
         return self.batches_late / self.batches_total if self.batches_total else 0.0
 
     def describe(self) -> str:
-        text = (f"{self.frames_processed}/{self.frames_total} frames "
+        text = (f"[{self.tenant}] " if self.tenant else "")
+        text += (f"{self.frames_processed}/{self.frames_total} frames "
                 f"processed ({self.drop_rate:.0%} dropped), "
                 f"{self.deadline_miss_rate:.0%} batches late, "
                 f"latency {self.mean_frame_latency_s * 1e3:.0f} ms/frame, "

@@ -19,6 +19,7 @@ tests against Section III-B / IV-F.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -196,8 +197,12 @@ def _layer_stats(name: str, record: TraceRecord) -> LayerStats:
 # Cache entries hold a strong reference to the model: the key uses
 # id(model), and CPython reuses ids after garbage collection, so the
 # reference is what keeps the key valid for the cache's lifetime.
+# Mutation happens under the lock: concurrent summary builds (the grid
+# summary cache and the serve daemon's handler threads race them) must
+# never interleave a dict resize with a lookup.
 _SUMMARY_CACHE: Dict[Tuple[int, Tuple[int, int, int]],
                      Tuple[Module, ModelSummary]] = {}
+_SUMMARY_CACHE_LOCK = threading.Lock()
 
 
 def summarize(model: Module, input_shape: Tuple[int, int, int] = (3, 32, 32),
@@ -209,7 +214,8 @@ def summarize(model: Module, input_shape: Tuple[int, int, int] = (3, 32, 32),
     cached per (model instance, input shape).
     """
     key = (id(model), tuple(input_shape))
-    cached = _SUMMARY_CACHE.get(key)
+    with _SUMMARY_CACHE_LOCK:
+        cached = _SUMMARY_CACHE.get(key)
     if cached is not None:
         return cached[1]
 
@@ -230,5 +236,6 @@ def summarize(model: Module, input_shape: Tuple[int, int, int] = (3, 32, 32),
     for record in records:
         layer_name = names.get(id(record.module), type(record.module).__name__)
         summary.layers.append(_layer_stats(layer_name, record))
-    _SUMMARY_CACHE[key] = (model, summary)
+    with _SUMMARY_CACHE_LOCK:
+        _SUMMARY_CACHE[key] = (model, summary)
     return summary

@@ -7,7 +7,7 @@ pre-training pipeline.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -32,6 +32,38 @@ class Optimizer:
     def state_bytes(self) -> int:
         """Bytes of optimizer state (for the device memory model)."""
         return 0
+
+    def state_dict(self) -> dict:
+        """Internal state as plain arrays, in parameter-list order.
+
+        Together with :meth:`load_state_dict` this makes an optimizer
+        checkpointable mid-stream: restoring the state onto a freshly
+        built optimizer over the *same parameter list* resumes stepping
+        bit-identically (the serve layer's session checkpoints rely on
+        this).  Parameters that have never been stepped are represented
+        as ``None``.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto this optimizer."""
+        if state:
+            raise ValueError(f"{type(self).__name__} has no state to load")
+
+    def _per_param(self, buffers: Dict[int, np.ndarray]
+                   ) -> List[Optional[np.ndarray]]:
+        return [buffers.get(id(param)) for param in self.params]
+
+    def _load_per_param(self, buffers: Dict[int, np.ndarray],
+                        values: List[Optional[np.ndarray]]) -> None:
+        if len(values) != len(self.params):
+            raise ValueError(
+                f"state covers {len(values)} parameters; optimizer "
+                f"has {len(self.params)}")
+        buffers.clear()
+        for param, value in zip(self.params, values):
+            if value is not None:
+                buffers[id(param)] = np.array(value, dtype=param.data.dtype)
 
 
 class SGD(Optimizer):
@@ -68,6 +100,12 @@ class SGD(Optimizer):
         if not self.momentum:
             return 0
         return sum(p.data.nbytes for p in self.params)
+
+    def state_dict(self) -> dict:
+        return {"velocity": self._per_param(self._velocity)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._load_per_param(self._velocity, state["velocity"])
 
 
 class Adam(Optimizer):
@@ -108,3 +146,13 @@ class Adam(Optimizer):
     def state_bytes(self) -> int:
         # Two moment buffers per parameter.
         return 2 * sum(p.data.nbytes for p in self.params)
+
+    def state_dict(self) -> dict:
+        return {"t": self._t,
+                "m": self._per_param(self._m),
+                "v": self._per_param(self._v)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._t = int(state["t"])
+        self._load_per_param(self._m, state["m"])
+        self._load_per_param(self._v, state["v"])

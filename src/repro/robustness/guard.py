@@ -167,6 +167,54 @@ class GuardedAdaptation:
         self.method.reset()
         self.prepare(self.model)
 
+    def runtime_state(self) -> dict:
+        """Mid-stream guard state for session checkpoints.
+
+        Captures the ladder position, cooldown progress, counters, and
+        every rung's :meth:`~repro.adapt.base.AdaptationMethod.runtime_state`
+        (only the *active* rung's optimizer moments matter — inactive
+        rungs are rebuilt on activation — but per-rung ``batches_adapted``
+        keeps :attr:`batches_adapted` exact).  ``events`` are diagnostic
+        and deliberately not checkpointed.
+        """
+        if not self._ladder:
+            raise RuntimeError("runtime_state() before prepare()")
+        return {
+            "level": self._level,
+            "healthy_streak": self._healthy_streak,
+            "batches_seen": self.batches_seen,
+            "rollbacks": self.rollbacks,
+            "degraded_batches": self.degraded_batches,
+            "fallback_frames": self.fallback_frames,
+            "ladder": [rung.runtime_state() for rung in self._ladder],
+        }
+
+    def load_runtime_state(self, state: dict) -> None:
+        """Restore :meth:`runtime_state` onto a freshly prepared guard.
+
+        The model must already hold the checkpointed (adapted) state;
+        the active rung is re-bound so its train/eval + grad modes and
+        optimizer own the model exactly as at checkpoint time.
+        """
+        if not self._ladder:
+            raise RuntimeError("load_runtime_state() before prepare()")
+        if len(state["ladder"]) != len(self._ladder):
+            raise ValueError(
+                f"checkpoint has {len(state['ladder'])} ladder rungs; "
+                f"this guard has {len(self._ladder)}")
+        self._level = int(state["level"])
+        self._healthy_streak = int(state["healthy_streak"])
+        self.batches_seen = int(state["batches_seen"])
+        self.rollbacks = int(state["rollbacks"])
+        self.degraded_batches = int(state["degraded_batches"])
+        self.fallback_frames = int(state["fallback_frames"])
+        # force a bind: the active rung's optimizer must be rebuilt over
+        # the restored model before its moments are loaded into it
+        self._active = -1
+        self._activate(self._level)
+        for rung, rung_state in zip(self._ladder, state["ladder"]):
+            rung.load_runtime_state(rung_state)
+
     def _fallback_names(self) -> List[str]:
         """Ladder rungs strictly below the wrapped method."""
         if self.method.name in LADDER:

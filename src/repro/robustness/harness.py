@@ -12,16 +12,14 @@ guarded run rolls back, degrades, and recovers.
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.adapt import build_method
 from repro.adapt.base import AdaptationMethod
 from repro.core.streaming import StreamScorecard
 from repro.robustness.faults import FaultInjector, FaultSpec, parse_fault_specs
-from repro.robustness.guard import GuardConfig, GuardedAdaptation
+from repro.robustness.guard import GuardConfig
 
 Batches = Iterable[Tuple[np.ndarray, np.ndarray]]
 
@@ -56,17 +54,17 @@ def run_guarded_stream(model, method: Union[str, AdaptationMethod],
 
     Returns the scorecard with measured ``effective_error_pct``,
     per-batch host wall time, and the guard/fault counters.
+
+    This is a thin driver over
+    :class:`~repro.serve.session.AdaptationSession` (``restore`` policy
+    ``"on_error"``): a clean stream leaves the model adapted —
+    deployment semantics — while an exception mid-stream restores the
+    pristine source state before propagating.
     """
-    if isinstance(method, str):
-        method = build_method(method)
-    if isinstance(method, GuardedAdaptation):
-        runner = method
-    elif guard:
-        config = guard if isinstance(guard, GuardConfig) else None
-        runner = GuardedAdaptation(method, config)
-    else:
-        runner = method
-    runner.prepare(model)
+    # imported here, not at module level: the serve layer imports
+    # repro.robustness.guard, whose package __init__ imports this
+    # module — a top-level import would complete the cycle
+    from repro.serve.session import AdaptationSession
 
     injector = None
     if faults is not None:
@@ -75,37 +73,10 @@ def run_guarded_stream(model, method: Union[str, AdaptationMethod],
         injector = FaultInjector(specs, seed=seed)
         batches = injector.inject(batches)
 
-    frames = 0
-    correct = 0
-    num_batches = 0
-    batches_late = 0
-    wall = 0.0
-    for images, labels in batches:
-        start = time.perf_counter()
-        logits = runner.forward(images)
-        elapsed = time.perf_counter() - start
-        wall += elapsed
-        num_batches += 1
-        frames += len(labels)
-        predictions = np.nan_to_num(logits).argmax(axis=-1)
-        correct += int((predictions == labels).sum())
-        if fps is not None and elapsed > len(labels) / fps:
-            batches_late += 1
-
-    error = 100.0 * (1.0 - correct / frames) if frames else 0.0
-    guarded = isinstance(runner, GuardedAdaptation)
-    return StreamScorecard(
-        frames_total=frames,
-        frames_processed=frames,
-        frames_dropped=0,
-        batches_late=batches_late,
-        batches_total=num_batches,
-        mean_frame_latency_s=wall / frames if frames else 0.0,
-        effective_error_pct=error,
-        energy_j=0.0,
-        wall_time_s=wall,
-        faults_injected=injector.faults_injected if injector else 0,
-        rollbacks=runner.rollbacks if guarded else 0,
-        degraded_batches=runner.degraded_batches if guarded else 0,
-        fallback_frames=runner.fallback_frames if guarded else 0,
-    )
+    session = AdaptationSession(model, method, guard=guard, fps=fps,
+                                restore="on_error")
+    with session:
+        for images, labels in batches:
+            session.process_batch(images, labels)
+        session.faults_injected = injector.faults_injected if injector else 0
+    return session.scorecard()

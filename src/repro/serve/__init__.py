@@ -1,0 +1,35 @@
+"""Serve layer: reusable adaptation sessions and the multi-tenant daemon.
+
+The paper's deployment story is a model adapting *in production* on an
+edge box; this package is that runtime.  It has two halves:
+
+- :class:`~repro.serve.session.AdaptationSession` — the adaptation
+  lifecycle (prepare, guarded per-batch forward, scoring, teardown,
+  checkpoint/resume) as one reusable object.  The batch-study runner
+  and the robustness harness drive their streams through it, so the
+  daemon serves *exactly* the code path the experiments measure.
+- The daemon stack — :class:`~repro.serve.manager.SessionManager`,
+  :class:`~repro.serve.daemon.ServeDaemon`,
+  :class:`~repro.serve.client.ServeClient` and the wire protocol
+  (:mod:`repro.serve.protocol`) — multi-tenant streaming over TCP with
+  journal-backed crash recovery: kill the daemon, restart with
+  ``--resume``, and every tenant continues bit-identically.
+
+CLI: ``repro serve`` / ``repro serve-client``.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import ServeDaemon, serve
+from repro.serve.manager import AdmissionError, SessionManager, TenantSpec
+from repro.serve.session import AdaptationSession
+
+__all__ = [
+    "AdaptationSession",
+    "AdmissionError",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "SessionManager",
+    "TenantSpec",
+    "serve",
+]

@@ -1,0 +1,107 @@
+"""Client for the serve daemon: typed calls over the wire protocol.
+
+:class:`ServeClient` wraps one TCP connection to a
+:class:`~repro.serve.daemon.ServeDaemon` with methods mirroring the
+protocol's message types — ``hello`` / ``send_frames`` / ``scorecard``
+/ ``close_tenant`` / ``shutdown`` — decoding replies into plain values
+(:class:`~repro.core.streaming.StreamScorecard` for scorecards) and
+raising :class:`ServeError` when the daemon answers ``error``.  The
+``connect`` constructor retries the TCP connect with a deadline, which
+is how the CI smoke job and kill-resume tests wait for a freshly
+spawned daemon to come up without racing it.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.core.streaming import StreamScorecard
+from repro.serve import protocol
+from repro.serve.checkpoint import encode_array
+from repro.serve.manager import TenantSpec
+
+
+class ServeError(RuntimeError):
+    """The daemon refused a request (its ``error`` reply's reason)."""
+
+
+class ServeClient:
+    """One connection to a serve daemon, one tenant at a time."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+
+    @classmethod
+    def connect(cls, host: str, port: int,
+                timeout: float = 10.0) -> "ServeClient":
+        """Connect, retrying until ``timeout`` (daemon may still be
+        binding — the spawn-then-connect race every smoke test has)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return cls(socket.create_connection((host, port), timeout=30))
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # -- protocol calls ------------------------------------------------
+
+    def _call(self, message: dict, expect: str) -> dict:
+        protocol.send_message(self._sock, message)
+        reply = protocol.recv_message(self._sock)
+        if reply is None:
+            raise ServeError("daemon closed the connection")
+        if reply.get("type") == "error":
+            raise ServeError(reply.get("reason", "unspecified error"))
+        if reply.get("type") != expect:
+            raise ServeError(
+                f"expected {expect!r} reply, got {reply.get('type')!r}")
+        return reply
+
+    def hello(self, spec: TenantSpec) -> dict:
+        """Open (or resume) a tenant; returns the ``welcome`` payload."""
+        return self._call({"type": "hello",
+                           "protocol": protocol.PROTOCOL_VERSION,
+                           "spec": asdict(spec)}, expect="welcome")
+
+    def send_frames(self, images: np.ndarray, labels: np.ndarray,
+                    *, faults: int = 0) -> dict:
+        """Stream a chunk of frames; returns the ``ack`` payload.
+
+        ``faults`` reports how many faults the sender injected into
+        this chunk, so the daemon's scorecard can account for them.
+        """
+        return self._call({"type": "frames",
+                           "images": encode_array(np.asarray(images)),
+                           "labels": encode_array(np.asarray(labels)),
+                           "faults": int(faults)},
+                          expect="ack")
+
+    def scorecard(self) -> StreamScorecard:
+        """The tenant's current scorecard."""
+        reply = self._call({"type": "scorecard"}, expect="scorecard")
+        return protocol.scorecard_from_dict(reply["scorecard"])
+
+    def close_tenant(self, *, restore: bool = False) -> StreamScorecard:
+        """Finish the tenant's stream; returns its final scorecard."""
+        reply = self._call({"type": "close", "restore": restore},
+                           expect="closed")
+        return protocol.scorecard_from_dict(reply["scorecard"])
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop serving (acknowledged with ``bye``)."""
+        self._call({"type": "shutdown"}, expect="bye")
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,155 @@
+"""The multi-tenant adaptation daemon: TCP front-end over SessionManager.
+
+One thread per connection (:class:`socketserver.ThreadingTCPServer`),
+all of them funnelling into a shared
+:class:`~repro.serve.manager.SessionManager` — which is where the
+serialization actually happens (per-tenant locks), so two clients
+feeding the same tenant interleave at batch granularity and two
+tenants adapt concurrently.  Connections are stateless beyond the
+``hello`` handshake: a tenant's session lives in the manager, not the
+connection, so a dropped client reconnects and carries on — and a
+killed *daemon* restarted with ``resume=True`` carries on from the
+journal.
+
+The wire format is the length-prefixed JSON protocol of
+:mod:`repro.serve.protocol`; malformed requests get an ``error`` reply
+and the connection stays up, so one confused client cannot take a
+tenant down.
+"""
+
+from __future__ import annotations
+
+import logging
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.serve import protocol
+from repro.serve.checkpoint import decode_array
+from repro.serve.manager import AdmissionError, SessionManager, TenantSpec
+
+_log = logging.getLogger("repro.serve")
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One client connection: hello handshake, then a request loop."""
+
+    def handle(self) -> None:
+        server: ServeDaemon = self.server  # type: ignore[assignment]
+        tenant: Optional[str] = None
+        while True:
+            try:
+                message = protocol.recv_message(self.request)
+            except protocol.ProtocolError as error:
+                self._reply_error(f"protocol violation: {error}")
+                return
+            if message is None:
+                return                      # client hung up cleanly
+            kind = message.get("type")
+            if tenant is None and kind not in ("hello", "shutdown"):
+                self._reply_error("first message must be 'hello'")
+                continue
+            try:
+                if kind == "hello":
+                    tenant = self._handle_hello(server, message)
+                elif kind == "frames":
+                    self._handle_frames(server, tenant, message)
+                elif kind == "scorecard":
+                    card = server.manager.scorecard(tenant)
+                    protocol.send_message(self.request, {
+                        "type": "scorecard",
+                        "scorecard": protocol.scorecard_to_dict(card)})
+                elif kind == "close":
+                    card = server.manager.close_tenant(
+                        tenant, restore=bool(message.get("restore", False)))
+                    protocol.send_message(self.request, {
+                        "type": "closed",
+                        "scorecard": protocol.scorecard_to_dict(card)})
+                    tenant = None
+                elif kind == "shutdown":
+                    protocol.send_message(self.request, {"type": "bye"})
+                    server.request_shutdown()
+                    return
+                else:
+                    self._reply_error(f"unknown message type {kind!r}")
+            except (AdmissionError, ValueError, KeyError) as error:
+                self._reply_error(str(error) or type(error).__name__)
+
+    def _handle_hello(self, server: "ServeDaemon", message: dict) -> str:
+        if message.get("protocol") != protocol.PROTOCOL_VERSION:
+            raise ValueError(
+                f"protocol version mismatch: daemon speaks "
+                f"{protocol.PROTOCOL_VERSION}")
+        spec = TenantSpec(**message["spec"])
+        opened = server.manager.open_tenant(spec)
+        protocol.send_message(self.request, {
+            "type": "welcome", "tenant": spec.tenant,
+            "resumed": opened["resumed"],
+            "batches_done": opened["batches_done"]})
+        return spec.tenant
+
+    def _handle_frames(self, server: "ServeDaemon", tenant: str,
+                       message: dict) -> None:
+        images = decode_array(message["images"])
+        labels = decode_array(message["labels"])
+        outcome = server.manager.ingest(
+            tenant, images, labels,
+            faults=int(message.get("faults", 0)))
+        protocol.send_message(self.request, dict(outcome, type="ack"))
+
+    def _reply_error(self, reason: str) -> None:
+        try:
+            protocol.send_message(self.request, {"type": "error",
+                                                 "reason": reason})
+        except OSError:
+            pass        # peer is gone; nothing to tell it
+
+
+class ServeDaemon(socketserver.ThreadingTCPServer):
+    """The serving loop: bind, accept, and delegate to the manager.
+
+    ``port=0`` binds an OS-assigned port (tests); :attr:`address` is
+    the actually-bound ``(host, port)``.  :meth:`serve_forever` blocks
+    until a client sends ``shutdown`` or :meth:`shutdown` is called;
+    :meth:`close` tears down the socket and the manager (which closes
+    every tenant and the journal).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, manager: SessionManager, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.manager = manager
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def request_shutdown(self) -> None:
+        """Stop the serve loop without deadlocking the calling handler.
+
+        ``shutdown()`` blocks until ``serve_forever`` exits, which never
+        happens from inside a handler thread — so the stop is issued
+        from a helper thread.
+        """
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        self.server_close()
+        self.manager.close()
+
+    def __enter__(self) -> "ServeDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve(manager: SessionManager, host: str = "127.0.0.1",
+          port: int = 0) -> None:
+    """Run a daemon until a client asks it to shut down (CLI entry)."""
+    with ServeDaemon(manager, host, port) as daemon:
+        _log.info("repro serve listening on %s:%d", *daemon.address)
+        daemon.serve_forever()

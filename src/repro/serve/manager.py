@@ -1,0 +1,315 @@
+"""Multi-tenant session management for the serve daemon.
+
+A *tenant* is one named adaptation stream: its own model instance, its
+own :class:`~repro.serve.session.AdaptationSession`, its own frame
+queue.  :class:`SessionManager` owns all of them and provides the three
+operations the daemon's connection handlers call:
+
+- :meth:`open_tenant` — admit (or re-attach to) a tenant from a
+  :class:`TenantSpec`, resuming from the journal when one is configured;
+- :meth:`ingest` — append frames to the tenant's queue, apply admission
+  control, and coalesce full adaptation batches through the session;
+- :meth:`close_tenant` — finish the stream and journal the scorecard.
+
+Durability follows the study runners' journal discipline
+(:mod:`repro.resilience.journal`): every processed batch appends a
+``tenant_checkpoint`` entry carrying the session's full checkpoint, so
+a killed daemon restarted with ``resume=True`` re-admits every open
+tenant *bit-identically* — same model bytes, same guard ladder
+position, same optimizer moments, same score counters.  Admission
+control reuses the real-time simulator's ``queue_capacity`` semantics
+(:class:`repro.core.streaming.RealTimeStream`): a tenant buffers at
+most ``queue_capacity`` batches of backlog beyond the one being
+assembled; frames past that are dropped and scored as such.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.engine import create_backend, use_backend
+from repro.models.registry import build_model
+from repro.nn import init as nn_init
+from repro.resilience.journal import RunJournal
+from repro.serve.protocol import scorecard_to_dict
+from repro.serve.session import AdaptationSession
+
+#: journal event names of the serve layer (the study runners own
+#: run_start/cell_ok/...; serve events are disjoint so one scanner can
+#: tell the two document kinds apart)
+SERVE_EVENTS = ("serve_start", "tenant_open", "tenant_checkpoint",
+                "tenant_close")
+
+
+class AdmissionError(RuntimeError):
+    """A tenant the manager refuses to admit (capacity or spec clash)."""
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Everything that shapes one tenant's stream, fingerprintable.
+
+    ``train=True`` pre-trains the tiny-profile model through the robust
+    trainer's shared disk cache; ``train=False`` (the default, and what
+    CI smoke uses) builds a deterministically random-initialized model
+    seeded by ``seed`` — fast, and still reproducible across daemon
+    restarts.
+    """
+
+    tenant: str
+    model: str = "wrn40_2"
+    method: str = "bn_opt"
+    batch_size: int = 16
+    guard: bool = True
+    queue_capacity: int = 2
+    train: bool = False
+    image_size: int = 16
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.tenant:
+            raise ValueError("tenant name must be non-empty")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.queue_capacity < 0:
+            raise ValueError("queue_capacity must be >= 0")
+
+    def fingerprint(self) -> str:
+        """Stable digest of the spec; a resume under a different spec
+        is refused rather than silently continuing an incomparable
+        stream."""
+        blob = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class _Tenant:
+    """One admitted tenant: spec, session, frame queue, its own lock."""
+
+    def __init__(self, spec: TenantSpec, session: AdaptationSession) -> None:
+        self.spec = spec
+        self.session = session
+        self.pending_images: List[np.ndarray] = []
+        self.pending_labels: List[np.ndarray] = []
+        self.lock = threading.Lock()
+        self.closed = False
+
+    @property
+    def capacity(self) -> int:
+        """Maximum buffered frames: the batch being assembled plus
+        ``queue_capacity`` batches of backlog."""
+        return (self.spec.queue_capacity + 1) * self.spec.batch_size
+
+
+class SessionManager:
+    """Owns every tenant session plus the shared backend and journal.
+
+    Thread-safe: connection handler threads call into it concurrently.
+    The tenant table has its own lock, each tenant serializes its
+    stream behind a per-tenant lock (frames for one tenant process in
+    arrival order even across connections), and journal appends — the
+    :class:`~repro.resilience.journal.RunJournal` is not itself
+    thread-safe — are serialized behind a journal lock.
+    """
+
+    def __init__(self, *, journal: Optional[str] = None,
+                 resume: bool = False, backend: str = "numpy",
+                 max_tenants: int = 8, checkpoint_every: int = 1) -> None:
+        if max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.max_tenants = max_tenants
+        self.checkpoint_every = checkpoint_every
+        self._backend = create_backend(backend)
+        self._tenants: Dict[str, _Tenant] = {}
+        self._tenants_lock = threading.Lock()
+        self._journal_lock = threading.Lock()
+        self._journal = RunJournal(journal, resume=resume) if journal else None
+        self._saved: Dict[str, dict] = {}
+        if self._journal is not None:
+            if resume:
+                self._saved = self._scan_saved()
+            self._append({"event": "serve_start",
+                          "resumed_tenants": sorted(self._saved)})
+
+    # -- journal -------------------------------------------------------
+
+    def _append(self, entry: dict) -> None:
+        if self._journal is None:
+            return
+        with self._journal_lock:
+            self._journal.append(entry)
+
+    def _scan_saved(self) -> Dict[str, dict]:
+        """Last checkpoint per still-open tenant from a prior daemon life."""
+        saved: Dict[str, dict] = {}
+        for entry in self._journal.scan().entries:
+            event = entry.get("event")
+            if event == "tenant_checkpoint":
+                saved[entry["tenant"]] = entry
+            elif event == "tenant_close":
+                saved.pop(entry["tenant"], None)
+        return saved
+
+    # -- tenant lifecycle ----------------------------------------------
+
+    def _build_session(self, spec: TenantSpec) -> AdaptationSession:
+        if spec.train:
+            from repro.train.trainer import pretrain_robust
+            model = pretrain_robust(spec.model, image_size=spec.image_size,
+                                    seed=spec.seed)
+        else:
+            nn_init.seed(spec.seed)
+            model = build_model(spec.model, profile="tiny")
+            model.eval()
+        return AdaptationSession(model, spec.method, guard=spec.guard,
+                                 tenant=spec.tenant)
+
+    def open_tenant(self, spec: TenantSpec) -> dict:
+        """Admit ``spec``, resuming from the journal when possible.
+
+        Returns ``{"resumed": bool, "batches_done": int}``.  Re-opening
+        a tenant already live in this process re-attaches to it (the
+        spec must match); a tenant with a journaled checkpoint from a
+        previous daemon life is restored from it.
+        """
+        with self._tenants_lock:
+            live = self._tenants.get(spec.tenant)
+            if live is not None:
+                if live.spec != spec:
+                    raise AdmissionError(
+                        f"tenant {spec.tenant!r} is live with a different "
+                        "spec")
+                return {"resumed": True,
+                        "batches_done": live.session.batches_total}
+            if len(self._tenants) >= self.max_tenants:
+                raise AdmissionError(
+                    f"tenant limit reached ({self.max_tenants})")
+            saved = self._saved.pop(spec.tenant, None)
+            if saved is not None and saved["fingerprint"] != spec.fingerprint():
+                raise AdmissionError(
+                    f"tenant {spec.tenant!r} was journaled under a "
+                    "different spec; refusing to resume")
+            session = self._build_session(spec)
+            if saved is not None:
+                session.load_checkpoint(saved["checkpoint"])
+            else:
+                session.start()
+            tenant = _Tenant(spec, session)
+            self._tenants[spec.tenant] = tenant
+        self._append({"event": "tenant_open", "tenant": spec.tenant,
+                      "spec": asdict(spec),
+                      "fingerprint": spec.fingerprint(),
+                      "resumed": saved is not None})
+        return {"resumed": saved is not None,
+                "batches_done": session.batches_total}
+
+    def session(self, tenant: str) -> AdaptationSession:
+        """The live session of one tenant (tests and handlers)."""
+        return self._get(tenant).session
+
+    def tenants(self) -> List[str]:
+        """Names of the currently live tenants."""
+        with self._tenants_lock:
+            return sorted(self._tenants)
+
+    def _get(self, tenant: str) -> _Tenant:
+        with self._tenants_lock:
+            try:
+                return self._tenants[tenant]
+            except KeyError:
+                raise AdmissionError(f"unknown tenant {tenant!r}") from None
+
+    # -- streaming -----------------------------------------------------
+
+    def ingest(self, tenant: str, images: np.ndarray,
+               labels: np.ndarray, *, faults: int = 0) -> dict:
+        """Queue frames, apply admission control, run full batches.
+
+        Frames beyond the tenant's buffer capacity are dropped (scored
+        as drops, exactly the real-time simulator's overflow rule);
+        accepted frames are coalesced into ``batch_size`` adaptation
+        batches and processed synchronously, checkpointing every
+        ``checkpoint_every`` batches.  ``faults`` is the sender's count
+        of faults it injected into this chunk (faults happen at the
+        *edge*, client-side; the daemon only tallies them so the
+        tenant's scorecard stays honest).
+        """
+        if len(images) != len(labels):
+            raise ValueError("images and labels must align")
+        entry = self._get(tenant)
+        with entry.lock:
+            if entry.closed:
+                raise AdmissionError(f"tenant {tenant!r} is closed")
+            session = entry.session
+            session.faults_injected += int(faults)
+            space = entry.capacity - len(entry.pending_images)
+            accepted = max(0, min(len(images), space))
+            dropped = len(images) - accepted
+            if dropped:
+                session.drop_frames(dropped)
+            entry.pending_images.extend(np.asarray(image)
+                                        for image in images[:accepted])
+            entry.pending_labels.extend(int(label)
+                                        for label in labels[:accepted])
+            batch = entry.spec.batch_size
+            with use_backend(self._backend):
+                while len(entry.pending_images) >= batch:
+                    batch_images = np.stack(entry.pending_images[:batch])
+                    batch_labels = np.asarray(entry.pending_labels[:batch])
+                    del entry.pending_images[:batch]
+                    del entry.pending_labels[:batch]
+                    session.process_batch(batch_images, batch_labels)
+                    if session.batches_total % self.checkpoint_every == 0:
+                        self._checkpoint(entry)
+            card = session.scorecard()
+            return {
+                "accepted": accepted,
+                "dropped": dropped,
+                "batches_done": session.batches_total,
+                "rollbacks": card.rollbacks,
+                "degraded_batches": card.degraded_batches,
+                "fallback_frames": card.fallback_frames,
+            }
+
+    def _checkpoint(self, entry: _Tenant) -> None:
+        self._append({"event": "tenant_checkpoint",
+                      "tenant": entry.spec.tenant,
+                      "fingerprint": entry.spec.fingerprint(),
+                      "batches_done": entry.session.batches_total,
+                      "checkpoint": entry.session.checkpoint()})
+
+    def scorecard(self, tenant: str):
+        """The tenant's current scorecard (live counters included)."""
+        return self._get(tenant).session.scorecard()
+
+    def close_tenant(self, tenant: str, *, restore: bool = False):
+        """Finish one tenant's stream; returns its final scorecard."""
+        entry = self._get(tenant)
+        with entry.lock:
+            if not entry.closed:
+                entry.session.close(restore_model=restore)
+                entry.closed = True
+        card = entry.session.scorecard()
+        with self._tenants_lock:
+            self._tenants.pop(tenant, None)
+        self._append({"event": "tenant_close", "tenant": tenant,
+                      "scorecard": scorecard_to_dict(card)})
+        return card
+
+    def close(self) -> None:
+        """Shut the manager down: close sessions, journal, backend."""
+        with self._tenants_lock:
+            names = sorted(self._tenants)
+        for name in names:
+            self.close_tenant(name)
+        if self._journal is not None:
+            with self._journal_lock:
+                self._journal.close()
+        self._backend.close()

@@ -1,0 +1,111 @@
+"""Length-prefixed JSON wire protocol of the serve daemon.
+
+Every message is one JSON object (UTF-8) preceded by a 4-byte
+big-endian byte length.  Length-prefix framing keeps the protocol
+trivially parseable from any language while letting frame tensors ride
+inside messages via the same base64 array encoding the checkpoints use
+(:mod:`repro.serve.checkpoint`) — bit-exact, no separate binary channel.
+
+Client -> server message types (all carry ``"type"``):
+
+- ``hello``     — open/attach a tenant: ``tenant``, ``spec`` (the
+  :class:`~repro.serve.manager.TenantSpec` fields), ``protocol``;
+- ``frames``    — a chunk of stream frames: ``images``, ``labels``
+  (encoded arrays) plus optional ``faults`` (how many faults the sender
+  injected into the chunk — faults happen client-side, at the edge);
+  the server coalesces the frames into adaptation batches;
+- ``scorecard`` — request the tenant's current scorecard;
+- ``close``     — finish the tenant's stream: ``restore`` (bool) picks
+  whether the tenant model reverts to its source state;
+- ``shutdown``  — stop the whole daemon (administrative).
+
+Server -> client:
+
+- ``welcome``   — hello accepted: ``resumed``, ``batches_done``;
+- ``ack``       — frames ingested: ``accepted``, ``dropped`` (admission
+  control), ``batches_done``, and the live guard counters;
+- ``scorecard`` — the serialized scorecard;
+- ``closed``    — stream finished, final ``scorecard`` attached;
+- ``bye``       — shutdown acknowledged;
+- ``error``     — request refused: ``reason`` (the connection stays up).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import asdict
+from typing import Optional
+
+from repro.core.streaming import StreamScorecard
+
+#: protocol version a ``hello`` must declare
+PROTOCOL_VERSION = 1
+
+#: refuse messages larger than this (corrupt length prefix / abuse)
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(ValueError):
+    """A wire message that violates the framing or schema."""
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Frame and send one JSON message (length prefix + payload)."""
+    payload = json.dumps(message, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit")
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at a boundary."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError("connection closed mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[dict]:
+    """Receive one framed message; ``None`` when the peer closed cleanly."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"declared message length {length} exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed between header and payload")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"undecodable message payload: {error}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("message must be a JSON object with a 'type'")
+    return message
+
+
+def scorecard_to_dict(card: StreamScorecard) -> dict:
+    """A scorecard as a JSON-safe dict (all fields are JSON scalars)."""
+    return asdict(card)
+
+
+def scorecard_from_dict(payload: dict) -> StreamScorecard:
+    """Inverse of :func:`scorecard_to_dict` (strict about fields)."""
+    return StreamScorecard(**payload)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import hashlib
 import logging
 import os
+import threading
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -121,7 +122,11 @@ def evaluate(model: Module, images: np.ndarray, labels: np.ndarray,
 # ----------------------------------------------------------------------
 # Pretrained tiny-model cache (used by native experiments and examples)
 # ----------------------------------------------------------------------
+# In-process checkpoint memo; mutated only under the lock so concurrent
+# pretrains (parallel-sweep threads, serve-daemon tenant opens) cannot
+# interleave a dict resize with a lookup.
 _MEMORY_CACHE: Dict[Tuple, Dict[str, np.ndarray]] = {}
+_MEMORY_CACHE_LOCK = threading.Lock()
 
 _log = logging.getLogger("repro.train")
 
@@ -229,7 +234,8 @@ def pretrain_robust(model_name: str, image_size: int = 16,
     key = (model_name, image_size, train_samples, epochs, bool(adversarial), seed)
     model = build_model(model_name, profile="tiny")
 
-    state = _MEMORY_CACHE.get(key)
+    with _MEMORY_CACHE_LOCK:
+        state = _MEMORY_CACHE.get(key)
     if state is not None:
         model.load_state_dict(state)
         model.eval()
@@ -256,7 +262,8 @@ def pretrain_robust(model_name: str, image_size: int = 16,
             if state is None:
                 state = train()
                 _write_disk_cache(cache_file, state)
-    _MEMORY_CACHE[key] = state
+    with _MEMORY_CACHE_LOCK:
+        _MEMORY_CACHE[key] = state
     model.load_state_dict(state)
     model.eval()
     return model

@@ -178,16 +178,19 @@ class TestRepoIsClean:
                                 src / "parallel"])
         assert findings == []
 
-    def test_committed_baseline_absorbs_legacy_findings(self):
-        from repro.analysis import apply_baseline, load_baseline
-        baseline = load_baseline(REPO_ROOT / ".repro-check-baseline.json")
+    def test_legacy_findings_fixed_and_baseline_empty(self):
+        # the two REP005 sites the baseline used to absorb
+        # (models/summary, train/trainer) are fixed for real now, and
+        # the committed baseline must stay empty — new findings get
+        # fixed, not absorbed
+        from repro.analysis import load_baseline
         src = REPO_ROOT / "src" / "repro"
         findings = check_paths([src / "models" / "summary.py",
                                 src / "train" / "trainer.py"])
-        assert findings != []        # the legacy findings are live...
-        # ...but paths in the committed baseline are repo-relative
-        relative = [Finding(code=f.code, message=f.message,
-                            path=str(Path(f.path).relative_to(REPO_ROOT)),
-                            line=f.line, col=f.col, text=f.text)
-                    for f in findings]
-        assert apply_baseline(relative, baseline) == []
+        assert findings == []
+        baseline = load_baseline(REPO_ROOT / ".repro-check-baseline.json")
+        assert not baseline
+
+    def test_serve_package_clean(self):
+        findings = check_paths([REPO_ROOT / "src" / "repro" / "serve"])
+        assert findings == []

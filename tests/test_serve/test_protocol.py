@@ -1,0 +1,77 @@
+"""Wire framing: length-prefixed JSON round trips and refusals."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.core.streaming import StreamScorecard
+from repro.serve import protocol
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        left, right = pair
+        message = {"type": "hello", "tenant": "cam0", "n": 3,
+                   "unicode": "π ≈ 3.14159"}
+        protocol.send_message(left, message)
+        assert protocol.recv_message(right) == message
+
+    def test_multiple_messages_in_order(self, pair):
+        left, right = pair
+        for index in range(5):
+            protocol.send_message(left, {"type": "frames", "index": index})
+        for index in range(5):
+            assert protocol.recv_message(right)["index"] == index
+
+    def test_clean_eof_returns_none(self, pair):
+        left, right = pair
+        left.close()
+        assert protocol.recv_message(right) is None
+
+    def test_truncated_message_raises(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", 100) + b'{"type":')
+        left.close()
+        with pytest.raises(protocol.ProtocolError, match="mid-message"):
+            protocol.recv_message(right)
+
+    def test_oversized_declared_length_refused(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", protocol.MAX_MESSAGE_BYTES + 1))
+        with pytest.raises(protocol.ProtocolError, match="limit"):
+            protocol.recv_message(right)
+
+    def test_non_json_payload_raises(self, pair):
+        left, right = pair
+        payload = b"\xff\xfe not json"
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(protocol.ProtocolError, match="undecodable"):
+            protocol.recv_message(right)
+
+    def test_message_without_type_raises(self, pair):
+        left, right = pair
+        payload = b'{"no_type": 1}'
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(protocol.ProtocolError, match="'type'"):
+            protocol.recv_message(right)
+
+
+class TestScorecardCodec:
+    def test_round_trip(self):
+        card = StreamScorecard(
+            frames_total=10, frames_processed=8, frames_dropped=2,
+            batches_late=1, batches_total=2, mean_frame_latency_s=0.25,
+            effective_error_pct=42.5, energy_j=0.0, wall_time_s=2.0,
+            faults_injected=1, rollbacks=3, degraded_batches=1,
+            fallback_frames=8, tenant="cam1")
+        assert protocol.scorecard_from_dict(
+            protocol.scorecard_to_dict(card)) == card
