@@ -33,6 +33,10 @@ Commands
     real, optionally injecting faults (``--faults "nan:0.2,constant@3"``)
     and guarding with rollback + degradation ladder (``--guard``); print
     the resulting scorecard (see :mod:`repro.robustness`).
+    ``--scenario "markov:p=0.1@3"`` replaces the single-corruption
+    stream with a scenario-scheduled one (:mod:`repro.scenarios`) and
+    additionally prints per-segment metrics and the recurrence
+    forgetting metric.
 ``native``
     Run the native (really-executed) adaptation grid cell by cell with
     crash-safe execution: ``--journal`` appends every cell outcome to a
@@ -201,6 +205,75 @@ def _cmd_scatter(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_scenario_arg(text):
+    """Parse ``--scenario`` upfront; (spec, None) or (None, exit code 2).
+
+    Malformed specs are a *usage* error by the CLI convention: the
+    message goes to stderr and the command exits 2 before any work runs.
+    """
+    from repro.scenarios import parse_scenario_spec
+    try:
+        return parse_scenario_spec(text), None
+    except ValueError as error:
+        print(f"error: bad --scenario: {error}", file=sys.stderr)
+        return None, 2
+
+
+def _print_scenario_outcome(outcome) -> None:
+    """Render the per-segment table + forgetting under a scorecard line."""
+    import math
+
+    print(f"segments ({outcome.scenario}, seed {outcome.seed}):")
+    header = (f"  {'#':>3s} {'corruption':<18s} {'sev':>3s} {'visit':>5s} "
+              f"{'batches':>7s} {'frames':>6s} {'err %':>7s} "
+              f"{'rolls':>5s} {'degr':>5s} {'fall':>5s} {'adapt':>5s}")
+    print(header)
+    for card in outcome.segments:
+        print(f"  {card.ordinal:>3d} {card.corruption:<18s} "
+              f"{card.severity:>3d} {card.visit:>5d} "
+              f"{card.num_batches:>7d} {card.frames:>6d} "
+              f"{card.error_pct:>7.2f} {card.rollbacks:>5d} "
+              f"{card.degraded_batches:>5d} {card.fallback_frames:>5d} "
+              f"{card.batches_adapted:>5d}")
+    forgetting = outcome.forgetting
+    if math.isnan(forgetting):
+        print("  forgetting: n/a (no phase recurred)")
+    else:
+        print(f"  forgetting: {forgetting:+.2f} % "
+              "(revisit error - first-visit error, mean over "
+              "recurring phases)")
+
+
+def _scenario_records(outcome, *, model: str, method: str,
+                      batch_size: int, guarded: bool) -> "StudyResult":
+    """A scenario outcome as study-result records (aggregate + segments)."""
+    from repro.core.records import MeasurementRecord, StudyResult
+
+    card = outcome.scorecard
+    records = [MeasurementRecord(
+        model=model, method=method, batch_size=batch_size, device="host",
+        error_pct=card.effective_error_pct,
+        forward_time_s=card.wall_time_s / max(card.batches_total, 1),
+        energy_j=float("nan"),
+        faults_injected=card.faults_injected, rollbacks=card.rollbacks,
+        degraded_batches=card.degraded_batches,
+        fallback_frames=card.fallback_frames, guarded=guarded,
+        scenario=outcome.scenario)]
+    for segment in outcome.segments:
+        records.append(MeasurementRecord(
+            model=model, method=method, batch_size=batch_size,
+            device="host",
+            error_pct=(segment.error_pct if segment.frames
+                       else float("nan")),
+            forward_time_s=float("nan"), energy_j=float("nan"),
+            corruption=segment.corruption,
+            rollbacks=segment.rollbacks,
+            degraded_batches=segment.degraded_batches,
+            fallback_frames=segment.fallback_frames, guarded=guarded,
+            scenario=outcome.scenario, segment=segment.ordinal))
+    return StudyResult(records)
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.data.stream import CorruptionStream
     from repro.data.synthetic import make_synth_cifar
@@ -208,6 +281,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.robustness import run_guarded_stream
     from repro.train.trainer import pretrain_robust
 
+    scenario_spec = None
+    if args.scenario:
+        scenario_spec, code = _parse_scenario_arg(args.scenario)
+        if code is not None:
+            return code
     if args.train:
         model = pretrain_robust(args.model, image_size=16, seed=args.seed)
     else:
@@ -215,6 +293,24 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print("note: model is untrained (pass --train for meaningful "
               "accuracy); guard/fault mechanics are exercised either way")
     data = make_synth_cifar(args.frames, size=16, seed=args.seed + 12345)
+    if scenario_spec is not None:
+        from repro.scenarios import ScenarioStream, run_scenario_stream
+        stream = ScenarioStream.from_dataset(data, scenario_spec,
+                                             seed=args.seed)
+        outcome = run_scenario_stream(
+            model, args.method, stream, batch_size=args.batch_size,
+            guard=args.guard, faults=args.faults, seed=args.seed,
+            fps=args.fps)
+        print(outcome.scorecard.describe())
+        _print_scenario_outcome(outcome)
+        if args.json:
+            from repro.core.io import save_json
+            save_json(_scenario_records(
+                outcome, model=args.model, method=args.method,
+                batch_size=args.batch_size, guarded=bool(args.guard)),
+                args.json)
+            print(f"wrote {args.json}")
+        return 0
     stream = CorruptionStream.from_dataset(data, args.corruption,
                                            severity=args.severity,
                                            seed=args.seed)
@@ -243,6 +339,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 def _cmd_native(args: argparse.Namespace) -> int:
     from repro.core.runner import run_native_study
 
+    if args.scenario:
+        _, code = _parse_scenario_arg(args.scenario)
+        if code is not None:
+            return code
     if args.resume and not args.journal:
         print("error: --resume requires --journal", file=sys.stderr)
         return 2
@@ -257,6 +357,7 @@ def _cmd_native(args: argparse.Namespace) -> int:
         corruptions=tuple(args.corruptions), severity=args.severity,
         stream_samples=args.samples, train_epochs=args.train_epochs,
         faults=args.faults or "", guard=args.guard,
+        scenario=args.scenario or "",
         backend=args.backend or "numpy", threads=args.threads or 0,
         journal=args.journal or "", resume=args.resume,
         max_retries=args.max_retries, cell_timeout=args.cell_timeout,
@@ -325,6 +426,11 @@ def _cmd_serve_client(args: argparse.Namespace) -> int:
     from repro.robustness.faults import FaultInjector, parse_fault_specs
     from repro.serve import ServeClient, TenantSpec
 
+    scenario_spec = None
+    if args.scenario:
+        scenario_spec, code = _parse_scenario_arg(args.scenario)
+        if code is not None:
+            return code
     spec = TenantSpec(
         tenant=args.tenant, model=args.model, method=args.method,
         batch_size=args.batch_size, guard=args.guard,
@@ -332,10 +438,20 @@ def _cmd_serve_client(args: argparse.Namespace) -> int:
         seed=args.seed)
     data = make_synth_cifar(args.frames, size=spec.image_size,
                             seed=args.seed + 12345)
-    stream = CorruptionStream.from_dataset(data, args.corruption,
-                                           severity=args.severity,
-                                           seed=args.seed)
-    batch_iter = stream.batches(args.batch_size)
+    if scenario_spec is not None:
+        # scenario-shaped *traffic*: corruption switching happens at the
+        # edge, client-side; the daemon adapts on whatever arrives.
+        # Budgeted adapt-freezing is a session-side feature the wire
+        # protocol does not carry — frames always adapt server-side.
+        from repro.scenarios import ScenarioStream
+        scenario_stream = ScenarioStream.from_dataset(
+            data, scenario_spec, seed=args.seed)
+        batch_iter = scenario_stream.batches(args.batch_size)
+    else:
+        stream = CorruptionStream.from_dataset(data, args.corruption,
+                                               severity=args.severity,
+                                               seed=args.seed)
+        batch_iter = stream.batches(args.batch_size)
     injector = None
     if args.faults:
         injector = FaultInjector(parse_fault_specs(args.faults),
@@ -501,6 +617,12 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--faults", metavar="SPEC", default=None,
                         help='fault injection, e.g. "nan:0.2,constant@3" '
                              "(fault[:rate|@idx[+idx...]], comma-separated)")
+    stream.add_argument("--scenario", metavar="SPEC", default=None,
+                        help="scenario-scheduled stream, e.g. "
+                             '"markov:p=0.1@3" or "cyclic:dwell=4" '
+                             "(kind[:k=v[+k=v...]][@severity]; overrides "
+                             "--corruption/--severity; prints per-segment "
+                             "metrics + forgetting)")
     stream.add_argument("--guard", action="store_true",
                         help="wrap the method in GuardedAdaptation "
                              "(BN rollback + degradation ladder)")
@@ -543,6 +665,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit one extra record per corruption type")
     native.add_argument("--faults", metavar="SPEC", default=None,
                         help="fault-injection spec (see 'stream')")
+    native.add_argument("--scenario", metavar="SPEC", default=None,
+                        help="run each cell over one scenario stream "
+                             "instead of the corruption grid (see "
+                             "'stream'; with --per-corruption, records "
+                             "are emitted per shift segment)")
     native.add_argument("--guard", action="store_true",
                         help="wrap methods in GuardedAdaptation")
     native.add_argument("--journal", metavar="PATH", default=None,
@@ -620,6 +747,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_client.add_argument("--faults", metavar="SPEC", default=None,
                               help="client-side fault injection "
                                    "(see 'stream')")
+    serve_client.add_argument("--scenario", metavar="SPEC", default=None,
+                              help="stream scenario-shaped traffic (see "
+                                   "'stream'); corruption switching "
+                                   "happens client-side, the daemon "
+                                   "adapts on what arrives")
     serve_client.add_argument("--start-batch", type=_non_negative_int,
                               default=0, metavar="N",
                               help="skip sending the first N batches "

@@ -74,6 +74,12 @@ class StudyConfig:
     #: fault-injection spec for native streams ("" = clean), e.g.
     #: "nan:0.1,constant@3"; see :mod:`repro.robustness.faults`
     faults: str = ""
+    #: scenario spec for native streams ("" = the per-corruption grid),
+    #: e.g. "markov:p=0.1@3"; see :mod:`repro.scenarios`.  With a
+    #: scenario set, the ``corruptions`` axis is replaced by one
+    #: scenario stream per (model, method, batch) cell and records are
+    #: emitted per shift segment.
+    scenario: str = ""
     #: wrap each native method in GuardedAdaptation
     #: (:mod:`repro.robustness.guard`)
     guard: bool = False

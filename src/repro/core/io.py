@@ -21,13 +21,14 @@ _FIELDS = ["model", "method", "batch_size", "device", "error_pct",
            "forward_time_s", "energy_j", "memory_gb", "oom",
            "adapt_overhead_s", "corruption", "backend",
            "faults_injected", "rollbacks", "degraded_batches",
-           "fallback_frames", "guarded", "tenant", "status", "attempts"]
+           "fallback_frames", "guarded", "tenant", "status", "attempts",
+           "scenario", "segment"]
 
 # The guard-counter fields (pre-robustness documents), the
-# status/attempts fields (pre-resilience documents) and the tenant
-# field (pre-serve documents) are absent from older version-1 files;
-# _record_from_dict leaves them to the dataclass defaults, so old
-# files still load.
+# status/attempts fields (pre-resilience documents), the tenant field
+# (pre-serve documents) and the scenario/segment fields (pre-scenario
+# documents) are absent from older version-1 files; _record_from_dict
+# leaves them to the dataclass defaults, so old files still load.
 
 _FORMAT_VERSION = 1
 
@@ -75,7 +76,8 @@ def _coerce_csv_row(row: dict) -> dict:
     """Parse the string values of one CSV row back to record types."""
     data = dict(row)
     for key in ("batch_size", "faults_injected", "rollbacks",
-                "degraded_batches", "fallback_frames", "attempts"):
+                "degraded_batches", "fallback_frames", "attempts",
+                "segment"):
         if key in data and data[key] != "":
             data[key] = int(data[key])
     for key in ("memory_gb", "adapt_overhead_s"):

@@ -45,6 +45,14 @@ class MeasurementRecord:
     #: lets per-tenant scorecards flow into the same result files the
     #: sweep runners write
     tenant: str = ""
+    #: compact scenario spec the producing stream followed ("" = plain
+    #: i.i.d. single-corruption stream); see :mod:`repro.scenarios`
+    scenario: str = ""
+    #: shift-segment ordinal for per-segment scenario records (-1 =
+    #: whole-stream record); segment records carry the segment's
+    #: corruption in ``corruption`` and its slice metrics in the
+    #: error/guard fields
+    segment: int = -1
     # resilient-execution accounting (repro.resilience): "ok" records are
     # real measurements; "failed"/"timeout" records are placeholders the
     # executor emits for cells that exhausted their retries (their cost

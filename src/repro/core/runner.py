@@ -215,6 +215,7 @@ def _config_fingerprint(config: StudyConfig, backend_name: str,
         "bn_opt_lr": config.bn_opt_lr,
         "method_kwargs": config.method_kwargs,
         "faults": config.faults, "guard": config.guard,
+        "scenario": config.scenario,
         "seed": config.seed, "backend": backend_name,
         "per_corruption": per_corruption,
     }
@@ -222,14 +223,23 @@ def _config_fingerprint(config: StudyConfig, backend_name: str,
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
-def _build_streams(config: StudyConfig) -> List[CorruptionStream]:
-    """The per-corruption evaluation streams, seeded from the config.
+def _build_streams(config: StudyConfig) -> List:
+    """The evaluation streams, seeded from the config.
 
     Depends only on config fields inside the resume fingerprint, so a
     serial parent and every parallel worker rebuild identical streams.
+    With ``config.scenario`` set, the corruption grid is replaced by a
+    single scenario-scheduled stream
+    (:class:`~repro.scenarios.stream.ScenarioStream`).
     """
     test = make_synth_cifar(config.stream_samples, size=config.image_size,
                             seed=config.seed + 12345)
+    if config.scenario:
+        # imported lazily: core stays importable without the scenario
+        # layer, which itself builds on core.streaming
+        from repro.scenarios.stream import ScenarioStream
+        return [ScenarioStream.from_dataset(test, config.scenario,
+                                            seed=config.seed)]
     return [CorruptionStream.from_dataset(test, corruption,
                                           severity=config.severity,
                                           seed=config.seed)
@@ -393,6 +403,9 @@ def _run_native_cell(config: StudyConfig, model, spec: CellSpec,
     method = build_method(spec.method, **kwargs)
     if config.guard:
         method = GuardedAdaptation(method)
+    if config.scenario:
+        return _run_scenario_cell(config, model, spec, streams[0],
+                                  fault_specs, per_corruption, method)
     records: List[MeasurementRecord] = []
     errors = []
     wall = 0.0
@@ -450,4 +463,52 @@ def _run_native_cell(config: StudyConfig, model, spec: CellSpec,
         degraded_batches=int(counters[2]),
         fallback_frames=int(counters[3]),
         guarded=config.guard))
+    return records
+
+
+def _run_scenario_cell(config: StudyConfig, model, spec: CellSpec,
+                       stream, fault_specs, per_corruption: bool,
+                       method) -> List[MeasurementRecord]:
+    """One grid cell over a scenario stream instead of the corruption set.
+
+    The single stream is driven through the scenario harness with the
+    same episodic ``"always"``-restore contract as the corruption-grid
+    path; ``per_corruption=True`` emits one record per *shift segment*
+    (its ``corruption`` field carrying the segment's corruption and
+    ``segment`` its ordinal) instead of one per corruption type.
+    """
+    from repro.scenarios.harness import run_scenario_stream
+
+    outcome = run_scenario_stream(
+        model, method, stream, batch_size=spec.batch_size,
+        guard=False,  # a guarded method is already wrapped above
+        faults=fault_specs, seed=config.seed, restore="always")
+    card = outcome.scorecard
+    records: List[MeasurementRecord] = []
+    if per_corruption:
+        for segment in outcome.segments:
+            records.append(MeasurementRecord(
+                model=spec.model, method=spec.method,
+                batch_size=spec.batch_size, device=spec.device,
+                error_pct=(segment.error_pct if segment.frames
+                           else float("nan")),
+                forward_time_s=float("nan"), energy_j=float("nan"),
+                corruption=segment.corruption, backend=spec.backend,
+                rollbacks=segment.rollbacks,
+                degraded_batches=segment.degraded_batches,
+                fallback_frames=segment.fallback_frames,
+                guarded=config.guard, scenario=outcome.scenario,
+                segment=segment.ordinal))
+    records.append(MeasurementRecord(
+        model=spec.model, method=spec.method,
+        batch_size=spec.batch_size, device=spec.device,
+        error_pct=(card.effective_error_pct if card.frames_processed
+                   else float("nan")),
+        forward_time_s=card.wall_time_s / max(card.batches_total, 1),
+        energy_j=float("nan"), backend=spec.backend,
+        faults_injected=card.faults_injected,
+        rollbacks=card.rollbacks,
+        degraded_batches=card.degraded_batches,
+        fallback_frames=card.fallback_frames,
+        guarded=config.guard, scenario=outcome.scenario))
     return records

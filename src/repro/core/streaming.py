@@ -70,6 +70,9 @@ class StreamScorecard:
     fallback_frames: int = 0      # frames answered by the bottom-rung fallback
     #: serve-daemon tenant this card scores ("" = single-stream run)
     tenant: str = ""
+    #: compact scenario spec the stream followed ("" = plain i.i.d.
+    #: single-corruption stream); see :mod:`repro.scenarios`
+    scenario: str = ""
 
     @property
     def drop_rate(self) -> float:
@@ -81,6 +84,8 @@ class StreamScorecard:
 
     def describe(self) -> str:
         text = (f"[{self.tenant}] " if self.tenant else "")
+        if self.scenario:
+            text += f"<{self.scenario}> "
         text += (f"{self.frames_processed}/{self.frames_total} frames "
                 f"processed ({self.drop_rate:.0%} dropped), "
                 f"{self.deadline_miss_rate:.0%} batches late, "
@@ -135,7 +140,9 @@ def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
                       baseline_error_pct: Optional[float] = None,
                       fault_batches: Optional[Mapping[int, str]] = None,
                       guard: bool = False,
-                      poisoned_error_pct: float = 90.0
+                      poisoned_error_pct: float = 90.0,
+                      scenario=None,
+                      scenario_seed: int = 0
                       ) -> StreamScorecard:
     """Play ``stream`` through (model, device, method) in simulated time.
 
@@ -160,6 +167,17 @@ def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
       but the stream *recovers*: subsequent clean batches score at the
       adapted error again, and the scorecard's guard counters record
       the cost.
+
+    ``scenario`` attaches a scenario schedule (a compact spec string, a
+    :class:`~repro.scenarios.spec.ScenarioSpec`, or a
+    :class:`~repro.scenarios.schedule.ScenarioSchedule`; ``scenario_seed``
+    seeds string/spec forms).  Analytically only the *budgeted* axis has
+    a cost/accuracy consequence: batches whose plan freezes adaptation
+    are served at inference-only latency and energy and scored at the
+    baseline (un-adapted) error — the reference grid carries no
+    per-corruption or per-severity errors, so corruption switching and
+    severity ramps change the scorecard's ``scenario`` stamp but not its
+    analytic numbers (the *native* scenario harness measures those).
     """
     if method not in _METHOD_FLAGS:
         raise KeyError(f"unknown method {method!r}")
@@ -184,6 +202,19 @@ def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
     batch_energy = energy_per_batch(latency, device)
     batch_period = stream.batch_size / stream.fps
 
+    schedule = None
+    frozen_service = service_time
+    frozen_energy = batch_energy
+    if scenario is not None:
+        # imported lazily: the scenario layer builds on this module
+        from repro.scenarios.schedule import ScenarioSchedule, as_schedule
+        schedule = scenario if isinstance(scenario, ScenarioSchedule) \
+            else as_schedule(scenario, seed=scenario_seed)
+        frozen = forward_latency(summary, stream.batch_size, device,
+                                 adapts_bn_stats=False, does_backward=False)
+        frozen_service = frozen.forward_time_s
+        frozen_energy = energy_per_batch(frozen, device)
+
     fault_batches = dict(fault_batches or {})
     poisoning = _POISONING_FAULT_NAMES if fault_batches else frozenset()
 
@@ -206,6 +237,8 @@ def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
         fault = fault_batches.get(index, "")
         if fault:
             faults_injected += 1
+        frozen = (schedule is not None
+                  and not schedule.plan_for(index).adapt)
         arrival_complete = (index + 1) * batch_period
         start = max(arrival_complete, device_free_at)
         backlog_batches = (start - arrival_complete) / batch_period
@@ -217,8 +250,8 @@ def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
             # dropped frames are "served" instantly at arrival
             finish = max(finish, arrival_complete)
             continue
-        batch_service = service_time
-        batch_cost = batch_energy
+        batch_service = frozen_service if frozen else service_time
+        batch_cost = frozen_energy if frozen else batch_energy
         if fault in poisoning:
             if guard:
                 # rollback/retry down the ladder; frames answered by the
@@ -226,17 +259,25 @@ def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
                 rollbacks += _LADDER_DEPTH[method]
                 degraded_batches += 1
                 fallback_frames += stream.batch_size
-                batch_service = 2 * service_time
-                batch_cost = 2 * batch_energy
+                batch_service = 2 * batch_service
+                batch_cost = 2 * batch_cost
                 error_sum += poisoned_error_pct * stream.batch_size
             else:
-                # silent poisoning: this and (for adapting methods)
-                # every later batch is scored at garbage error
-                poisoned = poisoned or adapts
+                # silent poisoning: only an *adapting* batch folds the
+                # garbage into BN stats; a frozen batch is garbage-in
+                # garbage-out for its own frames only
+                poisoned = poisoned or (adapts and not frozen)
                 error_sum += poisoned_error_pct * stream.batch_size
         else:
-            error_sum += (poisoned_error_pct if poisoned
-                          else adapted_error_pct) * stream.batch_size
+            if poisoned:
+                batch_error = poisoned_error_pct
+            elif frozen:
+                # frozen window: served by inference only; analytically
+                # scored at the un-adapted baseline error
+                batch_error = baseline_error_pct
+            else:
+                batch_error = adapted_error_pct
+            error_sum += batch_error * stream.batch_size
         finish = start + batch_service
         device_free_at = finish
         frames_processed += stream.batch_size
@@ -268,6 +309,7 @@ def simulate_realtime(summary: ModelSummary, device: DeviceSpec,
         rollbacks=rollbacks,
         degraded_batches=degraded_batches,
         fallback_frames=fallback_frames,
+        scenario=schedule.label if schedule is not None else "",
     )
 
 

@@ -32,6 +32,29 @@ def iter_batches(images: np.ndarray, labels: np.ndarray,
         yield images[start:stop], labels[start:stop]
 
 
+def weighted_batch_indices(labels: np.ndarray, class_weights,
+                           batch_size: int, rng: np.random.Generator
+                           ) -> np.ndarray:
+    """Sample indices so the batch's *class mix* follows ``class_weights``.
+
+    Each sample's probability is its class's weight split evenly over
+    that class's members; classes absent from ``labels`` forfeit their
+    weight (re-normalized away) rather than failing.  Used by the
+    ``imbalanced`` scenario to skew batches without copying the dataset.
+    """
+    weights = np.asarray(class_weights, dtype=np.float64)
+    probs = np.zeros(len(labels), dtype=np.float64)
+    for class_id in range(len(weights)):
+        members = labels == class_id
+        count = int(members.sum())
+        if count:
+            probs[members] = weights[class_id] / count
+    total = probs.sum()
+    if total <= 0.0:
+        raise ValueError("no dataset sample matches any weighted class")
+    return rng.choice(len(labels), size=batch_size, p=probs / total)
+
+
 @dataclass
 class CorruptionStream:
     """A corrupted test stream for one corruption type.

@@ -29,7 +29,8 @@ def run_guarded_stream(model, method: Union[str, AdaptationMethod],
                        guard: Union[bool, GuardConfig] = True,
                        faults: Union[None, str, Sequence[FaultSpec]] = None,
                        seed: int = 0,
-                       fps: Optional[float] = None) -> StreamScorecard:
+                       fps: Optional[float] = None,
+                       scenario=None) -> StreamScorecard:
     """Execute a (possibly faulted, possibly guarded) stream for real.
 
     Parameters
@@ -51,6 +52,17 @@ def run_guarded_stream(model, method: Union[str, AdaptationMethod],
     fps:
         Optional frame arrival rate; when given, a batch whose measured
         service time exceeds the batch period counts as late.
+    scenario:
+        Optional scenario attached to the stream — a compact spec
+        string, a :class:`~repro.scenarios.spec.ScenarioSpec`, or a
+        :class:`~repro.scenarios.schedule.ScenarioSchedule` (typically
+        the one that generated ``batches``).  The schedule's per-batch
+        ``adapt`` flag is honored (``budgeted`` freezing) and the
+        scorecard is stamped with the compact spec form.  A string or
+        spec here only drives adapt gating/stamping; to *generate*
+        scenario-shaped batches, use a
+        :class:`~repro.scenarios.stream.ScenarioStream` (or the
+        scenario harness, which also segments the outcome).
 
     Returns the scorecard with measured ``effective_error_pct``,
     per-batch host wall time, and the guard/fault counters.
@@ -66,6 +78,14 @@ def run_guarded_stream(model, method: Union[str, AdaptationMethod],
     # module — a top-level import would complete the cycle
     from repro.serve.session import AdaptationSession
 
+    schedule = None
+    if scenario is not None:
+        # lazy for the same cycle reason; as_schedule accepts compact
+        # strings and specs, an existing schedule is used as-is
+        from repro.scenarios.schedule import ScenarioSchedule, as_schedule
+        schedule = scenario if isinstance(scenario, ScenarioSchedule) \
+            else as_schedule(scenario, seed=seed)
+
     injector = None
     if faults is not None:
         specs = parse_fault_specs(faults) if isinstance(faults, str) \
@@ -75,8 +95,11 @@ def run_guarded_stream(model, method: Union[str, AdaptationMethod],
 
     session = AdaptationSession(model, method, guard=guard, fps=fps,
                                 restore="on_error")
+    if schedule is not None:
+        session.scenario = schedule.label
     with session:
-        for images, labels in batches:
-            session.process_batch(images, labels)
+        for index, (images, labels) in enumerate(batches):
+            adapt = schedule.plan_for(index).adapt if schedule else True
+            session.process_batch(images, labels, adapt=adapt)
         session.faults_injected = injector.faults_injected if injector else 0
     return session.scorecard()

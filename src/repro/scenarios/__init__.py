@@ -1,0 +1,63 @@
+"""Scenario engine: continual, correlated, and recurring shift streams.
+
+The study grid evaluates i.i.d. single-corruption batches; this package
+generates *deployment-shaped* traffic — Markov-switching corruptions,
+recurring cyclic shifts, severity ramps, class-imbalanced batches, and
+budgeted adaptation windows — as seeded, fingerprinted schedules that
+plug into the stream harness, the study runner, and the serve layer.
+
+Layers (each importable on its own):
+
+- :mod:`repro.scenarios.spec` — the frozen :class:`ScenarioSpec` and
+  its compact string grammar (``markov:p=0.1@3``);
+- :mod:`repro.scenarios.schedule` — :class:`ScenarioSchedule`, the
+  seeded realization producing per-batch :class:`BatchPlan`s and
+  :class:`Segment` structure;
+- :mod:`repro.scenarios.stream` — :class:`ScenarioStream`, a dataset
+  played through a schedule (drop-in batch source);
+- :mod:`repro.scenarios.metrics` — per-phase :class:`SegmentCard`
+  aggregation and the recurrence forgetting metric;
+- :mod:`repro.scenarios.harness` — :func:`run_scenario_stream`, the
+  end-to-end driver returning a :class:`ScenarioOutcome`.
+"""
+
+from repro.scenarios.harness import ScenarioOutcome, run_scenario_stream
+from repro.scenarios.metrics import (
+    BatchStats,
+    SegmentCard,
+    recurrence_forgetting,
+    segment_cards,
+)
+from repro.scenarios.schedule import (
+    BatchPlan,
+    ScenarioSchedule,
+    Segment,
+    as_schedule,
+)
+from repro.scenarios.spec import (
+    KIND_PARAMS,
+    SCENARIO_KINDS,
+    SWITCHING_KINDS,
+    ScenarioSpec,
+    parse_scenario_spec,
+)
+from repro.scenarios.stream import ScenarioStream
+
+__all__ = [
+    "BatchPlan",
+    "BatchStats",
+    "KIND_PARAMS",
+    "SCENARIO_KINDS",
+    "SWITCHING_KINDS",
+    "ScenarioOutcome",
+    "ScenarioSchedule",
+    "ScenarioSpec",
+    "ScenarioStream",
+    "Segment",
+    "SegmentCard",
+    "as_schedule",
+    "parse_scenario_spec",
+    "recurrence_forgetting",
+    "run_scenario_stream",
+    "segment_cards",
+]

@@ -1,0 +1,131 @@
+"""End-to-end scenario driver: one stream, one session, segmented outcome.
+
+:func:`run_scenario_stream` is the scenario counterpart of
+:func:`~repro.robustness.harness.run_guarded_stream`: it plays a
+:class:`~repro.scenarios.stream.ScenarioStream` through a real
+adaptation method — optionally fault-injected, optionally guarded —
+but additionally honors the schedule's per-batch ``adapt`` flag
+(``budgeted`` freezing) and differences the session's counters around
+every batch, so the outcome carries one
+:class:`~repro.scenarios.metrics.SegmentCard` per shift phase plus the
+recurrence forgetting metric, not just a whole-stream scorecard.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.streaming import StreamScorecard
+from repro.robustness.faults import FaultInjector, FaultSpec, parse_fault_specs
+from repro.robustness.guard import GuardConfig
+from repro.scenarios.metrics import (
+    BatchStats,
+    SegmentCard,
+    recurrence_forgetting,
+    segment_cards,
+)
+from repro.scenarios.stream import ScenarioStream
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """What one scenario run produced: whole-stream card + per-phase slices."""
+
+    scenario: str
+    seed: int
+    scorecard: StreamScorecard
+    segments: Tuple[SegmentCard, ...] = field(default=())
+
+    @property
+    def forgetting(self) -> float:
+        """Recurrence forgetting over this run's segments (nan if none)."""
+        return recurrence_forgetting(self.segments)
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+        forgetting = self.forgetting
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "scorecard": asdict(self.scorecard),
+            "segments": [card.to_dict() for card in self.segments],
+            "forgetting": None if math.isnan(forgetting) else forgetting,
+        }
+
+
+def run_scenario_stream(model, method, stream: ScenarioStream, *,
+                        batch_size: int = 16,
+                        num_batches: Optional[int] = None,
+                        guard: Union[bool, GuardConfig] = True,
+                        faults: Union[None, str, Sequence[FaultSpec]] = None,
+                        seed: int = 0,
+                        fps: Optional[float] = None,
+                        restore: str = "on_error") -> ScenarioOutcome:
+    """Execute a scenario stream for real and segment the outcome.
+
+    Parameters mirror :func:`~repro.robustness.harness.
+    run_guarded_stream`; ``num_batches`` defaults to one dataset epoch.
+    ``seed`` seeds the *fault* schedule only — the scenario's own
+    randomness is fixed by the stream's schedule seed, so faults can be
+    re-rolled without moving the shift sequence.
+
+    ``restore`` is the session teardown policy: ``"on_error"`` (the
+    default, deployment semantics — the model stays adapted on clean
+    exit) or ``"always"`` (episodic evaluation, the study runner's
+    contract).
+    """
+    # lazy for the same reason as the robustness harness: repro.serve
+    # imports the guard layer, so a module-level import would cycle
+    from repro.serve.session import AdaptationSession
+
+    if num_batches is None:
+        num_batches = stream.num_batches(batch_size)
+    if num_batches <= 0:
+        raise ValueError(f"num_batches must be positive, got {num_batches}")
+
+    injector = None
+    batches = stream.batches(batch_size, num_batches)
+    if faults is not None:
+        specs = parse_fault_specs(faults) if isinstance(faults, str) \
+            else tuple(faults)
+        injector = FaultInjector(specs, seed=seed)
+        batches = injector.inject(batches)
+
+    stats: List[BatchStats] = []
+    session = AdaptationSession(model, method, guard=guard, fps=fps,
+                                restore=restore)
+    session.scenario = stream.label
+    with session:
+        for index, (images, labels) in enumerate(batches):
+            plan = stream.plan_for(index)
+            before = _counters(session)
+            session.process_batch(images, labels, adapt=plan.adapt)
+            after = _counters(session)
+            stats.append(BatchStats(
+                index=index,
+                frames=after[0] - before[0],
+                correct=after[1] - before[1],
+                rollbacks=after[2] - before[2],
+                degraded_batches=after[3] - before[3],
+                fallback_frames=after[4] - before[4],
+                adapted=plan.adapt))
+        session.faults_injected = injector.faults_injected if injector else 0
+    segments = stream.schedule.segments(num_batches)
+    return ScenarioOutcome(
+        scenario=stream.label,
+        seed=stream.seed,
+        scorecard=session.scorecard(),
+        segments=tuple(segment_cards(segments, stats)))
+
+
+def _counters(session) -> Tuple[int, int, int, int, int]:
+    """Running totals to difference per batch (guard counters live on
+    the runner until close; read them through it)."""
+    runner = session.runner
+    return (session.frames_processed,
+            session.frames_correct,
+            int(getattr(runner, "rollbacks", 0)),
+            int(getattr(runner, "degraded_batches", 0)),
+            int(getattr(runner, "fallback_frames", 0)))

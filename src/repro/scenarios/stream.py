@@ -1,0 +1,117 @@
+"""Scenario streams: a dataset played through a scenario schedule.
+
+:class:`ScenarioStream` is the scenario-shaped counterpart of
+:class:`~repro.data.stream.CorruptionStream`: instead of one corruption
+precomputed over the whole split, every batch is corrupted *on demand*
+according to its :class:`~repro.scenarios.schedule.BatchPlan` — so a
+`markov` stream really switches corruption mid-stream, a `ramp` stream
+really sweeps severity, and an `imbalanced` stream really skews its
+label mix per batch.
+
+Determinism contract (pinned by ``tests/test_scenarios``): every batch
+is a pure function of ``(dataset, spec, seed, batch_index,
+batch_size)``.  Batch composition uses sequential wraparound windows
+(or seeded class-weighted sampling under ``imbalanced``), and
+per-batch corruption noise comes from a ``SeedSequence((seed, 1,
+index))`` child — so batch 7 is byte-identical whether the stream is
+consumed serially, re-created in another process, or queried out of
+order by parallel workers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.corruptions import corrupt_batch
+from repro.data.stream import weighted_batch_indices
+from repro.data.synthetic import SynthCIFAR
+from repro.scenarios.schedule import BatchPlan, ScenarioSchedule, as_schedule
+from repro.scenarios.spec import ScenarioSpec
+
+
+class ScenarioStream:
+    """A finite dataset served as a scenario-scheduled batch stream.
+
+    The stream wraps around the dataset, so any number of batches can
+    be drawn from a small split; ``num_batches`` reports the natural
+    one-epoch length (what the study runner uses), matching
+    ``CorruptionStream.num_batches`` so the two are interchangeable as
+    batch sources.
+    """
+
+    def __init__(self, dataset: SynthCIFAR, schedule: ScenarioSchedule):
+        if len(dataset) == 0:
+            raise ValueError("scenario stream needs a non-empty dataset")
+        self.dataset = dataset
+        self.schedule = schedule
+
+    @classmethod
+    def from_dataset(cls, dataset: SynthCIFAR,
+                     scenario: Union[str, ScenarioSpec, ScenarioSchedule],
+                     seed: int = 0) -> "ScenarioStream":
+        """Build from a compact spec string / spec / schedule."""
+        return cls(dataset, as_schedule(scenario, seed=seed))
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        return self.schedule.spec
+
+    @property
+    def label(self) -> str:
+        """Compact spec form — the `scenario` stamp on records/scorecards."""
+        return self.schedule.label
+
+    @property
+    def seed(self) -> int:
+        return self.schedule.seed
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    # -- batches -----------------------------------------------------------
+
+    def plan_for(self, index: int) -> BatchPlan:
+        return self.schedule.plan_for(index)
+
+    def _batch_indices(self, index: int, batch_size: int,
+                       plan: BatchPlan) -> np.ndarray:
+        total = len(self.dataset)
+        if plan.class_weights is None:
+            return (index * batch_size + np.arange(batch_size)) % total
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.seed, 3, index)))
+        return weighted_batch_indices(self.dataset.labels, plan.class_weights,
+                                      batch_size, rng)
+
+    def batch_at(self, index: int, batch_size: int
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``index``-th batch — pure in (stream identity, index)."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        plan = self.plan_for(index)
+        rows = self._batch_indices(index, batch_size, plan)
+        images = self.dataset.images[rows]
+        labels = self.dataset.labels[rows].copy()
+        if plan.corruption != "clean":
+            noise_seed = int(np.random.SeedSequence(
+                (self.seed, 1, index)).generate_state(1)[0])
+            images = corrupt_batch(images, plan.corruption,
+                                   severity=plan.severity, seed=noise_seed)
+        else:
+            images = images.copy()
+        return images, labels
+
+    def batches(self, batch_size: int, num_batches: Optional[int] = None
+                ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Stream batches in order (one dataset epoch by default)."""
+        if num_batches is None:
+            num_batches = self.num_batches(batch_size)
+        for index in range(num_batches):
+            yield self.batch_at(index, batch_size)
+
+    def num_batches(self, batch_size: int) -> int:
+        return len(self.dataset) // batch_size

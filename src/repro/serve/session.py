@@ -98,6 +98,9 @@ class AdaptationSession:
         self.runner = runner
         self.fps = fps
         self.tenant = tenant
+        #: compact scenario spec stamped into scorecards; set by
+        #: scenario drivers ("" = plain stream)
+        self.scenario = ""
         self.restore = restore
         self._started = False
         self._closed = False
@@ -179,18 +182,28 @@ class AdaptationSession:
 
     # -- streaming ---------------------------------------------------------
 
-    def process_batch(self, images: np.ndarray,
-                      labels: np.ndarray) -> np.ndarray:
+    def process_batch(self, images: np.ndarray, labels: np.ndarray,
+                      *, adapt: bool = True) -> np.ndarray:
         """Adapt on one batch, score it, and return the predictions.
 
         Reproduces the drivers' shared inner loop exactly: wall time
         around the (adapting) forward, NaN-safe argmax scoring, and the
         optional fps deadline check.
+
+        ``adapt=False`` serves the batch with the model *as adapted so
+        far* but frozen — eval-mode inference under ``no_grad``, no BN
+        statistic updates, no optimizer step, ``batches_adapted``
+        untouched — the ``budgeted`` scenario's between-grants service
+        mode.  Train/eval flags are restored afterwards, so the next
+        adapting batch sees the runner's own configuration.
         """
         if not self.active:
             raise RuntimeError("process_batch() outside start()/close()")
         start = time.perf_counter()
-        logits = self.runner.forward(images)
+        if adapt:
+            logits = self.runner.forward(images)
+        else:
+            logits = self._frozen_forward(images)
         elapsed = time.perf_counter() - start
         self.wall_time_s += elapsed
         self.batches_total += 1
@@ -200,6 +213,26 @@ class AdaptationSession:
         if self.fps is not None and elapsed > len(labels) / self.fps:
             self.batches_late += 1
         return predictions
+
+    def _frozen_forward(self, images: np.ndarray) -> np.ndarray:
+        """Inference-only forward that leaves every mode flag as found.
+
+        Deliberately bypasses ``runner.forward`` (which adapts) *and*
+        ``runner.bind`` (which would rebuild optimizer state): only the
+        per-module ``training`` flags are flipped to eval for the call
+        and flipped back afterwards.
+        """
+        from repro.tensor.tensor import Tensor, no_grad
+
+        flags = [module.training for module in self.model.modules()]
+        self.model.eval()
+        try:
+            with no_grad():
+                logits = self.model(Tensor(np.asarray(images)))
+        finally:
+            for module, flag in zip(self.model.modules(), flags):
+                object.__setattr__(module, "training", flag)
+        return logits.data
 
     def drop_frames(self, count: int) -> None:
         """Record ``count`` frames refused by admission control."""
@@ -228,6 +261,7 @@ class AdaptationSession:
             degraded_batches=self.degraded_batches,
             fallback_frames=self.fallback_frames,
             tenant=self.tenant,
+            scenario=self.scenario,
         )
 
     # -- checkpoint / resume -----------------------------------------------

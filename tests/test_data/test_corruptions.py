@@ -1,4 +1,4 @@
-"""CIFAR-10-C corruption suite: 15 types x 5 severities."""
+"""CIFAR-10-C corruption suite: 19 types x 5 severities."""
 
 import numpy as np
 import pytest
@@ -19,14 +19,15 @@ def image():
 
 
 class TestSuiteContract:
-    def test_fifteen_corruptions(self):
-        assert len(CORRUPTION_NAMES) == 15
+    def test_nineteen_corruptions(self):
+        assert len(CORRUPTION_NAMES) == 19
 
     def test_expected_families_present(self):
         expected = {"gaussian_noise", "shot_noise", "impulse_noise",
                     "defocus_blur", "glass_blur", "motion_blur", "zoom_blur",
                     "snow", "frost", "fog", "brightness", "contrast",
-                    "elastic_transform", "pixelate", "jpeg_compression"}
+                    "elastic_transform", "pixelate", "jpeg_compression",
+                    "speckle_noise", "gaussian_blur", "spatter", "saturate"}
         assert set(CORRUPTION_NAMES) == expected
 
     @pytest.mark.parametrize("name", CORRUPTION_NAMES)
@@ -128,3 +129,28 @@ class TestSpecificSemantics:
     def test_shot_noise_preserves_mean_roughly(self, image):
         out = apply_corruption(image, "shot_noise", severity=3, seed=1)
         assert abs(out.mean() - image.mean()) < 0.05
+
+    def test_speckle_scales_with_signal(self):
+        """Multiplicative noise must distort bright images more than dark."""
+        dark = np.full((3, 16, 16), 0.1, dtype=np.float32)
+        bright = np.full((3, 16, 16), 0.8, dtype=np.float32)
+        d = np.abs(apply_corruption(dark, "speckle_noise", 3, seed=2) - dark)
+        b = np.abs(apply_corruption(bright, "speckle_noise", 3, seed=2) - bright)
+        assert b.mean() > d.mean()
+
+    def test_gaussian_blur_reduces_high_frequency_energy(self, image):
+        def hf_energy(im):
+            return np.abs(np.diff(im, axis=-1)).mean()
+        out = apply_corruption(image, "gaussian_blur", severity=5)
+        assert hf_energy(out) < hf_energy(image)
+
+    def test_spatter_mud_darkens_more_than_water(self, image):
+        water = apply_corruption(image, "spatter", severity=2, seed=7)
+        mud = apply_corruption(image, "spatter", severity=5, seed=7)
+        assert mud.mean() < water.mean()
+
+    def test_saturate_mild_desaturates_harsh_oversaturates(self, image):
+        def chroma(im):
+            return (im - im.mean(axis=0, keepdims=True)).std()
+        assert chroma(apply_corruption(image, "saturate", 1)) < chroma(image)
+        assert chroma(apply_corruption(image, "saturate", 5)) > chroma(image)

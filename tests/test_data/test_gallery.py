@@ -82,7 +82,7 @@ class TestGallery:
 
     def test_default_covers_all_corruptions(self, image, tmp_path):
         paths = write_gallery(image, tmp_path)
-        assert len(paths) == 16   # clean + 15 corruptions
+        assert len(paths) == 20   # clean + 19 corruptions
 
     def test_corrupted_files_differ_from_clean(self, image, tmp_path):
         write_gallery(image, tmp_path, corruptions=("gaussian_noise",))

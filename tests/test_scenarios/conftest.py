@@ -1,0 +1,33 @@
+"""Fixtures for the scenario suite: a deterministic micro model + split.
+
+The model is *untrained* (seeded init only): scenario tests pin
+determinism and segmentation structure, not accuracy, so skipping
+training keeps the whole suite fast while every golden value stays
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import make_synth_cifar
+from repro.models.wide_resnet import wide_resnet40_2
+from repro.nn import init as nn_init
+
+
+def make_tiny_model(seed: int = 7):
+    """A deterministic micro WRN (same seed -> bit-identical weights)."""
+    nn_init.seed(seed)
+    model = wide_resnet40_2(depth=10, widen_factor=1, base=4)
+    model.eval()
+    return model
+
+
+@pytest.fixture
+def tiny_model():
+    return make_tiny_model()
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return make_synth_cifar(256, size=16, seed=5)

@@ -1,0 +1,124 @@
+"""Segment cards and the recurrence forgetting metric (pure logic)."""
+
+import math
+
+import pytest
+
+from repro.scenarios import (
+    BatchStats,
+    Segment,
+    SegmentCard,
+    recurrence_forgetting,
+    segment_cards,
+)
+
+
+def stats(index, frames=8, correct=4, **kw):
+    return BatchStats(index=index, frames=frames, correct=correct, **kw)
+
+
+def card(ordinal, corruption="fog", severity=3, visit=0, frames=80,
+         correct=40, **kw):
+    base = dict(ordinal=ordinal, corruption=corruption, severity=severity,
+                start=ordinal * 2, end=ordinal * 2 + 2, visit=visit,
+                frames=frames, correct=correct, rollbacks=0,
+                degraded_batches=0, fallback_frames=0, batches_adapted=2)
+    base.update(kw)
+    return SegmentCard(**base)
+
+
+SEGMENTS = [Segment(0, "fog", 3, 0, 2, 0), Segment(1, "snow", 3, 2, 4, 0),
+            Segment(2, "fog", 3, 4, 6, 1)]
+
+
+class TestSegmentCards:
+    def test_counters_sum_per_segment(self):
+        batch_stats = [stats(0, correct=6, rollbacks=1),
+                       stats(1, correct=2, fallback_frames=8),
+                       stats(2), stats(3, degraded_batches=1),
+                       stats(4, adapted=False), stats(5)]
+        cards = segment_cards(SEGMENTS, batch_stats)
+        assert [c.frames for c in cards] == [16, 16, 16]
+        assert cards[0].correct == 8 and cards[0].rollbacks == 1
+        assert cards[0].fallback_frames == 8
+        assert cards[1].degraded_batches == 1
+        assert cards[2].batches_adapted == 1   # batch 4 was frozen
+        assert [c.visit for c in cards] == [0, 0, 1]
+
+    def test_cards_mirror_segment_identity(self):
+        cards = segment_cards(SEGMENTS, [stats(i) for i in range(6)])
+        for segment, scard in zip(SEGMENTS, cards):
+            assert (scard.ordinal, scard.corruption, scard.severity,
+                    scard.start, scard.end, scard.visit) == \
+                (segment.ordinal, segment.corruption, segment.severity,
+                 segment.start, segment.end, segment.visit)
+            assert scard.num_batches == segment.num_batches
+
+    def test_truncated_stream_segments_cleanly(self):
+        cards = segment_cards(SEGMENTS, [stats(i) for i in range(3)])
+        assert [c.frames for c in cards] == [16, 8, 0]
+        assert cards[2].error_pct == 0.0       # no frames -> defined 0
+
+    def test_duplicate_batch_index_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            segment_cards(SEGMENTS, [stats(0), stats(0)])
+
+    def test_stray_batch_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            segment_cards(SEGMENTS, [stats(0), stats(99)])
+
+    def test_error_pct(self):
+        assert card(0, frames=80, correct=60).error_pct == 25.0
+
+    def test_dict_round_trip(self):
+        original = card(1, visit=1, rollbacks=3)
+        payload = original.to_dict()
+        assert payload["error_pct"] == original.error_pct
+        assert SegmentCard.from_dict(payload) == original
+
+
+class TestForgetting:
+    def test_no_recurrence_is_nan(self):
+        assert math.isnan(recurrence_forgetting(
+            [card(0), card(1, corruption="snow")]))
+
+    def test_positive_when_revisits_are_worse(self):
+        cards = [card(0, correct=60),               # first visit: 25 %
+                 card(1, corruption="snow"),
+                 card(2, visit=1, correct=40)]      # revisit: 50 %
+        assert recurrence_forgetting(cards) == pytest.approx(25.0)
+
+    def test_negative_when_revisits_keep_improving(self):
+        cards = [card(0, correct=40),               # first visit: 50 %
+                 card(1, corruption="snow"),
+                 card(2, visit=1, correct=60)]      # revisit: 25 %
+        assert recurrence_forgetting(cards) == pytest.approx(-25.0)
+
+    def test_revisits_average_and_phases_average(self):
+        cards = [
+            card(0, correct=80),                            # fog: 0 %
+            card(1, corruption="snow", correct=80),         # snow: 0 %
+            card(2, visit=1, correct=40),                   # fog: 50 %
+            card(3, corruption="snow", visit=1, correct=60),  # snow: 25 %
+            card(4, visit=2, correct=60),                   # fog: 25 %
+        ]
+        # fog delta = mean(50, 25) - 0 = 37.5; snow delta = 25
+        assert recurrence_forgetting(cards) == pytest.approx((37.5 + 25) / 2)
+
+    def test_empty_segments_are_ignored(self):
+        cards = [card(0, correct=60),
+                 card(2, visit=1, frames=0, correct=0),   # truncated run
+                 card(3, visit=2, correct=40)]
+        assert recurrence_forgetting(cards) == pytest.approx(25.0)
+
+    def test_revisit_without_first_encounter_is_skipped(self):
+        """A truncated first visit (0 frames) leaves only revisits."""
+        cards = [card(0, frames=0, correct=0),
+                 card(1, visit=1, correct=40)]
+        assert math.isnan(recurrence_forgetting(cards))
+
+    def test_order_independent(self):
+        cards = [card(0, correct=60), card(1, corruption="snow"),
+                 card(2, visit=1, correct=40)]
+        assert recurrence_forgetting(cards) == \
+            recurrence_forgetting(list(reversed(cards)))

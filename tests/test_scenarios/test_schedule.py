@@ -1,0 +1,212 @@
+"""ScenarioSchedule: determinism, golden pins, per-kind semantics.
+
+The golden schedules are this PR's headline determinism contract: one
+markov and one cyclic realization are pinned batch-for-batch, so any
+change to the RNG discipline (generator choice, draw order, child-seed
+derivation) fails here before it silently invalidates recorded studies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    ScenarioSchedule,
+    Segment,
+    as_schedule,
+    parse_scenario_spec,
+)
+from repro.scenarios.schedule import CLEAN_SEVERITY, _ramp_rungs
+
+
+def schedule(text, seed=0):
+    return ScenarioSchedule(parse_scenario_spec(text), seed=seed)
+
+
+#: pinned realization of markov:p=0.3 over a 3-corruption palette, seed 7
+GOLDEN_MARKOV = [
+    "gaussian_noise", "gaussian_noise", "gaussian_noise", "fog", "fog",
+    "fog", "gaussian_noise", "gaussian_noise", "gaussian_noise",
+    "gaussian_noise", "fog", "contrast", "contrast", "contrast",
+    "contrast", "contrast",
+]
+
+#: pinned realization of cyclic:dwell=3 over fog|snow at severity 4
+GOLDEN_CYCLIC = [("fog", 4)] * 3 + [("snow", 4)] * 3 \
+    + [("fog", 4)] * 3 + [("snow", 4)] * 3
+
+
+class TestGoldenSchedules:
+    def test_markov_pin(self):
+        plans = schedule("markov:p=0.3+over=contrast|fog|gaussian_noise",
+                         seed=7).plan(16)
+        assert [p.corruption for p in plans] == GOLDEN_MARKOV
+
+    def test_cyclic_pin(self):
+        plans = schedule("cyclic:dwell=3+over=fog|snow@4", seed=0).plan(12)
+        assert [(p.corruption, p.severity) for p in plans] == GOLDEN_CYCLIC
+
+    def test_cyclic_segments_pin(self):
+        segments = schedule("cyclic:dwell=3+over=fog|snow@4").segments(12)
+        assert segments == [
+            Segment(0, "fog", 4, 0, 3, 0),
+            Segment(1, "snow", 4, 3, 6, 0),
+            Segment(2, "fog", 4, 6, 9, 1),
+            Segment(3, "snow", 4, 9, 12, 1),
+        ]
+
+    def test_ramp_pin(self):
+        plans = schedule("ramp:dwell=1+over=fog@4").plan(12)
+        assert [p.severity for p in plans] == \
+            [1, 2, 3, 4, 3, 2, 1, 2, 3, 4, 3, 2]
+
+
+class TestDeterminism:
+    MARKOV = "markov:p=0.3+over=contrast|fog|gaussian_noise"
+
+    def test_same_seed_identical_plans(self):
+        a = schedule(self.MARKOV, seed=3).plan(40)
+        b = schedule(self.MARKOV, seed=3).plan(40)
+        assert a == b
+
+    def test_out_of_order_queries_match_serial(self):
+        serial = schedule(self.MARKOV, seed=3).plan(40)
+        shuffled = schedule(self.MARKOV, seed=3)
+        order = np.random.default_rng(0).permutation(40)
+        assert all(shuffled.plan_for(int(i)) == serial[int(i)]
+                   for i in order)
+
+    def test_different_seeds_diverge(self):
+        a = [p.corruption for p in schedule(self.MARKOV, seed=0).plan(60)]
+        b = [p.corruption for p in schedule(self.MARKOV, seed=1).plan(60)]
+        assert a != b
+
+    def test_cyclic_is_seed_free(self):
+        """Deterministic kinds must not consume the seed at all."""
+        a = schedule("cyclic:dwell=2", seed=0).plan(30)
+        b = schedule("cyclic:dwell=2", seed=99).plan(30)
+        assert a == b
+
+    def test_imbalanced_weights_stable_under_query_order(self):
+        late_first = schedule("imbalanced", seed=4)
+        late = late_first.plan_for(25)
+        serial = schedule("imbalanced", seed=4).plan(26)
+        assert late == serial[25]
+
+    def test_fingerprint_combines_spec_and_seed(self):
+        spec = parse_scenario_spec("cyclic:dwell=2")
+        a = ScenarioSchedule(spec, seed=1)
+        assert a.fingerprint() == f"{spec.fingerprint()}-1"
+        assert a.fingerprint() != ScenarioSchedule(spec, seed=2).fingerprint()
+
+
+class TestKindSemantics:
+    def test_markov_switches_to_a_different_corruption(self):
+        plans = schedule("markov:p=0.9+over=fog|snow|contrast",
+                         seed=11).plan(200)
+        switches = sum(a.corruption != b.corruption
+                       for a, b in zip(plans, plans[1:]))
+        assert switches > 100              # p=0.9 switches most batches
+        # and a "switch" draw never lands on the same state
+        for a, b in zip(plans, plans[1:]):
+            assert a.corruption in ("fog", "snow", "contrast")
+            assert b.index == a.index + 1
+
+    def test_markov_low_p_dwells(self):
+        plans = schedule("markov:p=0.01+over=fog|snow", seed=0).plan(100)
+        switches = sum(a.corruption != b.corruption
+                       for a, b in zip(plans, plans[1:]))
+        assert switches < 10
+
+    def test_budgeted_adapt_flags(self):
+        plans = schedule("budgeted:budget=2+period=4").plan(8)
+        assert [p.adapt for p in plans] == \
+            [True, True, False, False, True, True, False, False]
+
+    def test_non_budgeted_kinds_always_adapt(self):
+        for text in ("markov", "cyclic", "ramp", "imbalanced"):
+            assert all(p.adapt for p in schedule(text).plan(10))
+
+    def test_imbalanced_weights_are_a_distribution(self):
+        plans = schedule("imbalanced:alpha=0.3", seed=2).plan(5)
+        for plan in plans:
+            assert plan.class_weights is not None
+            assert len(plan.class_weights) == 10
+            assert abs(sum(plan.class_weights) - 1.0) < 1e-9
+        # per-batch draws differ (that's the point of the scenario)
+        assert plans[0].class_weights != plans[1].class_weights
+
+    def test_only_imbalanced_carries_class_weights(self):
+        for text in ("markov", "cyclic", "ramp", "budgeted"):
+            assert all(p.class_weights is None
+                       for p in schedule(text).plan(6))
+
+    def test_clean_phase_has_clean_severity(self):
+        plans = schedule("cyclic:dwell=1+over=clean|fog@3").plan(4)
+        assert [(p.corruption, p.severity) for p in plans] == \
+            [("clean", CLEAN_SEVERITY), ("fog", 3),
+             ("clean", CLEAN_SEVERITY), ("fog", 3)]
+
+    @pytest.mark.parametrize("peak,rungs", [
+        (1, (1,)),
+        (2, (1, 2)),
+        (3, (1, 2, 3, 2)),
+        (5, (1, 2, 3, 4, 5, 4, 3, 2)),
+    ])
+    def test_ramp_rungs_shape(self, peak, rungs):
+        assert _ramp_rungs(peak) == rungs
+
+    def test_ramp_dwell_repeats_each_rung(self):
+        plans = schedule("ramp:dwell=2+over=fog@3").plan(8)
+        assert [p.severity for p in plans] == [1, 1, 2, 2, 3, 3, 2, 2]
+
+
+class TestSegmentation:
+    def test_segments_cover_the_prefix_exactly(self):
+        segments = schedule("markov:p=0.4+over=fog|snow", seed=5).segments(50)
+        assert segments[0].start == 0
+        assert segments[-1].end == 50
+        for a, b in zip(segments, segments[1:]):
+            assert a.end == b.start
+            assert b.ordinal == a.ordinal + 1
+
+    def test_visits_count_phase_recurrences(self):
+        segments = schedule("cyclic:dwell=2+over=fog|snow").segments(12)
+        fog_visits = [s.visit for s in segments if s.corruption == "fog"]
+        assert fog_visits == [0, 1, 2]
+
+    def test_ramp_revisits_key_on_severity_too(self):
+        segments = schedule("ramp:dwell=1+over=fog@3").segments(8)
+        # severities 1,2,3,2 | 1,2,3,2 — the second (fog, 2) is visit 1
+        by_phase = [(s.severity, s.visit) for s in segments]
+        assert by_phase == [(1, 0), (2, 0), (3, 0), (2, 1),
+                            (1, 1), (2, 2), (3, 1), (2, 3)]
+
+    def test_single_phase_stream_is_one_segment(self):
+        segments = schedule("imbalanced").segments(9)
+        assert len(segments) == 1
+        assert segments[0] == Segment(0, "gaussian_noise", 5, 0, 9, 0)
+
+
+class TestApi:
+    def test_negative_index_rejected(self):
+        with pytest.raises(IndexError):
+            schedule("cyclic").plan_for(-1)
+
+    def test_label_is_compact_spec(self):
+        assert schedule("cyclic:dwell=2@3").label == "cyclic:dwell=2@3"
+
+    def test_as_schedule_accepts_string_spec_and_schedule(self):
+        text = "cyclic:dwell=2"
+        from_text = as_schedule(text, seed=3)
+        from_spec = as_schedule(parse_scenario_spec(text), seed=3)
+        consumed = as_schedule(text, seed=3)
+        consumed.plan(10)                  # consume some stochastic state
+        rebuilt = as_schedule(consumed, seed=3)
+        assert from_text.plan(8) == from_spec.plan(8) == rebuilt.plan(8)
+
+    def test_as_schedule_rebuilds_unconsumed_markov(self):
+        """Coercing a consumed markov schedule must restart its RNG."""
+        used = as_schedule("markov:p=0.5+over=fog|snow", seed=6)
+        used.plan(30)
+        fresh = as_schedule(used, seed=6)
+        assert fresh.plan(30) == ScenarioSchedule(used.spec, seed=6).plan(30)

@@ -1,0 +1,128 @@
+"""ScenarioStream: byte-identity, on-demand corruption, label skew.
+
+Every batch must be a pure function of (dataset, spec, seed, index,
+batch_size) — the property the resume and parallel-worker proofs lean
+on — so the core tests here compare *bytes*, not statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.corruptions import corrupt_batch
+from repro.data.stream import weighted_batch_indices
+from repro.data.synthetic import make_synth_cifar
+from repro.scenarios import ScenarioStream
+
+
+def stream_for(dataset, text, seed=0):
+    return ScenarioStream.from_dataset(dataset, text, seed=seed)
+
+
+class TestByteIdentity:
+    TEXT = "markov:p=0.4+over=fog|gaussian_noise|contrast"
+
+    def test_recreated_stream_is_byte_identical(self, tiny_dataset):
+        a = list(stream_for(tiny_dataset, self.TEXT, seed=2).batches(16, 10))
+        b = list(stream_for(tiny_dataset, self.TEXT, seed=2).batches(16, 10))
+        for (ia, la), (ib, lb) in zip(a, b):
+            np.testing.assert_array_equal(ia, ib)
+            np.testing.assert_array_equal(la, lb)
+
+    def test_out_of_order_batch_at_matches_serial(self, tiny_dataset):
+        serial = list(stream_for(tiny_dataset, self.TEXT,
+                                 seed=2).batches(16, 10))
+        fresh = stream_for(tiny_dataset, self.TEXT, seed=2)
+        for index in (7, 0, 9, 3):
+            images, labels = fresh.batch_at(index, 16)
+            np.testing.assert_array_equal(images, serial[index][0])
+            np.testing.assert_array_equal(labels, serial[index][1])
+
+    def test_imbalanced_sampling_is_deterministic(self, tiny_dataset):
+        a = list(stream_for(tiny_dataset, "imbalanced:alpha=0.2",
+                            seed=4).batches(16, 6))
+        b = list(stream_for(tiny_dataset, "imbalanced:alpha=0.2",
+                            seed=4).batches(16, 6))
+        for (ia, la), (ib, lb) in zip(a, b):
+            np.testing.assert_array_equal(ia, ib)
+            np.testing.assert_array_equal(la, lb)
+
+
+class TestBatchContent:
+    def test_batches_match_the_plan_corruption(self, tiny_dataset):
+        stream = stream_for(tiny_dataset, "cyclic:dwell=2+over=fog|snow@3")
+        plan = stream.plan_for(2)
+        assert plan.corruption == "snow"
+        images, _ = stream.batch_at(2, 8)
+        rows = (2 * 8 + np.arange(8)) % len(tiny_dataset)
+        seed = int(np.random.SeedSequence((0, 1, 2)).generate_state(1)[0])
+        expected = corrupt_batch(tiny_dataset.images[rows], "snow",
+                                 severity=3, seed=seed)
+        np.testing.assert_array_equal(images, expected)
+
+    def test_clean_batches_are_untouched_copies(self, tiny_dataset):
+        stream = stream_for(tiny_dataset, "cyclic:dwell=1+over=clean|fog")
+        images, labels = stream.batch_at(0, 8)
+        np.testing.assert_array_equal(images, tiny_dataset.images[:8])
+        images[:] = 0.0                    # mutating the batch ...
+        labels[:] = 0
+        assert tiny_dataset.images[:8].any()   # ... never hits the dataset
+
+    def test_stream_wraps_around_the_dataset(self, tiny_dataset):
+        stream = stream_for(tiny_dataset, "cyclic:over=clean|fog")
+        total = len(tiny_dataset)
+        wrapped, _ = stream.batch_at(total // 8, 8)   # first wrapped batch
+        np.testing.assert_array_equal(wrapped, tiny_dataset.images[:8])
+
+    def test_imbalanced_skews_the_label_histogram(self, tiny_dataset):
+        stream = stream_for(tiny_dataset, "imbalanced:alpha=0.05", seed=1)
+        counts = np.zeros(10)
+        for _, labels in stream.batches(32, 8):
+            counts += np.bincount(labels, minlength=10)
+        top_share = counts.max() / counts.sum()
+        assert top_share > 0.25            # far above the uniform 0.10
+
+
+class TestApi:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ScenarioStream.from_dataset(make_synth_cifar(0, size=16, seed=0),
+                                        "cyclic")
+
+    def test_bad_batch_size_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError, match="batch_size"):
+            stream_for(tiny_dataset, "cyclic").batch_at(0, 0)
+
+    def test_num_batches_is_one_epoch(self, tiny_dataset):
+        stream = stream_for(tiny_dataset, "cyclic")
+        assert stream.num_batches(16) == len(tiny_dataset) // 16
+        assert len(list(stream.batches(16))) == stream.num_batches(16)
+
+    def test_identity_properties(self, tiny_dataset):
+        stream = stream_for(tiny_dataset, "cyclic:dwell=2", seed=9)
+        assert stream.label == "cyclic:dwell=2"
+        assert stream.seed == 9
+        assert stream.spec.kind == "cyclic"
+        assert len(stream) == len(tiny_dataset)
+
+
+class TestWeightedBatchIndices:
+    def test_zero_weight_classes_never_sampled(self):
+        labels = np.repeat(np.arange(4), 10)
+        weights = (1.0, 0.0, 1.0, 0.0) + (0.0,) * 6
+        rows = weighted_batch_indices(labels, weights, 64,
+                                      np.random.default_rng(0))
+        assert set(labels[rows]) <= {0, 2}
+
+    def test_absent_classes_are_renormalized_away(self):
+        labels = np.zeros(10, dtype=np.int64)    # only class 0 present
+        weights = (0.5,) + (0.5 / 9,) * 9
+        rows = weighted_batch_indices(labels, weights, 16,
+                                      np.random.default_rng(0))
+        assert (labels[rows] == 0).all()
+
+    def test_no_matching_class_raises(self):
+        labels = np.zeros(10, dtype=np.int64)
+        weights = (0.0, 1.0) + (0.0,) * 8        # class 1 never occurs
+        with pytest.raises(ValueError, match="no dataset sample"):
+            weighted_batch_indices(labels, weights, 8,
+                                   np.random.default_rng(0))
