@@ -407,16 +407,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     manager = SessionManager(
         journal=args.journal or None, resume=args.resume,
         backend=args.backend or "numpy", max_tenants=args.max_tenants,
-        checkpoint_every=args.checkpoint_every)
-    daemon = ServeDaemon(manager, args.host, args.port)
+        checkpoint_every=args.checkpoint_every,
+        compact_above=args.compact_above)
+    daemon = ServeDaemon(manager, args.host, args.port,
+                         io_timeout=args.io_timeout,
+                         idle_evict_s=args.idle_evict)
     host, port = daemon.address
     # flushed before blocking: test/CI wrappers parse this line to learn
     # the bound port (especially with --port 0)
     print(f"repro serve listening on {host}:{port}", flush=True)
+    drained = False
     try:
         daemon.serve_forever()
+        if daemon.drain_requested:
+            summary = daemon.drain(args.drain_timeout)
+            drained = True
+            print(f"drained: {len(summary['checkpointed'])} tenant(s) "
+                  f"checkpointed, {summary['compacted_entries']} journal "
+                  "entries compacted away", flush=True)
     finally:
-        daemon.close()
+        # a drained shutdown leaves tenants open in the journal so a
+        # later --resume re-admits them; anything else closes them out
+        daemon.close(close_tenants=not drained)
     return 0
 
 
@@ -457,29 +469,51 @@ def _cmd_serve_client(args: argparse.Namespace) -> int:
         injector = FaultInjector(parse_fault_specs(args.faults),
                                  seed=args.seed)
         batch_iter = injector.inject(batch_iter)
-    with ServeClient.connect(args.host, args.port,
-                             timeout=args.connect_timeout) as client:
-        welcome = client.hello(spec)
-        print(f"tenant {args.tenant}: resumed={welcome['resumed']} "
-              f"batches_done={welcome['batches_done']}")
-        # the injector must see every batch so a replay reproduces the
-        # same fault schedule; --start-batch only skips the *sending*
-        # (faults in skipped batches were reported by the previous run
-        # and live in the resumed checkpoint)
-        reported = 0
-        for index, (images, labels) in enumerate(batch_iter):
-            injected = injector.faults_injected if injector else 0
-            delta, reported = injected - reported, injected
-            if index < args.start_batch:
-                continue
-            client.send_frames(images, labels, faults=delta)
-        if args.no_close:
-            card = client.scorecard()
-        else:
-            card = client.close_tenant(restore=args.restore)
-        print(card.describe())
-        if args.shutdown:
-            client.shutdown()
+    proxy = None
+    host, port = args.host, args.port
+    if args.chaos:
+        from repro.serve import ChaosProxy, parse_network_fault_specs
+        proxy = ChaosProxy(args.host, args.port,
+                           parse_network_fault_specs(args.chaos),
+                           seed=args.seed).start()
+        host, port = proxy.address
+        if args.retries == 0:
+            print("warning: --chaos without --retries will likely fail "
+                  "on the first injected fault", file=sys.stderr)
+    try:
+        with ServeClient.connect(host, port,
+                                 timeout=args.connect_timeout,
+                                 call_timeout=args.call_timeout,
+                                 retries=args.retries,
+                                 seed=args.seed) as client:
+            welcome = client.hello(spec)
+            print(f"tenant {args.tenant}: resumed={welcome['resumed']} "
+                  f"batches_done={welcome['batches_done']}")
+            # the injector must see every batch so a replay reproduces the
+            # same fault schedule; --start-batch only skips the *sending*
+            # (faults in skipped batches were reported by the previous run
+            # and live in the resumed checkpoint)
+            reported = 0
+            for index, (images, labels) in enumerate(batch_iter):
+                injected = injector.faults_injected if injector else 0
+                delta, reported = injected - reported, injected
+                if index < args.start_batch:
+                    continue
+                client.send_frames(images, labels, faults=delta)
+            if args.no_close:
+                card = client.scorecard()
+            else:
+                card = client.close_tenant(restore=args.restore)
+            print(card.describe())
+            if args.shutdown:
+                client.shutdown()
+    finally:
+        if proxy is not None:
+            proxy.stop()
+            injected = ", ".join(f"{e.fault}@{e.batch_index}"
+                                 for e in proxy.events) or "none"
+            print(f"chaos: {len(proxy.events)} network fault(s) injected "
+                  f"({injected})")
     if args.expect_rollbacks and card.rollbacks < 1:
         print("error: expected guard rollbacks, saw none", file=sys.stderr)
         return 1
@@ -712,6 +746,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--checkpoint-every", type=_positive_int, default=1,
                        metavar="N",
                        help="journal a tenant checkpoint every N batches")
+    serve.add_argument("--io-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-connection read/write deadline; a "
+                            "stalled (slow-loris) client is evicted "
+                            "after this long (0 disables)")
+    serve.add_argument("--idle-evict", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="checkpoint-and-evict tenants idle longer "
+                            "than this (0 disables)")
+    serve.add_argument("--compact-above", type=_non_negative_int, default=0,
+                       metavar="BYTES",
+                       help="compact the journal online whenever it "
+                            "grows past this size (0 disables)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="budget for finishing in-flight batches and "
+                            "checkpointing every tenant on a drained "
+                            "shutdown")
     serve.set_defaults(func=_cmd_serve)
 
     serve_client = sub.add_parser(
@@ -770,6 +822,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve_client.add_argument("--connect-timeout", type=float, default=30.0,
                               metavar="SECONDS",
                               help="retry window for the initial connect")
+    serve_client.add_argument("--call-timeout", type=float, default=30.0,
+                              metavar="SECONDS",
+                              help="per-call reply deadline (typed "
+                                   "timeout error instead of a hang)")
+    serve_client.add_argument("--retries", type=_non_negative_int,
+                              default=0,
+                              help="bounded seeded-backoff retries for "
+                                   "transient failures (timeouts, "
+                                   "severed connections); re-sends are "
+                                   "deduplicated daemon-side")
+    serve_client.add_argument("--chaos", metavar="SPEC", default=None,
+                              help="route the stream through an "
+                                   "in-process seeded chaos proxy, e.g. "
+                                   "'disconnect:0.1,truncate@5' (faults: "
+                                   "disconnect, delay, truncate, split, "
+                                   "garbage); pair with --retries")
     serve_client.add_argument("--seed", type=_non_negative_int, default=0)
     serve_client.set_defaults(func=_cmd_serve_client)
 

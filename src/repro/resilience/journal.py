@@ -197,6 +197,13 @@ class RunJournal:
         """Scan this journal's file (see :func:`scan_journal`)."""
         return scan_journal(self.path)
 
+    def size_bytes(self) -> int:
+        """Current on-disk size of the journal file (0 when absent)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
     def rewrite(self, entries: Sequence[dict]) -> None:
         """Atomically replace the whole journal (tmp + rename + fsync)."""
         was_open = self._file is not None
@@ -211,25 +218,43 @@ class RunJournal:
             self._file = open(self.path, "ab")
 
     def compact(self) -> int:
-        """Drop per-attempt noise, keeping only settling events.
+        """Drop per-attempt/per-batch noise, keeping only settling events.
 
-        Retains ``run_start``/``run_resume``/``run_end``, every cell's
-        last ``cell_ok``, and final ``cell_failed`` entries for cells
-        that never succeeded.  Returns the number of entries removed.
-        Resume semantics are unchanged: a compacted journal skips
-        exactly the same cells.
+        Study journals: retains ``run_start``/``run_resume``/``run_end``,
+        every cell's last ``cell_ok``, and final ``cell_failed`` entries
+        for cells that never succeeded; ``cell_start`` noise is dropped.
+
+        Serve journals: retains only each tenant's *latest*
+        ``tenant_checkpoint``, and only while no ``tenant_close`` settled
+        the stream after it — so a long-lived daemon's journal is
+        O(tenants), not O(batches).  Lifecycle events (``serve_start``,
+        ``tenant_open``, ``tenant_close``, ``tenant_evict``) are small
+        and kept as history.
+
+        Events this method does not understand are kept verbatim —
+        compaction only ever drops what it can prove is superseded.
+        Returns the number of entries removed.  Resume semantics are
+        unchanged: a compacted journal skips exactly the same cells and
+        re-admits exactly the same tenants, bit-identically.
         """
         scan = self.scan()
         done = scan.completed_cells()
         failed = scan.failed_cells()
+        last_checkpoint: Dict[str, int] = {}
+        last_close: Dict[str, int] = {}
+        for index, entry in enumerate(scan.entries):
+            if entry.get("event") == "tenant_checkpoint":
+                last_checkpoint[entry["tenant"]] = index
+            elif entry.get("event") == "tenant_close":
+                last_close[entry["tenant"]] = index
         kept: List[dict] = []
         emitted_ok: set = set()
         emitted_failed: set = set()
-        for entry in scan.entries:
+        for index, entry in enumerate(scan.entries):
             event = entry.get("event")
-            if event in ("run_start", "run_resume", "run_end"):
-                kept.append(entry)
-            elif event == "cell_ok":
+            if event == "cell_start":
+                continue                        # per-attempt noise
+            if event == "cell_ok":
                 key = entry["cell"]
                 if key not in emitted_ok and entry.get("records") == done[key]:
                     kept.append(entry)
@@ -240,6 +265,13 @@ class RunJournal:
                         and entry is failed[key]:
                     kept.append(entry)
                     emitted_failed.add(key)
+            elif event == "tenant_checkpoint":
+                tenant = entry["tenant"]
+                if last_checkpoint[tenant] == index \
+                        and last_close.get(tenant, -1) < index:
+                    kept.append(entry)
+            else:
+                kept.append(entry)
         removed = len(scan.entries) - len(kept)
         self.rewrite(kept)
         return removed

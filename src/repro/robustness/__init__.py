@@ -25,7 +25,9 @@ from repro.robustness.faults import (
     FaultSchedule,
     FaultSpec,
     apply_fault,
+    known_fault_names,
     parse_fault_specs,
+    register_fault_names,
 )
 from repro.robustness.guard import (
     LADDER,
@@ -43,7 +45,9 @@ __all__ = [
     "FaultSchedule",
     "FaultSpec",
     "apply_fault",
+    "known_fault_names",
     "parse_fault_specs",
+    "register_fault_names",
     "LADDER",
     "GuardConfig",
     "GuardedAdaptation",

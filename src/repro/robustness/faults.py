@@ -28,6 +28,7 @@ benign for correctness but stress batch-size assumptions.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
@@ -39,6 +40,31 @@ FAULT_NAMES = ("nan", "inf", "constant", "wrong_range",
 
 #: faults that corrupt BN running statistics of an unguarded method
 POISONING_FAULTS = frozenset({"nan", "inf", "constant", "wrong_range"})
+
+# additional taxonomies registered by other layers (e.g. the serve
+# chaos proxy's network faults) so they share the FaultSpec grammar and
+# the seeded FaultSchedule without this module knowing their semantics
+_EXTRA_FAULTS_LOCK = threading.Lock()
+_EXTRA_FAULT_NAMES: set = set()
+
+
+def register_fault_names(names: Iterable[str]) -> None:
+    """Extend the spec grammar with another layer's fault taxonomy.
+
+    The names become parseable/constructible in :class:`FaultSpec`
+    (``"disconnect:0.1"`` works once the chaos proxy registers its
+    network faults) but gain no batch-level *application* semantics:
+    :func:`apply_fault` still only knows the batch taxonomy above.
+    """
+    with _EXTRA_FAULTS_LOCK:
+        _EXTRA_FAULT_NAMES.update(names)
+
+
+def known_fault_names() -> Tuple[str, ...]:
+    """Every currently-registered fault name (batch taxonomy first)."""
+    with _EXTRA_FAULTS_LOCK:
+        extra = sorted(_EXTRA_FAULT_NAMES - set(FAULT_NAMES))
+    return FAULT_NAMES + tuple(extra)
 
 
 @dataclass(frozen=True)
@@ -67,9 +93,9 @@ class FaultSpec:
     at: Tuple[int, ...] = ()
 
     def __post_init__(self):
-        if self.fault not in FAULT_NAMES:
+        if self.fault not in known_fault_names():
             raise ValueError(f"unknown fault {self.fault!r}; "
-                             f"choose from {FAULT_NAMES}")
+                             f"choose from {known_fault_names()}")
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
 

@@ -15,10 +15,28 @@ edge box; this package is that runtime.  It has two halves:
   journal-backed crash recovery: kill the daemon, restart with
   ``--resume``, and every tenant continues bit-identically.
 
+Long-lived operation is hardened and *tested under adversity*:
+:mod:`repro.serve.chaos` provides a seeded TCP chaos proxy (mid-frame
+disconnects, truncated frames, dribbling senders, garbage) reusing the
+robustness layer's fault grammar; the daemon answers with connection
+deadlines, recoverable protocol-error replies, a ``status`` health
+message, graceful drain, idle-tenant eviction, and online journal
+compaction, while the client retries idempotently with seeded backoff.
+
 CLI: ``repro serve`` / ``repro serve-client``.
 """
 
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.chaos import (
+    NETWORK_FAULT_NAMES,
+    ChaosProxy,
+    parse_network_fault_specs,
+)
+from repro.serve.client import (
+    ServeClient,
+    ServeDisconnectedError,
+    ServeError,
+    ServeTimeoutError,
+)
 from repro.serve.daemon import ServeDaemon, serve
 from repro.serve.manager import AdmissionError, SessionManager, TenantSpec
 from repro.serve.session import AdaptationSession
@@ -26,10 +44,15 @@ from repro.serve.session import AdaptationSession
 __all__ = [
     "AdaptationSession",
     "AdmissionError",
+    "ChaosProxy",
+    "NETWORK_FAULT_NAMES",
     "ServeClient",
     "ServeDaemon",
+    "ServeDisconnectedError",
     "ServeError",
+    "ServeTimeoutError",
     "SessionManager",
     "TenantSpec",
+    "parse_network_fault_specs",
     "serve",
 ]

@@ -15,11 +15,32 @@ The wire format is the length-prefixed JSON protocol of
 :mod:`repro.serve.protocol`; malformed requests get an ``error`` reply
 and the connection stays up, so one confused client cannot take a
 tenant down.
+
+Hardened for long-lived operation (and pinned by the chaos-proxy test
+suite, :mod:`repro.serve.chaos`):
+
+- every connection runs under a read/write deadline (``io_timeout``),
+  so a slow-loris client that dribbles bytes — or stalls mid-frame —
+  is evicted instead of pinning a handler thread forever;
+- recoverable protocol violations (an oversized declared length, a
+  well-framed but undecodable payload) get an ``error`` reply and the
+  connection *stays up*; only a broken byte stream (mid-message EOF,
+  desynced framing) closes it;
+- ``status`` reports per-tenant health and journal statistics without
+  a handshake;
+- shutdown drains: stop accepting, finish in-flight batches,
+  checkpoint every tenant, compact the journal, then exit — and the
+  helper thread that stops the serve loop is joined in :meth:`close`,
+  so the listening socket is provably gone when :func:`serve` returns;
+- idle tenants are evicted with a checkpoint (``idle_evict_s``) from
+  the accept loop's housekeeping hook, keeping resident model memory
+  proportional to *active* tenants.
 """
 
 from __future__ import annotations
 
 import logging
+import socket
 import socketserver
 import threading
 from typing import Optional, Tuple
@@ -34,19 +55,53 @@ _log = logging.getLogger("repro.serve")
 class _Handler(socketserver.BaseRequestHandler):
     """One client connection: hello handshake, then a request loop."""
 
+    def setup(self) -> None:
+        server: ServeDaemon = self.server  # type: ignore[assignment]
+        if server.io_timeout:
+            self.request.settimeout(server.io_timeout)
+
     def handle(self) -> None:
         server: ServeDaemon = self.server  # type: ignore[assignment]
         tenant: Optional[str] = None
         while True:
             try:
-                message = protocol.recv_message(self.request)
+                message = protocol.recv_message(
+                    self.request, max_bytes=server.max_message_bytes)
+            except socket.timeout:
+                # slow-loris / stalled peer: evict the connection, the
+                # tenant session (if any) survives in the manager
+                server.evicted_connections += 1
+                self._reply_error("read deadline exceeded; evicting "
+                                  "connection (tenant state is kept)")
+                return
+            except protocol.FrameTooLargeError as error:
+                # the payload is still on the wire: drain it so framing
+                # stays intact, refuse the message, keep serving
+                try:
+                    protocol.drain_frame(self.request, error.length)
+                except (protocol.ProtocolError, OSError):
+                    self._reply_error(f"protocol violation: {error}")
+                    return
+                self._reply_error(f"protocol violation: {error}")
+                continue
+            except protocol.PayloadError as error:
+                # frame consumed exactly; the connection is still usable
+                self._reply_error(f"protocol violation: {error}")
+                continue
             except protocol.ProtocolError as error:
                 self._reply_error(f"protocol violation: {error}")
                 return
+            except OSError:
+                return                  # peer reset / socket gone
             if message is None:
-                return                      # client hung up cleanly
+                return                  # client hung up cleanly
             kind = message.get("type")
-            if tenant is None and kind not in ("hello", "shutdown"):
+            # `close` naming its tenant explicitly is allowed without a
+            # handshake: it is how a retrying client settles a close
+            # whose first reply was lost on a severed connection
+            handshake_free = ("hello", "shutdown", "status")
+            if tenant is None and kind not in handshake_free \
+                    and not (kind == "close" and message.get("tenant")):
                 self._reply_error("first message must be 'hello'")
                 continue
             try:
@@ -59,42 +114,57 @@ class _Handler(socketserver.BaseRequestHandler):
                     protocol.send_message(self.request, {
                         "type": "scorecard",
                         "scorecard": protocol.scorecard_to_dict(card)})
+                elif kind == "status":
+                    protocol.send_message(
+                        self.request, dict(server.status(), type="status"))
                 elif kind == "close":
+                    name = str(message.get("tenant") or tenant)
                     card = server.manager.close_tenant(
-                        tenant, restore=bool(message.get("restore", False)))
+                        name, restore=bool(message.get("restore", False)))
                     protocol.send_message(self.request, {
                         "type": "closed",
                         "scorecard": protocol.scorecard_to_dict(card)})
-                    tenant = None
+                    if name == tenant:
+                        tenant = None
                 elif kind == "shutdown":
                     protocol.send_message(self.request, {"type": "bye"})
-                    server.request_shutdown()
+                    server.request_shutdown(
+                        drain=bool(message.get("drain", True)))
                     return
                 else:
                     self._reply_error(f"unknown message type {kind!r}")
             except (AdmissionError, ValueError, KeyError) as error:
                 self._reply_error(str(error) or type(error).__name__)
+            except OSError:
+                return                  # reply could not be delivered
 
     def _handle_hello(self, server: "ServeDaemon", message: dict) -> str:
         if message.get("protocol") != protocol.PROTOCOL_VERSION:
             raise ValueError(
                 f"protocol version mismatch: daemon speaks "
                 f"{protocol.PROTOCOL_VERSION}")
+        if server.draining:
+            raise AdmissionError("daemon is draining; not admitting tenants")
         spec = TenantSpec(**message["spec"])
         opened = server.manager.open_tenant(spec)
         protocol.send_message(self.request, {
             "type": "welcome", "tenant": spec.tenant,
             "resumed": opened["resumed"],
-            "batches_done": opened["batches_done"]})
+            "batches_done": opened["batches_done"],
+            "chunk": opened["chunk"]})
         return spec.tenant
 
     def _handle_frames(self, server: "ServeDaemon", tenant: str,
                        message: dict) -> None:
+        if server.draining:
+            raise AdmissionError("daemon is draining; not accepting frames")
         images = decode_array(message["images"])
         labels = decode_array(message["labels"])
+        chunk = message.get("chunk")
         outcome = server.manager.ingest(
             tenant, images, labels,
-            faults=int(message.get("faults", 0)))
+            faults=int(message.get("faults", 0)),
+            chunk=None if chunk is None else int(chunk))
         protocol.send_message(self.request, dict(outcome, type="ack"))
 
     def _reply_error(self, reason: str) -> None:
@@ -111,34 +181,104 @@ class ServeDaemon(socketserver.ThreadingTCPServer):
     ``port=0`` binds an OS-assigned port (tests); :attr:`address` is
     the actually-bound ``(host, port)``.  :meth:`serve_forever` blocks
     until a client sends ``shutdown`` or :meth:`shutdown` is called;
-    :meth:`close` tears down the socket and the manager (which closes
-    every tenant and the journal).
+    :meth:`drain` checkpoints every tenant and compacts the journal;
+    :meth:`close` joins the shutdown helper, tears down the socket and
+    the manager.
+
+    Parameters
+    ----------
+    io_timeout:
+        Per-connection socket deadline in seconds (0 disables): a peer
+        that stalls a read or write longer than this is evicted.
+    idle_evict_s:
+        Evict-with-checkpoint tenants idle longer than this (0
+        disables); enforced by :meth:`service_actions` between accepts.
+    max_message_bytes:
+        Frame-size cap handed to :func:`repro.serve.protocol.recv_message`
+        (tests shrink it to exercise the oversized-frame reply).
     """
 
     allow_reuse_address = True
     daemon_threads = True
 
     def __init__(self, manager: SessionManager, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, *, io_timeout: float = 30.0,
+                 idle_evict_s: float = 0.0,
+                 max_message_bytes: int = protocol.MAX_MESSAGE_BYTES) -> None:
+        if io_timeout < 0:
+            raise ValueError("io_timeout must be >= 0")
+        if idle_evict_s < 0:
+            raise ValueError("idle_evict_s must be >= 0")
         self.manager = manager
+        self.io_timeout = io_timeout
+        self.idle_evict_s = idle_evict_s
+        self.max_message_bytes = max_message_bytes
+        self.draining = False
+        self.drain_requested = False
+        self.evicted_connections = 0
+        self._shutdown_thread: Optional[threading.Thread] = None
         super().__init__((host, port), _Handler)
 
     @property
     def address(self) -> Tuple[str, int]:
         return self.server_address[0], self.server_address[1]
 
-    def request_shutdown(self) -> None:
+    def service_actions(self) -> None:
+        """Housekeeping between accepts: idle-tenant eviction."""
+        if self.idle_evict_s > 0:
+            for name in self.manager.evict_idle(self.idle_evict_s):
+                _log.info("evicted idle tenant %s (checkpointed)", name)
+
+    def status(self) -> dict:
+        """The manager's health document plus daemon-level state."""
+        return dict(self.manager.status(),
+                    draining=self.draining,
+                    evicted_connections=self.evicted_connections,
+                    address=list(self.address))
+
+    def request_shutdown(self, drain: bool = True) -> None:
         """Stop the serve loop without deadlocking the calling handler.
 
         ``shutdown()`` blocks until ``serve_forever`` exits, which never
         happens from inside a handler thread — so the stop is issued
-        from a helper thread.
+        from a helper thread, which :meth:`close` joins so nothing is
+        fire-and-forget.  ``drain`` marks the daemon draining (new
+        hellos and frames are refused) and asks the owner of the serve
+        loop to run :meth:`drain` before closing, which is exactly what
+        :func:`serve` does.
         """
-        threading.Thread(target=self.shutdown, daemon=True).start()
+        self.draining = self.draining or drain
+        self.drain_requested = self.drain_requested or drain
+        if self._shutdown_thread is None:
+            self._shutdown_thread = threading.Thread(target=self.shutdown,
+                                                     daemon=True)
+            self._shutdown_thread.start()
 
-    def close(self) -> None:
+    def drain(self, timeout: Optional[float] = None) -> dict:
+        """Finish in-flight batches, checkpoint every tenant, compact.
+
+        Safe to call after ``serve_forever`` has returned (the CLI
+        path) or while it still runs (the daemon refuses new work once
+        ``draining`` is set).  Returns the manager's drain summary.
+        """
+        self.draining = True
+        summary = self.manager.drain(timeout)
+        _log.info("drained: %d tenant(s) checkpointed, %d journal "
+                  "entries compacted away", len(summary["checkpointed"]),
+                  summary["compacted_entries"])
+        return summary
+
+    def close(self, *, close_tenants: bool = True) -> None:
+        """Deterministic teardown: join the stopper, close socket+manager.
+
+        ``close_tenants=False`` is the drained-shutdown path: tenants
+        stay open in the journal for a later ``--resume``.
+        """
+        if self._shutdown_thread is not None:
+            self._shutdown_thread.join(timeout=5.0)
+            self._shutdown_thread = None
         self.server_close()
-        self.manager.close()
+        self.manager.close(close_tenants=close_tenants)
 
     def __enter__(self) -> "ServeDaemon":
         return self
@@ -148,8 +288,24 @@ class ServeDaemon(socketserver.ThreadingTCPServer):
 
 
 def serve(manager: SessionManager, host: str = "127.0.0.1",
-          port: int = 0) -> None:
-    """Run a daemon until a client asks it to shut down (CLI entry)."""
-    with ServeDaemon(manager, host, port) as daemon:
+          port: int = 0, *, io_timeout: float = 30.0,
+          idle_evict_s: float = 0.0,
+          drain_timeout: Optional[float] = 10.0) -> None:
+    """Run a daemon until a client asks it to shut down (CLI entry).
+
+    A drain-flavoured ``shutdown`` (the default) checkpoints every
+    tenant and compacts the journal before this function returns —
+    the process exits only after the drain completed and the listening
+    socket is closed.
+    """
+    daemon = ServeDaemon(manager, host, port, io_timeout=io_timeout,
+                         idle_evict_s=idle_evict_s)
+    drained = False
+    try:
         _log.info("repro serve listening on %s:%d", *daemon.address)
         daemon.serve_forever()
+        if daemon.drain_requested:
+            daemon.drain(drain_timeout)
+            drained = True
+    finally:
+        daemon.close(close_tenants=not drained)

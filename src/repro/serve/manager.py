@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
@@ -44,7 +45,10 @@ from repro.serve.session import AdaptationSession
 #: run_start/cell_ok/...; serve events are disjoint so one scanner can
 #: tell the two document kinds apart)
 SERVE_EVENTS = ("serve_start", "tenant_open", "tenant_checkpoint",
-                "tenant_close")
+                "tenant_close", "tenant_evict")
+
+#: closed-tenant final scorecards retained for idempotent re-close
+_FINAL_SCORECARDS_KEPT = 128
 
 
 class AdmissionError(RuntimeError):
@@ -98,6 +102,11 @@ class _Tenant:
         self.pending_labels: List[np.ndarray] = []
         self.lock = threading.Lock()
         self.closed = False
+        #: highest applied ``frames`` chunk index (idempotent re-send
+        #: dedupe); rides the checkpoint so resume keeps the dedupe line
+        self.last_chunk = -1
+        #: monotonic instant of the last ingest/open (idle eviction)
+        self.last_active = time.monotonic()
 
     @property
     def capacity(self) -> int:
@@ -119,19 +128,28 @@ class SessionManager:
 
     def __init__(self, *, journal: Optional[str] = None,
                  resume: bool = False, backend: str = "numpy",
-                 max_tenants: int = 8, checkpoint_every: int = 1) -> None:
+                 max_tenants: int = 8, checkpoint_every: int = 1,
+                 compact_above: int = 0) -> None:
         if max_tenants < 1:
             raise ValueError("max_tenants must be >= 1")
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if compact_above < 0:
+            raise ValueError("compact_above must be >= 0")
         self.max_tenants = max_tenants
         self.checkpoint_every = checkpoint_every
+        #: journal size (bytes) above which a checkpoint append triggers
+        #: online compaction (0 disables the threshold)
+        self.compact_above = compact_above
+        self.evictions = 0
+        self.compactions = 0
         self._backend = create_backend(backend)
         self._tenants: Dict[str, _Tenant] = {}
         self._tenants_lock = threading.Lock()
         self._journal_lock = threading.Lock()
         self._journal = RunJournal(journal, resume=resume) if journal else None
         self._saved: Dict[str, dict] = {}
+        self._final: Dict[str, object] = {}
         if self._journal is not None:
             if resume:
                 self._saved = self._scan_saved()
@@ -174,10 +192,12 @@ class SessionManager:
     def open_tenant(self, spec: TenantSpec) -> dict:
         """Admit ``spec``, resuming from the journal when possible.
 
-        Returns ``{"resumed": bool, "batches_done": int}``.  Re-opening
-        a tenant already live in this process re-attaches to it (the
-        spec must match); a tenant with a journaled checkpoint from a
-        previous daemon life is restored from it.
+        Returns ``{"resumed": bool, "batches_done": int, "chunk": int}``
+        (``chunk`` is the last applied send index, -1 when none).
+        Re-opening a tenant already live in this process re-attaches to
+        it (the spec must match); a tenant with a checkpoint from a
+        previous daemon life — or suspended here by idle eviction — is
+        restored from it.
         """
         with self._tenants_lock:
             live = self._tenants.get(spec.tenant)
@@ -187,7 +207,8 @@ class SessionManager:
                         f"tenant {spec.tenant!r} is live with a different "
                         "spec")
                 return {"resumed": True,
-                        "batches_done": live.session.batches_total}
+                        "batches_done": live.session.batches_total,
+                        "chunk": live.last_chunk}
             if len(self._tenants) >= self.max_tenants:
                 raise AdmissionError(
                     f"tenant limit reached ({self.max_tenants})")
@@ -202,13 +223,16 @@ class SessionManager:
             else:
                 session.start()
             tenant = _Tenant(spec, session)
+            if saved is not None:
+                tenant.last_chunk = int(saved.get("chunk", -1))
             self._tenants[spec.tenant] = tenant
         self._append({"event": "tenant_open", "tenant": spec.tenant,
                       "spec": asdict(spec),
                       "fingerprint": spec.fingerprint(),
                       "resumed": saved is not None})
         return {"resumed": saved is not None,
-                "batches_done": session.batches_total}
+                "batches_done": session.batches_total,
+                "chunk": tenant.last_chunk}
 
     def session(self, tenant: str) -> AdaptationSession:
         """The live session of one tenant (tests and handlers)."""
@@ -229,7 +253,8 @@ class SessionManager:
     # -- streaming -----------------------------------------------------
 
     def ingest(self, tenant: str, images: np.ndarray,
-               labels: np.ndarray, *, faults: int = 0) -> dict:
+               labels: np.ndarray, *, faults: int = 0,
+               chunk: Optional[int] = None) -> dict:
         """Queue frames, apply admission control, run full batches.
 
         Frames beyond the tenant's buffer capacity are dropped (scored
@@ -240,6 +265,14 @@ class SessionManager:
         of faults it injected into this chunk (faults happen at the
         *edge*, client-side; the daemon only tallies them so the
         tenant's scorecard stays honest).
+
+        ``chunk`` is the sender's monotonically increasing send index:
+        a chunk at or below the highest applied one is acknowledged as
+        a ``duplicate`` without touching the session, so a client whose
+        connection was severed between apply and ack can blindly
+        re-send — adaptation is never double-applied.  The dedupe line
+        rides the journal checkpoints, staying consistent with the
+        model state a resume restores.
         """
         if len(images) != len(labels):
             raise ValueError("images and labels must align")
@@ -248,6 +281,18 @@ class SessionManager:
             if entry.closed:
                 raise AdmissionError(f"tenant {tenant!r} is closed")
             session = entry.session
+            entry.last_active = time.monotonic()
+            if chunk is not None and int(chunk) <= entry.last_chunk:
+                card = session.scorecard()
+                return {
+                    "accepted": 0,
+                    "dropped": 0,
+                    "duplicate": True,
+                    "batches_done": session.batches_total,
+                    "rollbacks": card.rollbacks,
+                    "degraded_batches": card.degraded_batches,
+                    "fallback_frames": card.fallback_frames,
+                }
             session.faults_injected += int(faults)
             space = entry.capacity - len(entry.pending_images)
             accepted = max(0, min(len(images), space))
@@ -258,6 +303,8 @@ class SessionManager:
                                         for image in images[:accepted])
             entry.pending_labels.extend(int(label)
                                         for label in labels[:accepted])
+            if chunk is not None:
+                entry.last_chunk = int(chunk)
             batch = entry.spec.batch_size
             with use_backend(self._backend):
                 while len(entry.pending_images) >= batch:
@@ -272,6 +319,7 @@ class SessionManager:
             return {
                 "accepted": accepted,
                 "dropped": dropped,
+                "duplicate": False,
                 "batches_done": session.batches_total,
                 "rollbacks": card.rollbacks,
                 "degraded_batches": card.degraded_batches,
@@ -283,15 +331,29 @@ class SessionManager:
                       "tenant": entry.spec.tenant,
                       "fingerprint": entry.spec.fingerprint(),
                       "batches_done": entry.session.batches_total,
+                      "chunk": entry.last_chunk,
                       "checkpoint": entry.session.checkpoint()})
+        self.maybe_compact()
 
     def scorecard(self, tenant: str):
         """The tenant's current scorecard (live counters included)."""
         return self._get(tenant).session.scorecard()
 
     def close_tenant(self, tenant: str, *, restore: bool = False):
-        """Finish one tenant's stream; returns its final scorecard."""
-        entry = self._get(tenant)
+        """Finish one tenant's stream; returns its final scorecard.
+
+        Idempotent: re-closing an already-closed tenant (a retrying
+        client whose ``closed`` reply was lost on a severed connection)
+        returns the recorded final scorecard instead of refusing.
+        """
+        try:
+            entry = self._get(tenant)
+        except AdmissionError:
+            with self._tenants_lock:
+                final = self._final.get(tenant)
+            if final is not None:
+                return final
+            raise
         with entry.lock:
             if not entry.closed:
                 entry.session.close(restore_model=restore)
@@ -299,16 +361,152 @@ class SessionManager:
         card = entry.session.scorecard()
         with self._tenants_lock:
             self._tenants.pop(tenant, None)
+            self._final[tenant] = card
+            while len(self._final) > _FINAL_SCORECARDS_KEPT:
+                self._final.pop(next(iter(self._final)))
         self._append({"event": "tenant_close", "tenant": tenant,
                       "scorecard": scorecard_to_dict(card)})
         return card
 
-    def close(self) -> None:
-        """Shut the manager down: close sessions, journal, backend."""
+    # -- long-lived operation ------------------------------------------
+
+    def evict_idle(self, max_idle_s: float) -> List[str]:
+        """Suspend tenants idle for more than ``max_idle_s`` seconds.
+
+        Checkpoint-on-evict: the tenant's full checkpoint moves into the
+        suspended table (and the journal, when one is configured), its
+        session and model are dropped, and a later ``hello`` re-admits
+        it bit-identically — exactly the daemon-restart resume path, so
+        an idle tenant costs a journal entry instead of a live model.
+        Tenants mid-batch are never evicted (their lock is busy).
+        """
+        if max_idle_s <= 0:
+            return []
         with self._tenants_lock:
-            names = sorted(self._tenants)
-        for name in names:
-            self.close_tenant(name)
+            candidates = list(self._tenants.items())
+        evicted: List[str] = []
+        now = time.monotonic()
+        for name, entry in candidates:
+            if not entry.lock.acquire(blocking=False):
+                continue                        # mid-batch: active
+            try:
+                if entry.closed or now - entry.last_active < max_idle_s:
+                    continue
+                saved = {"event": "tenant_checkpoint", "tenant": name,
+                         "fingerprint": entry.spec.fingerprint(),
+                         "batches_done": entry.session.batches_total,
+                         "chunk": entry.last_chunk,
+                         "checkpoint": entry.session.checkpoint()}
+                with self._tenants_lock:
+                    if self._tenants.get(name) is not entry:
+                        continue                # raced a concurrent close
+                    del self._tenants[name]
+                    self._saved[name] = saved
+                entry.closed = True
+                self.evictions += 1
+                self._append(saved)
+                self._append({"event": "tenant_evict", "tenant": name,
+                              "batches_done": entry.session.batches_total})
+                evicted.append(name)
+            finally:
+                entry.lock.release()
+        return evicted
+
+    def drain(self, timeout: Optional[float] = None) -> dict:
+        """Checkpoint every live tenant, then compact the journal.
+
+        The graceful-shutdown half that belongs to the manager: each
+        tenant's lock is taken (waiting out any in-flight batch, up to
+        ``timeout`` seconds overall) and a final ``tenant_checkpoint``
+        journaled, then the journal is compacted down to one checkpoint
+        per tenant.  Tenants stay *open* in the journal — a daemon
+        restarted with ``resume=True`` re-admits all of them — which is
+        what distinguishes drain from :meth:`close`.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._tenants_lock:
+            entries = list(self._tenants.items())
+        checkpointed: List[str] = []
+        skipped: List[str] = []
+        for name, entry in entries:
+            remaining = -1 if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            if not entry.lock.acquire(timeout=remaining):
+                skipped.append(name)            # stuck mid-batch past the
+                continue                        # deadline: prior per-batch
+            try:                                # checkpoints still stand
+                if not entry.closed and entry.session.active:
+                    self._checkpoint(entry)
+                    checkpointed.append(name)
+            finally:
+                entry.lock.release()
+        removed = self.compact()
+        return {"checkpointed": checkpointed, "skipped": skipped,
+                "compacted_entries": removed}
+
+    def compact(self) -> int:
+        """Compact the journal now (no-op without one); entries removed."""
+        if self._journal is None:
+            return 0
+        with self._journal_lock:
+            removed = self._journal.compact()
+            self.compactions += 1
+        return removed
+
+    def maybe_compact(self) -> int:
+        """Compact when the journal has outgrown ``compact_above``."""
+        if self._journal is None or self.compact_above <= 0:
+            return 0
+        with self._journal_lock:
+            if self._journal.size_bytes() < self.compact_above:
+                return 0
+            removed = self._journal.compact()
+            self.compactions += 1
+        return removed
+
+    def status(self) -> dict:
+        """JSON-safe health document: tenants, journal, counters."""
+        with self._tenants_lock:
+            entries = list(self._tenants.items())
+            suspended = sorted(self._saved)
+        tenants = {}
+        for name, entry in entries:
+            card = entry.session.scorecard()
+            tenants[name] = {
+                "batches_done": entry.session.batches_total,
+                "pending_frames": len(entry.pending_images),
+                "chunk": entry.last_chunk,
+                "closed": entry.closed,
+                "frames_processed": card.frames_processed,
+                "frames_dropped": card.frames_dropped,
+                "faults_injected": card.faults_injected,
+                "rollbacks": card.rollbacks,
+                "degraded_batches": card.degraded_batches,
+                "fallback_frames": card.fallback_frames,
+            }
+        journal = None
+        if self._journal is not None:
+            with self._journal_lock:
+                journal = {"path": str(self._journal.path),
+                           "size_bytes": self._journal.size_bytes(),
+                           "compact_above": self.compact_above,
+                           "compactions": self.compactions}
+        return {"tenants": tenants, "suspended": suspended,
+                "max_tenants": self.max_tenants,
+                "evictions": self.evictions, "journal": journal}
+
+    def close(self, *, close_tenants: bool = True) -> None:
+        """Shut the manager down: close sessions, journal, backend.
+
+        ``close_tenants=False`` (the drained-shutdown path) leaves
+        tenants un-closed in the journal so a restart with
+        ``resume=True`` re-admits them from their drain checkpoints.
+        """
+        if close_tenants:
+            with self._tenants_lock:
+                names = sorted(self._tenants)
+            for name in names:
+                self.close_tenant(name)
         if self._journal is not None:
             with self._journal_lock:
                 self._journal.close()

@@ -12,22 +12,36 @@ Client -> server message types (all carry ``"type"``):
   :class:`~repro.serve.manager.TenantSpec` fields), ``protocol``;
 - ``frames``    — a chunk of stream frames: ``images``, ``labels``
   (encoded arrays) plus optional ``faults`` (how many faults the sender
-  injected into the chunk — faults happen client-side, at the edge);
-  the server coalesces the frames into adaptation batches;
+  injected into the chunk — faults happen client-side, at the edge) and
+  optional ``chunk`` (a monotonically increasing per-tenant send index:
+  a re-send of an already-applied chunk is acknowledged without being
+  re-applied, which is what makes client retry after a severed
+  connection idempotent); the server coalesces the frames into
+  adaptation batches;
 - ``scorecard`` — request the tenant's current scorecard;
+- ``status``    — request daemon health (administrative, allowed before
+  ``hello``): per-tenant counters, journal stats, drain state;
 - ``close``     — finish the tenant's stream: ``restore`` (bool) picks
   whether the tenant model reverts to its source state;
-- ``shutdown``  — stop the whole daemon (administrative).
+- ``shutdown``  — stop the whole daemon (administrative); optional
+  ``drain`` (default true) checkpoints every tenant and compacts the
+  journal before the process exits.
 
 Server -> client:
 
-- ``welcome``   — hello accepted: ``resumed``, ``batches_done``;
+- ``welcome``   — hello accepted: ``resumed``, ``batches_done``,
+  ``chunk`` (the last applied send index, -1 when none — the client
+  numbers its next ``frames`` from there);
 - ``ack``       — frames ingested: ``accepted``, ``dropped`` (admission
-  control), ``batches_done``, and the live guard counters;
+  control), ``duplicate`` (an already-applied chunk was re-sent and
+  skipped), ``batches_done``, and the live guard counters;
 - ``scorecard`` — the serialized scorecard;
+- ``status``    — the daemon health document;
 - ``closed``    — stream finished, final ``scorecard`` attached;
 - ``bye``       — shutdown acknowledged;
-- ``error``     — request refused: ``reason`` (the connection stays up).
+- ``error``     — request refused: ``reason`` (the connection stays up
+  whenever the frame itself was well-formed; see the exception
+  hierarchy below for when it cannot).
 """
 
 from __future__ import annotations
@@ -51,6 +65,32 @@ _LENGTH = struct.Struct(">I")
 
 class ProtocolError(ValueError):
     """A wire message that violates the framing or schema."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A declared frame length above the cap.
+
+    Raised *before* any payload byte is read, so the payload is still
+    on the wire: a receiver that wants to keep the connection up must
+    :func:`drain_frame` the declared length first (the daemon does).
+    """
+
+    def __init__(self, length: int, limit: int) -> None:
+        super().__init__(
+            f"declared message length {length} exceeds the "
+            f"{limit}-byte limit")
+        self.length = length
+        self.limit = limit
+
+
+class PayloadError(ProtocolError):
+    """A complete, correctly-framed payload that is not a usable message.
+
+    The frame was consumed exactly, so the connection's framing is
+    intact and the receiver may keep serving it after an ``error``
+    reply — unlike a bare :class:`ProtocolError`, which means the byte
+    stream itself is broken (mid-message EOF, desynced framing).
+    """
 
 
 def send_message(sock: socket.socket, message: dict) -> None:
@@ -79,26 +119,50 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket) -> Optional[dict]:
-    """Receive one framed message; ``None`` when the peer closed cleanly."""
+def recv_message(sock: socket.socket,
+                 max_bytes: int = MAX_MESSAGE_BYTES) -> Optional[dict]:
+    """Receive one framed message; ``None`` when the peer closed cleanly.
+
+    ``max_bytes`` is the frame-size cap (tests shrink it to exercise
+    the oversized-frame path without shipping 64 MB).  An oversized
+    declared length raises :class:`FrameTooLargeError` before reading
+    the payload; a framed-but-undecodable payload raises
+    :class:`PayloadError` after consuming the frame exactly.
+    """
     header = _recv_exact(sock, _LENGTH.size)
     if header is None:
         return None
     (length,) = _LENGTH.unpack(header)
-    if length > MAX_MESSAGE_BYTES:
-        raise ProtocolError(
-            f"declared message length {length} exceeds the "
-            f"{MAX_MESSAGE_BYTES}-byte limit")
+    if length > max_bytes:
+        raise FrameTooLargeError(length, max_bytes)
     payload = _recv_exact(sock, length)
     if payload is None:
         raise ProtocolError("connection closed between header and payload")
     try:
         message = json.loads(payload.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as error:
-        raise ProtocolError(f"undecodable message payload: {error}") from None
+        raise PayloadError(f"undecodable message payload: {error}") from None
     if not isinstance(message, dict) or "type" not in message:
-        raise ProtocolError("message must be a JSON object with a 'type'")
+        raise PayloadError("message must be a JSON object with a 'type'")
     return message
+
+
+def drain_frame(sock: socket.socket, length: int,
+                chunk_bytes: int = 1 << 16) -> int:
+    """Read and discard exactly ``length`` payload bytes.
+
+    Used after :class:`FrameTooLargeError` to consume the refused
+    frame so the connection's framing stays intact (the caller's read
+    deadline bounds how long a slow or lying sender can stall this).
+    Raises :class:`ProtocolError` if the peer hangs up mid-frame.
+    """
+    remaining = length
+    while remaining:
+        data = sock.recv(min(remaining, chunk_bytes))
+        if not data:
+            raise ProtocolError("connection closed mid-message")
+        remaining -= len(data)
+    return length
 
 
 def scorecard_to_dict(card: StreamScorecard) -> dict:

@@ -150,3 +150,106 @@ class TestCompaction:
         assert after.fingerprint == "fp"
         assert after.completed_cells() == before.completed_cells()
         assert list(after.failed_cells()) == list(before.failed_cells())
+
+
+def serve_entries():
+    """A serve-shaped journal: two tenants, per-batch checkpoints."""
+    return [
+        {"event": "serve_start", "backend": "numpy"},
+        {"event": "tenant_open", "tenant": "cam0", "fingerprint": "f0"},
+        {"event": "tenant_checkpoint", "tenant": "cam0",
+         "fingerprint": "f0", "batches_done": 1, "checkpoint": {"v": 1}},
+        {"event": "tenant_open", "tenant": "cam1", "fingerprint": "f1"},
+        {"event": "tenant_checkpoint", "tenant": "cam0",
+         "fingerprint": "f0", "batches_done": 2, "checkpoint": {"v": 2}},
+        {"event": "tenant_checkpoint", "tenant": "cam1",
+         "fingerprint": "f1", "batches_done": 1, "checkpoint": {"v": 1}},
+        {"event": "tenant_checkpoint", "tenant": "cam1",
+         "fingerprint": "f1", "batches_done": 2, "checkpoint": {"v": 2}},
+    ]
+
+
+class TestServeCompaction:
+    def _write(self, path, events):
+        with RunJournal(path) as journal:
+            for event in events:
+                journal.append(event)
+
+    def test_keeps_only_latest_checkpoint_per_tenant(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        self._write(path, serve_entries())
+        removed = RunJournal(path, resume=True).compact()
+        assert removed == 2                     # one stale per tenant
+        kept = scan_journal(path).entries
+        checkpoints = [e for e in kept
+                       if e["event"] == "tenant_checkpoint"]
+        assert {(e["tenant"], e["batches_done"])
+                for e in checkpoints} == {("cam0", 2), ("cam1", 2)}
+        # lifecycle history survives compaction
+        assert [e["event"] for e in kept[:2]] == ["serve_start",
+                                                  "tenant_open"]
+
+    def test_closed_tenant_checkpoints_are_dropped(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        events = serve_entries() + [
+            {"event": "tenant_close", "tenant": "cam0",
+             "scorecard": {"frames": 16}}]
+        self._write(path, events)
+        RunJournal(path, resume=True).compact()
+        kept = scan_journal(path).entries
+        checkpoints = [e for e in kept
+                       if e["event"] == "tenant_checkpoint"]
+        assert [e["tenant"] for e in checkpoints] == ["cam1"]
+        assert any(e["event"] == "tenant_close" for e in kept)
+
+    def test_checkpoint_after_reopen_survives_earlier_close(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        events = [
+            {"event": "tenant_checkpoint", "tenant": "cam0",
+             "fingerprint": "f0", "batches_done": 1, "checkpoint": {}},
+            {"event": "tenant_close", "tenant": "cam0", "scorecard": {}},
+            {"event": "tenant_open", "tenant": "cam0", "fingerprint": "f0"},
+            {"event": "tenant_checkpoint", "tenant": "cam0",
+             "fingerprint": "f0", "batches_done": 1, "checkpoint": {}},
+        ]
+        self._write(path, events)
+        RunJournal(path, resume=True).compact()
+        kept = scan_journal(path).entries
+        assert [e["event"] for e in kept] == \
+            ["tenant_close", "tenant_open", "tenant_checkpoint"]
+
+    def test_unknown_events_are_kept_verbatim(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        exotic = {"event": "operator_note", "text": "fan replaced"}
+        self._write(path, serve_entries() + [exotic])
+        RunJournal(path, resume=True).compact()
+        assert exotic in scan_journal(path).entries
+
+    def test_size_bytes_tracks_file(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        journal = RunJournal(path)
+        assert journal.size_bytes() == 0        # nothing written yet
+        journal.append({"event": "serve_start"})
+        journal.close()
+        assert journal.size_bytes() == path.stat().st_size > 0
+
+    def test_crash_during_compaction_preserves_journal(self, tmp_path,
+                                                       monkeypatch):
+        """Compaction goes through tmp+rename: a kill mid-rewrite must
+        leave the previous journal byte-for-byte intact."""
+        import repro.resilience.journal as journal_module
+
+        path = tmp_path / "serve.jsonl"
+        self._write(path, serve_entries())
+        before = path.read_bytes()
+
+        def crash(*args, **kwargs):
+            raise RuntimeError("SIGKILL mid-rewrite")
+
+        monkeypatch.setattr(journal_module, "atomic_write_bytes", crash)
+        with pytest.raises(RuntimeError, match="mid-rewrite"):
+            RunJournal(path, resume=True).compact()
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        # and the untouched journal still compacts fine afterwards
+        assert RunJournal(path, resume=True).compact() == 2

@@ -192,7 +192,8 @@ class TestServeKillResume:
         second = SessionManager(journal=journal, resume=True)
         try:
             opened = second.open_tenant(self.spec())
-            assert opened == {"resumed": True, "batches_done": 5}
+            assert opened == {"resumed": True, "batches_done": 5,
+                              "chunk": -1}
             self.feed(second, chunks[5:], faults_at={2})  # index 7 -> 2
             assert strip_timing(second.scorecard("cam0")) == \
                 strip_timing(twin_card)

@@ -118,7 +118,7 @@ class TestWeightedBatchIndices:
         weights = (0.5,) + (0.5 / 9,) * 9
         rows = weighted_batch_indices(labels, weights, 16,
                                       np.random.default_rng(0))
-        assert (labels[rows] == 0).all()
+        assert np.array_equal(labels[rows], np.zeros(16, dtype=np.int64))
 
     def test_no_matching_class_raises(self):
         labels = np.zeros(10, dtype=np.int64)

@@ -87,7 +87,8 @@ class TestServeSmoke:
         with connect(daemon) as client:
             welcome = client.hello(spec_for("cam0"))
             assert welcome == {"type": "welcome", "tenant": "cam0",
-                               "resumed": True, "batches_done": 1}
+                               "resumed": True, "batches_done": 1,
+                               "chunk": 0}
             assert client.scorecard().frames_processed == 8
             client.close_tenant()
 

@@ -68,7 +68,7 @@ class TestLifecycle:
         ack = manager.ingest("cam0", images, labels)
         assert ack == dict(accepted=20, dropped=0, batches_done=2,
                            rollbacks=0, degraded_batches=0,
-                           fallback_frames=0)
+                           fallback_frames=0, duplicate=False)
         ack = manager.ingest("cam0", images[:4], labels[:4])
         assert ack["batches_done"] == 3
 
@@ -96,7 +96,8 @@ class TestLifecycle:
         images, labels = make_batches(1, batch_size=8)[0]
         manager.ingest("cam0", images, labels)
         opened = manager.open_tenant(spec_for("cam0"))
-        assert opened == {"resumed": True, "batches_done": 1}
+        assert opened == {"resumed": True, "batches_done": 1,
+                          "chunk": -1}
 
     def test_reopen_live_tenant_with_other_spec_refused(self, manager):
         manager.open_tenant(spec_for("cam0"))
@@ -148,7 +149,8 @@ class TestJournalResume:
         second = SessionManager(journal=journal, resume=True)
         try:
             opened = second.open_tenant(self._spec())
-            assert opened == {"resumed": True, "batches_done": 5}
+            assert opened == {"resumed": True, "batches_done": 5,
+                              "chunk": -1}
             self._feed(second, "cam0", chunks[5:],
                        faults_at={2})        # chunk index 7 is now 2
             assert strip_timing(second.scorecard("cam0")) == \
@@ -185,7 +187,8 @@ class TestJournalResume:
         second = SessionManager(journal=journal, resume=True)
         try:
             opened = second.open_tenant(self._spec())
-            assert opened == {"resumed": False, "batches_done": 0}
+            assert opened == {"resumed": False, "batches_done": 0,
+                              "chunk": -1}
         finally:
             second.close()
 
