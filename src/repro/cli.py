@@ -60,6 +60,17 @@ Commands
     unless the daemon reported guard rollbacks), ``--start-batch`` skips
     already-processed batches when replaying after a daemon resume, and
     ``--shutdown`` stops the daemon afterwards.
+    ``--load "poisson:rate=64"`` paces the sends on a seeded open-loop
+    arrival schedule (:mod:`repro.serve.loadgen`) and prints per-request
+    latency percentiles; ``--duration S`` cycles the stream until S
+    seconds elapsed (soak runs).
+``serve-bench``
+    Run the seeded multi-tenant serving benchmark in-process
+    (:func:`repro.serve.loadgen.run_serving_bench`): N tenants' open-loop
+    streams through an event-loop daemon, reduced to p50/p95/p99 latency
+    + frames/sec.  ``--json`` writes a BENCH-style document,
+    ``--compare BASELINE --tolerance PCT`` gates the serving metrics
+    against a baseline's ``serving`` section (CI's serve-bench leg).
 ``check``
     Run the project-aware invariant linter (:mod:`repro.analysis`) over
     source trees: AST rules ``REP001``-``REP007`` guarding seeded
@@ -408,7 +419,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         journal=args.journal or None, resume=args.resume,
         backend=args.backend or "numpy", max_tenants=args.max_tenants,
         checkpoint_every=args.checkpoint_every,
-        compact_above=args.compact_above)
+        compact_above=args.compact_above, workers=args.workers)
     daemon = ServeDaemon(manager, args.host, args.port,
                          io_timeout=args.io_timeout,
                          idle_evict_s=args.idle_evict)
@@ -443,6 +454,17 @@ def _cmd_serve_client(args: argparse.Namespace) -> int:
         scenario_spec, code = _parse_scenario_arg(args.scenario)
         if code is not None:
             return code
+    arrival = None
+    if args.load:
+        from repro.serve.loadgen import parse_arrival_spec
+        try:
+            arrival = parse_arrival_spec(args.load)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.duration > 0 and arrival is None:
+        print("error: --duration requires --load", file=sys.stderr)
+        return 2
     spec = TenantSpec(
         tenant=args.tenant, model=args.model, method=args.method,
         batch_size=args.batch_size, guard=args.guard,
@@ -464,6 +486,19 @@ def _cmd_serve_client(args: argparse.Namespace) -> int:
                                                severity=args.severity,
                                                seed=args.seed)
         batch_iter = stream.batches(args.batch_size)
+    if args.duration > 0:
+        # soak mode: cycle the (bounded) synthesized stream until the
+        # wall-clock budget runs out; copies keep each cycle pristine
+        # when the fault injector mutates a batch downstream
+        base_batches = [(images.copy(), labels.copy())
+                        for images, labels in batch_iter]
+
+        def _cycle(batches):
+            while True:
+                for images, labels in batches:
+                    yield images.copy(), labels.copy()
+
+        batch_iter = _cycle(base_batches)
     injector = None
     if args.faults:
         injector = FaultInjector(parse_fault_specs(args.faults),
@@ -493,13 +528,46 @@ def _cmd_serve_client(args: argparse.Namespace) -> int:
             # same fault schedule; --start-batch only skips the *sending*
             # (faults in skipped batches were reported by the previous run
             # and live in the resumed checkpoint)
+            import time as time_module
+            gaps = (arrival.gaps(args.batch_size, args.seed)
+                    if arrival is not None else None)
+            latencies_ms: List[float] = []
+            frames_accepted = 0
+            scheduled = 0.0
+            paced_sends = 0
             reported = 0
+            epoch = time_module.monotonic()
             for index, (images, labels) in enumerate(batch_iter):
                 injected = injector.faults_injected if injector else 0
                 delta, reported = injected - reported, injected
                 if index < args.start_batch:
                     continue
-                client.send_frames(images, labels, faults=delta)
+                if gaps is None:
+                    client.send_frames(images, labels, faults=delta)
+                    continue
+                if args.duration > 0 \
+                        and time_module.monotonic() - epoch >= args.duration:
+                    break
+                if paced_sends > 0:
+                    scheduled += next(gaps)
+                delay = epoch + scheduled - time_module.monotonic()
+                if delay > 0:
+                    time_module.sleep(delay)
+                started = time_module.monotonic()
+                ack = client.send_frames(images, labels, faults=delta)
+                latencies_ms.append(
+                    (time_module.monotonic() - started) * 1e3)
+                frames_accepted += int(ack["accepted"])
+                paced_sends += 1
+            if gaps is not None:
+                from repro.serve.loadgen import latency_percentiles
+                wall = max(time_module.monotonic() - epoch, 1e-9)
+                pct = latency_percentiles(latencies_ms)
+                print(f"load: {len(latencies_ms)} request(s) in "
+                      f"{wall:.1f}s ({arrival.compact()}): "
+                      f"p50 {pct['p50']:.1f}ms p95 {pct['p95']:.1f}ms "
+                      f"p99 {pct['p99']:.1f}ms, "
+                      f"{frames_accepted / wall:.1f} frames/s")
             if args.no_close:
                 card = client.scorecard()
             else:
@@ -563,9 +631,55 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     doc = write_engine_bench(
         args.json or DEFAULT_BENCH_PATH, backends=backends,
         threads=args.threads or 0, batch=args.batch, repeats=args.repeats,
-        sweep=not args.no_sweep, sweep_workers=args.workers)
+        sweep=not args.no_sweep, sweep_workers=args.workers,
+        serving=args.serving, serving_tenants=args.serving_tenants,
+        serving_frames=args.serving_frames)
     print(format_engine_bench(doc))
     print(f"wrote {args.json or DEFAULT_BENCH_PATH}")
+    if args.compare:
+        baseline = json_module.loads(Path(args.compare).read_text())
+        comparison = compare_engine_bench(doc, baseline,
+                                          tolerance_pct=args.tolerance)
+        print(format_bench_comparison(comparison))
+        if comparison["regressions"]:
+            print(f"perf regression vs {args.compare}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.engine.bench import (BENCH_FORMAT_VERSION,
+                                    compare_engine_bench,
+                                    format_bench_comparison,
+                                    format_serving_section)
+    from repro.serve.loadgen import run_serving_bench
+
+    try:
+        section = run_serving_bench(
+            tenants=args.tenants, frames_per_tenant=args.frames,
+            batch_size=args.batch_size, arrival=args.arrival,
+            seed=args.seed, workers=args.workers, method=args.method,
+            guard=args.guard)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_serving_section(section))
+    if section["errors"]:
+        for message in section["report"]["error_messages"]:
+            print(f"error: {message}", file=sys.stderr)
+        return 1
+    # a serve-bench document is BENCH-shaped (format/version/serving) so
+    # `bench --compare` and this gate read the same baselines
+    doc = {"format": "repro.engine_bench", "version": BENCH_FORMAT_VERSION,
+           "serving": section}
+    if args.json:
+        from repro.resilience.atomic import atomic_write_text
+        atomic_write_text(args.json,
+                          json_module.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.json}")
     if args.compare:
         baseline = json_module.loads(Path(args.compare).read_text())
         comparison = compare_engine_bench(doc, baseline,
@@ -764,6 +878,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="budget for finishing in-flight batches and "
                             "checkpointing every tenant on a drained "
                             "shutdown")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       metavar="N",
+                       help="cross-tenant batch-scheduler worker threads "
+                            "(batches from different tenants adapt "
+                            "concurrently; per-tenant order is preserved)")
     serve.set_defaults(func=_cmd_serve)
 
     serve_client = sub.add_parser(
@@ -838,6 +957,18 @@ def build_parser() -> argparse.ArgumentParser:
                                    "'disconnect:0.1,truncate@5' (faults: "
                                    "disconnect, delay, truncate, split, "
                                    "garbage); pair with --retries")
+    serve_client.add_argument("--load", metavar="SPEC", default=None,
+                              help="pace sends open-loop on an arrival "
+                                   "spec, e.g. 'poisson:rate=64' or "
+                                   "'burst:rate=128+size=4' (kinds: "
+                                   "uniform, poisson, burst; rate is "
+                                   "frames/s), and print p50/p95/p99 "
+                                   "latency + throughput at the end")
+    serve_client.add_argument("--duration", type=float, default=0.0,
+                              metavar="SECONDS",
+                              help="with --load: keep streaming (cycling "
+                                   "the frame set) for this long instead "
+                                   "of stopping after --frames")
     serve_client.add_argument("--seed", type=_non_negative_int, default=0)
     serve_client.set_defaults(func=_cmd_serve_client)
 
@@ -888,7 +1019,51 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PCT",
                        help="allowed slowdown before --compare fails "
                             "(percent, default 25)")
+    bench.add_argument("--serving", action="store_true",
+                       help="also measure serve-path latency/throughput "
+                            "(in-process daemon + seeded multi-tenant "
+                            "load) into a 'serving' section")
+    bench.add_argument("--serving-tenants", type=_positive_int, default=2,
+                       metavar="N",
+                       help="tenants for the --serving measurement")
+    bench.add_argument("--serving-frames", type=_positive_int, default=96,
+                       metavar="N",
+                       help="frames per tenant for --serving")
     bench.set_defaults(func=_cmd_bench)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="serve-path latency/throughput bench (in-process daemon + "
+             "seeded open-loop multi-tenant load)")
+    serve_bench.add_argument("--tenants", type=_positive_int, default=2,
+                             help="concurrent tenant streams")
+    serve_bench.add_argument("--frames", type=_positive_int, default=96,
+                             help="frames per tenant")
+    serve_bench.add_argument("--batch-size", type=_positive_int,
+                             default=16)
+    serve_bench.add_argument("--arrival", metavar="SPEC",
+                             default="poisson:rate=256",
+                             help="arrival spec (see serve-client --load)")
+    serve_bench.add_argument("--workers", type=_positive_int, default=2,
+                             help="batch-scheduler worker threads")
+    serve_bench.add_argument("--method",
+                             choices=METHOD_NAMES + EXTENSION_METHOD_NAMES,
+                             default="bn_opt")
+    serve_bench.add_argument("--no-guard", dest="guard",
+                             action="store_false",
+                             help="run tenants unguarded")
+    serve_bench.add_argument("--seed", type=_non_negative_int, default=0)
+    serve_bench.add_argument("--json", metavar="PATH", default=None,
+                             help="write a BENCH-shaped document with the "
+                                  "'serving' section to this path")
+    serve_bench.add_argument("--compare", metavar="BASELINE", default=None,
+                             help="gate serving latency/throughput "
+                                  "against a baseline BENCH_engine.json")
+    serve_bench.add_argument("--tolerance", type=float, default=25.0,
+                             metavar="PCT",
+                             help="allowed regression before --compare "
+                                  "fails (percent, default 25)")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

@@ -24,6 +24,13 @@ process-parallel scheduler (:mod:`repro.parallel`), recording wall time
 and cells/sec for each so the sweep-throughput trajectory is tracked
 alongside the kernel timings.
 
+With ``serving=True`` (v3) the document also gets a ``serving``
+section: a seeded multi-tenant load-generator run against an
+in-process event-loop daemon (:mod:`repro.serve.loadgen`), recording
+per-request p50/p95/p99 latency, queue depth, and frames/sec — the
+serve path's throughput number, gated by the same ``--compare`` CI
+gate as the kernels.
+
 :func:`compare_engine_bench` turns two documents into a perf-regression
 verdict — ``python -m repro bench --compare BASELINE.json`` exits
 non-zero when any kernel slowed down (or sweep throughput dropped)
@@ -46,8 +53,9 @@ from repro.engine import Backend, create_backend, use_backend
 DEFAULT_BENCH_PATH = "BENCH_engine.json"
 
 #: schema version for BENCH_engine.json (bump on incompatible change);
-#: v2 added the optional ``sweep`` throughput section
-BENCH_FORMAT_VERSION = 2
+#: v2 added the optional ``sweep`` throughput section, v3 the optional
+#: ``serving`` latency/throughput section (repro.serve.loadgen)
+BENCH_FORMAT_VERSION = 3
 
 
 def _time(fn: Callable[[], None], repeats: int, warmup: int = 1) -> Dict[str, float]:
@@ -170,11 +178,20 @@ def run_engine_bench(backends: Sequence[str] = ("numpy", "threaded"),
                      repeats: int = 5,
                      seed: int = 0,
                      sweep: bool = False,
-                     sweep_workers: int = 0) -> dict:
+                     sweep_workers: int = 0,
+                     serving: bool = False,
+                     serving_tenants: int = 2,
+                     serving_frames: int = 96,
+                     serving_batch: int = 16,
+                     serving_arrival: str = "poisson:rate=256",
+                     serving_workers: int = 2) -> dict:
     """Benchmark every named backend; return the BENCH_engine document.
 
     ``sweep=True`` appends the sweep-throughput section (serial vs
     ``sweep_workers`` processes; 0 means one per CPU core).
+    ``serving=True`` appends the serving latency/throughput section
+    (``serving_tenants`` seeded tenant streams of ``serving_frames``
+    frames each through an in-process daemon).
     """
     results: Dict[str, dict] = {}
     for name in backends:
@@ -219,6 +236,14 @@ def run_engine_bench(backends: Sequence[str] = ("numpy", "threaded"),
     if sweep:
         doc["sweep"] = _bench_sweep(sweep_workers or os.cpu_count() or 1,
                                     seed)
+    if serving:
+        # lazy import: the serve stack is heavy and the kernel bench
+        # must stay runnable without it
+        from repro.serve.loadgen import run_serving_bench
+        doc["serving"] = run_serving_bench(
+            tenants=serving_tenants, frames_per_tenant=serving_frames,
+            batch_size=serving_batch, arrival=serving_arrival,
+            seed=seed, workers=serving_workers)
     return doc
 
 
@@ -261,7 +286,28 @@ def format_engine_bench(doc: dict) -> str:
             f"parallel[{sweep['parallel']['workers']}] "
             f"{sweep['parallel']['cells_per_s']:.2f} cells/s "
             f"(x{sweep['speedup_parallel_vs_serial']:.2f})")
+    serving = doc.get("serving")
+    if serving:
+        lines.append(format_serving_section(serving))
     return "\n".join(lines)
+
+
+def format_serving_section(serving: dict) -> str:
+    """One-line human summary of a ``serving`` bench section."""
+    config = serving.get("config", {})
+    latency = serving.get("latency_ms", {})
+    line = (f"serving ({config.get('tenants', '?')} tenants x "
+            f"{config.get('frames_per_tenant', '?')} frames, "
+            f"{config.get('arrival', '?')}): "
+            f"p50 {latency.get('p50', 0.0):.1f}ms "
+            f"p95 {latency.get('p95', 0.0):.1f}ms "
+            f"p99 {latency.get('p99', 0.0):.1f}ms, "
+            f"{serving.get('frames_per_s', 0.0):.1f} frames/s")
+    if serving.get("frames_dropped"):
+        line += f", {serving['frames_dropped']} dropped"
+    if serving.get("errors"):
+        line += f", {serving['errors']} error(s)"
+    return line
 
 
 # ----------------------------------------------------------------------
@@ -271,6 +317,9 @@ def format_engine_bench(doc: dict) -> str:
 #: kernel metrics compared per backend (lower is better)
 _KERNEL_OPS = ("conv_forward", "conv_backward", "bn_opt_step")
 
+#: serving latency percentiles compared (lower is better)
+_SERVING_LATENCY_METRICS = ("p50", "p95", "p99")
+
 
 def compare_engine_bench(current: dict, baseline: dict,
                          tolerance_pct: float = 25.0) -> dict:
@@ -278,14 +327,18 @@ def compare_engine_bench(current: dict, baseline: dict,
 
     A kernel regresses when its best time exceeds the baseline's by
     more than ``tolerance_pct`` percent; sweep throughput regresses
-    when cells/sec drops by more than the same margin.  Metrics present
-    on only one side are skipped, not failed — a v1 baseline (no
-    ``sweep`` section) gates the kernels it has and nothing else, so
-    the gate never breaks on its own format growth.
+    when cells/sec drops by more than the same margin; serving latency
+    percentiles (lower is better) and frames/sec (higher is better)
+    regress the same way.  Metrics present on only one side are
+    skipped, not failed — a v1 baseline (no ``sweep`` section) gates
+    the kernels it has and nothing else, and a pre-v3 baseline with no
+    ``serving`` section leaves the serving numbers informational (a
+    note says so) — the gate never breaks on its own format growth.
 
-    Returns ``{"tolerance_pct", "checked", "regressions", "skipped"}``
-    where each entry of ``checked``/``regressions`` is ``{"metric",
-    "baseline", "current", "ratio"}`` (ratio > 1 means slower/worse).
+    Returns ``{"tolerance_pct", "checked", "regressions", "skipped",
+    "notes"}`` where each entry of ``checked``/``regressions`` is
+    ``{"metric", "baseline", "current", "ratio"}`` (ratio > 1 means
+    slower/worse).
     """
     if tolerance_pct < 0:
         raise ValueError(
@@ -294,6 +347,7 @@ def compare_engine_bench(current: dict, baseline: dict,
     checked: List[dict] = []
     regressions: List[dict] = []
     skipped: List[str] = []
+    notes: List[str] = []
 
     def check(metric: str, base_value: Optional[float],
               cur_value: Optional[float], *, lower_is_better: bool) -> None:
@@ -321,8 +375,29 @@ def compare_engine_bench(current: dict, baseline: dict,
               baseline.get("sweep", {}).get(mode, {}).get("cells_per_s"),
               current.get("sweep", {}).get(mode, {}).get("cells_per_s"),
               lower_is_better=False)
+    cur_serving = current.get("serving") or {}
+    base_serving = baseline.get("serving") or {}
+    if cur_serving and not base_serving:
+        # pre-v3 baseline: report the serving numbers but gate nothing
+        # (exactly the v1 no-sweep tolerance, one format later)
+        notes.append(
+            "baseline has no 'serving' section (pre-v3 format): serving "
+            "metrics are informational this run, not gated")
+        for name in _SERVING_LATENCY_METRICS:
+            skipped.append(f"serving/latency_{name}_ms")
+        skipped.append("serving/frames_per_s")
+    else:
+        for name in _SERVING_LATENCY_METRICS:
+            check(f"serving/latency_{name}_ms",
+                  base_serving.get("latency_ms", {}).get(name),
+                  cur_serving.get("latency_ms", {}).get(name),
+                  lower_is_better=True)
+        check("serving/frames_per_s",
+              base_serving.get("frames_per_s"),
+              cur_serving.get("frames_per_s"), lower_is_better=False)
     return {"tolerance_pct": tolerance_pct, "checked": checked,
-            "regressions": regressions, "skipped": skipped}
+            "regressions": regressions, "skipped": skipped,
+            "notes": notes}
 
 
 def format_bench_comparison(comparison: dict) -> str:
@@ -341,4 +416,6 @@ def format_bench_comparison(comparison: dict) -> str:
     if comparison["skipped"]:
         lines.append("  skipped (absent on one side): "
                      + ", ".join(comparison["skipped"]))
+    for note in comparison.get("notes", ()):
+        lines.append(f"  note: {note}")
     return "\n".join(lines)

@@ -23,7 +23,16 @@ deadlines, recoverable protocol-error replies, a ``status`` health
 message, graceful drain, idle-tenant eviction, and online journal
 compaction, while the client retries idempotently with seeded backoff.
 
-CLI: ``repro serve`` / ``repro serve-client``.
+PR 9 made the stack *fast and measurably so*: the daemon is a
+``selectors`` event loop (thousands of connections, no
+thread-per-connection), batches from many tenants coalesce through the
+cross-tenant :class:`~repro.serve.scheduler.BatchScheduler`, and
+:mod:`repro.serve.loadgen` generates seeded open-loop multi-tenant
+load and reduces it to p50/p95/p99 latency + throughput — the
+``serving`` section of ``BENCH_engine.json`` that ``bench --compare``
+gates in CI.
+
+CLI: ``repro serve`` / ``repro serve-client`` / ``repro serve-bench``.
 """
 
 from repro.serve.chaos import (
@@ -38,21 +47,43 @@ from repro.serve.client import (
     ServeTimeoutError,
 )
 from repro.serve.daemon import ServeDaemon, serve
+from repro.serve.loadgen import (
+    ARRIVAL_KINDS,
+    ArrivalSpec,
+    TenantLoad,
+    parse_arrival_spec,
+    run_loadgen,
+    run_serving_bench,
+)
 from repro.serve.manager import AdmissionError, SessionManager, TenantSpec
+from repro.serve.scheduler import (
+    BatchScheduler,
+    BatchTicket,
+    SchedulerClosedError,
+)
 from repro.serve.session import AdaptationSession
 
 __all__ = [
+    "ARRIVAL_KINDS",
     "AdaptationSession",
     "AdmissionError",
+    "ArrivalSpec",
+    "BatchScheduler",
+    "BatchTicket",
     "ChaosProxy",
     "NETWORK_FAULT_NAMES",
+    "SchedulerClosedError",
     "ServeClient",
     "ServeDaemon",
     "ServeDisconnectedError",
     "ServeError",
     "ServeTimeoutError",
     "SessionManager",
+    "TenantLoad",
     "TenantSpec",
+    "parse_arrival_spec",
     "parse_network_fault_specs",
+    "run_loadgen",
+    "run_serving_bench",
     "serve",
 ]

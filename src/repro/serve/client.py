@@ -82,6 +82,9 @@ class ServeClient:
                                    backoff_base=backoff_base, seed=seed)
         self._spec: Optional[TenantSpec] = None
         self._next_chunk = 0
+        #: wall time of the last completed call, retries included —
+        #: what the load generator records as per-request latency
+        self.last_rtt_s: Optional[float] = None
 
     @classmethod
     def connect(cls, host: str, port: int, timeout: float = 10.0,
@@ -158,6 +161,7 @@ class ServeClient:
         key = (f"{self._spec.tenant if self._spec else ''}"
                f":{message.get('type')}:{message.get('chunk', '')}")
         last_error: Exception = ServeDisconnectedError("no attempt ran")
+        started = time.monotonic()
         for attempt in range(1, self._policy.attempts + 1):
             if attempt > 1:
                 time.sleep(self._policy.backoff_delay(key, attempt - 1))
@@ -168,7 +172,9 @@ class ServeClient:
                     last_error = error
                     continue
             try:
-                return self._call_once(message, expect, timeout)
+                reply = self._call_once(message, expect, timeout)
+                self.last_rtt_s = time.monotonic() - started
+                return reply
             except (ServeTimeoutError, ServeDisconnectedError) as error:
                 last_error = error
         raise last_error

@@ -11,6 +11,15 @@ operations the daemon's connection handlers call:
   control, and coalesce full adaptation batches through the session;
 - :meth:`close_tenant` — finish the stream and journal the scorecard.
 
+Batches are *not* run on the caller's thread: ingest carves them and
+submits each to a shared :class:`~repro.serve.scheduler.BatchScheduler`
+(cross-tenant round-robin over ``workers`` threads), then waits the
+tickets out so the ack is still synchronous.  Per-tenant order and
+non-overlap are the scheduler's invariants, so the stream stays
+bit-identical to PR 8's inline processing; what changed is that many
+tenants' batches now share one bounded pool instead of each hogging
+its own connection thread.
+
 Durability follows the study runners' journal discipline
 (:mod:`repro.resilience.journal`): every processed batch appends a
 ``tenant_checkpoint`` entry carrying the session's full checkpoint, so
@@ -30,6 +39,7 @@ import json
 import threading
 import time
 from dataclasses import asdict, dataclass
+from functools import partial
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -39,6 +49,7 @@ from repro.models.registry import build_model
 from repro.nn import init as nn_init
 from repro.resilience.journal import RunJournal
 from repro.serve.protocol import scorecard_to_dict
+from repro.serve.scheduler import BatchScheduler, BatchTicket
 from repro.serve.session import AdaptationSession
 
 #: journal event names of the serve layer (the study runners own
@@ -107,6 +118,10 @@ class _Tenant:
         self.last_chunk = -1
         #: monotonic instant of the last ingest/open (idle eviction)
         self.last_active = time.monotonic()
+        #: frames carved into batches sitting in (or running on) the
+        #: scheduler — counted against :attr:`capacity` so admission
+        #: sees the true backlog, not just the uncarved remainder
+        self.queued_frames = 0
 
     @property
     def capacity(self) -> int:
@@ -129,7 +144,7 @@ class SessionManager:
     def __init__(self, *, journal: Optional[str] = None,
                  resume: bool = False, backend: str = "numpy",
                  max_tenants: int = 8, checkpoint_every: int = 1,
-                 compact_above: int = 0) -> None:
+                 compact_above: int = 0, workers: int = 2) -> None:
         if max_tenants < 1:
             raise ValueError("max_tenants must be >= 1")
         if checkpoint_every < 1:
@@ -144,6 +159,7 @@ class SessionManager:
         self.evictions = 0
         self.compactions = 0
         self._backend = create_backend(backend)
+        self._scheduler = BatchScheduler(workers=workers)
         self._tenants: Dict[str, _Tenant] = {}
         self._tenants_lock = threading.Lock()
         self._journal_lock = threading.Lock()
@@ -260,8 +276,13 @@ class SessionManager:
         Frames beyond the tenant's buffer capacity are dropped (scored
         as drops, exactly the real-time simulator's overflow rule);
         accepted frames are coalesced into ``batch_size`` adaptation
-        batches and processed synchronously, checkpointing every
-        ``checkpoint_every`` batches.  ``faults`` is the sender's count
+        batches, submitted to the shared cross-tenant scheduler, and
+        *waited out* — the ack reflects every batch of this chunk —
+        checkpointing every ``checkpoint_every`` batches.  Carving and
+        submission happen under the tenant lock so concurrent ingests
+        for one tenant enqueue in arrival order; the wait happens
+        outside it so other chunks can queue up meanwhile.  ``faults``
+        is the sender's count
         of faults it injected into this chunk (faults happen at the
         *edge*, client-side; the daemon only tallies them so the
         tenant's scorecard stays honest).
@@ -277,6 +298,7 @@ class SessionManager:
         if len(images) != len(labels):
             raise ValueError("images and labels must align")
         entry = self._get(tenant)
+        tickets: List[BatchTicket] = []
         with entry.lock:
             if entry.closed:
                 raise AdmissionError(f"tenant {tenant!r} is closed")
@@ -294,7 +316,8 @@ class SessionManager:
                     "fallback_frames": card.fallback_frames,
                 }
             session.faults_injected += int(faults)
-            space = entry.capacity - len(entry.pending_images)
+            backlog = len(entry.pending_images) + entry.queued_frames
+            space = entry.capacity - backlog
             accepted = max(0, min(len(images), space))
             dropped = len(images) - accepted
             if dropped:
@@ -306,15 +329,18 @@ class SessionManager:
             if chunk is not None:
                 entry.last_chunk = int(chunk)
             batch = entry.spec.batch_size
-            with use_backend(self._backend):
-                while len(entry.pending_images) >= batch:
-                    batch_images = np.stack(entry.pending_images[:batch])
-                    batch_labels = np.asarray(entry.pending_labels[:batch])
-                    del entry.pending_images[:batch]
-                    del entry.pending_labels[:batch]
-                    session.process_batch(batch_images, batch_labels)
-                    if session.batches_total % self.checkpoint_every == 0:
-                        self._checkpoint(entry)
+            while len(entry.pending_images) >= batch:
+                batch_images = np.stack(entry.pending_images[:batch])
+                batch_labels = np.asarray(entry.pending_labels[:batch])
+                del entry.pending_images[:batch]
+                del entry.pending_labels[:batch]
+                entry.queued_frames += batch
+                tickets.append(self._scheduler.submit(
+                    tenant, partial(self._process_batch, entry,
+                                    batch_images, batch_labels)))
+        for ticket in tickets:
+            ticket.wait()
+        with entry.lock:
             card = session.scorecard()
             return {
                 "accepted": accepted,
@@ -325,6 +351,24 @@ class SessionManager:
                 "degraded_batches": card.degraded_batches,
                 "fallback_frames": card.fallback_frames,
             }
+
+    def _process_batch(self, entry: _Tenant, images: np.ndarray,
+                       labels: np.ndarray) -> None:
+        """Run one carved batch (scheduler worker thread).
+
+        The tenant lock serializes against close/evict/drain; the
+        scheduler already guarantees one batch per tenant at a time and
+        FIFO order, so taking the lock here never contends with another
+        batch of the same tenant.
+        """
+        with entry.lock:
+            entry.queued_frames -= len(images)
+            if entry.closed:
+                return      # close or evict raced the queue: discarded
+            with use_backend(self._backend):
+                entry.session.process_batch(images, labels)
+            if entry.session.batches_total % self.checkpoint_every == 0:
+                self._checkpoint(entry)
 
     def _checkpoint(self, entry: _Tenant) -> None:
         self._append({"event": "tenant_checkpoint",
@@ -354,6 +398,9 @@ class SessionManager:
             if final is not None:
                 return final
             raise
+        # wait out this tenant's queued/in-flight batches first, so the
+        # final scorecard counts every frame an ack already admitted
+        self._scheduler.wait_key(tenant)
         with entry.lock:
             if not entry.closed:
                 entry.session.close(restore_model=restore)
@@ -390,8 +437,9 @@ class SessionManager:
             if not entry.lock.acquire(blocking=False):
                 continue                        # mid-batch: active
             try:
-                if entry.closed or now - entry.last_active < max_idle_s:
-                    continue
+                if entry.closed or entry.queued_frames \
+                        or now - entry.last_active < max_idle_s:
+                    continue                    # queued work counts as busy
                 saved = {"event": "tenant_checkpoint", "tenant": name,
                          "fingerprint": entry.spec.fingerprint(),
                          "batches_done": entry.session.batches_total,
@@ -424,6 +472,12 @@ class SessionManager:
         what distinguishes drain from :meth:`close`.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        # first let the scheduler run the backlog dry: every batch an
+        # ack admitted is applied (and checkpointed) before the final
+        # per-tenant drain checkpoints are cut
+        remaining = None if deadline is None \
+            else max(0.0, deadline - time.monotonic())
+        self._scheduler.wait_idle(remaining)
         with self._tenants_lock:
             entries = list(self._tenants.items())
         checkpointed: List[str] = []
@@ -474,7 +528,8 @@ class SessionManager:
             card = entry.session.scorecard()
             tenants[name] = {
                 "batches_done": entry.session.batches_total,
-                "pending_frames": len(entry.pending_images),
+                "pending_frames": len(entry.pending_images)
+                + entry.queued_frames,
                 "chunk": entry.last_chunk,
                 "closed": entry.closed,
                 "frames_processed": card.frames_processed,
@@ -493,7 +548,8 @@ class SessionManager:
                            "compactions": self.compactions}
         return {"tenants": tenants, "suspended": suspended,
                 "max_tenants": self.max_tenants,
-                "evictions": self.evictions, "journal": journal}
+                "evictions": self.evictions, "journal": journal,
+                "scheduler": self._scheduler.stats()}
 
     def close(self, *, close_tenants: bool = True) -> None:
         """Shut the manager down: close sessions, journal, backend.
@@ -507,6 +563,7 @@ class SessionManager:
                 names = sorted(self._tenants)
             for name in names:
                 self.close_tenant(name)
+        self._scheduler.close()
         if self._journal is not None:
             with self._journal_lock:
                 self._journal.close()

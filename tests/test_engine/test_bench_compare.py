@@ -78,14 +78,94 @@ class TestCompareEngineBench:
         assert any(c["metric"].startswith("numpy/")
                    for c in comparison["checked"])
 
-    def test_document_version_is_2_with_sweep_section(self, bench_doc):
-        assert BENCH_FORMAT_VERSION == 2
-        assert bench_doc["version"] == 2
+    def test_document_version_is_3_with_sweep_section(self, bench_doc):
+        assert BENCH_FORMAT_VERSION == 3
+        assert bench_doc["version"] == 3
         sweep = bench_doc["sweep"]
         assert sweep["cells"] == 6
         assert sweep["serial"]["cells_per_s"] > 0
         assert sweep["parallel"]["cells_per_s"] > 0
         assert sweep["parallel"]["workers"] == 1
+
+
+def serving_section(p50=40.0, p95=70.0, p99=90.0, fps=250.0):
+    """A fabricated ``serving`` section of the shape loadgen emits."""
+    return {
+        "config": {"tenants": 2, "frames_per_tenant": 96,
+                   "batch_size": 16, "arrival": "poisson:rate=256",
+                   "seed": 0, "workers": 2, "method": "bn_opt",
+                   "guard": True},
+        "requests": 12, "frames_accepted": 192, "frames_dropped": 0,
+        "frames_per_s": fps,
+        "latency_ms": {"p50": p50, "p95": p95, "p99": p99,
+                       "mean": p50, "max": p99},
+        "open_loop_latency_ms": {"p50": p50, "p95": p95, "p99": p99,
+                                 "mean": p50, "max": p99},
+        "queue_depth": {"samples": 20, "mean": 4.0, "max": 16},
+        "errors": 0,
+    }
+
+
+class TestServingComparison:
+    """The v3 ``serving`` section: gated when both sides have it,
+    informational when the baseline predates it."""
+
+    def test_fabricated_2x_p99_regression_turns_the_gate_red(
+            self, bench_doc):
+        base = copy.deepcopy(bench_doc)
+        base["serving"] = serving_section()
+        current = copy.deepcopy(base)
+        current["serving"]["latency_ms"]["p99"] *= 2.0
+        comparison = compare_engine_bench(current, base,
+                                          tolerance_pct=40.0)
+        flagged = {c["metric"] for c in comparison["regressions"]}
+        assert flagged == {"serving/latency_p99_ms"}
+        assert "REGRESSED" in format_bench_comparison(comparison)
+
+    def test_throughput_drop_is_a_regression(self, bench_doc):
+        base = copy.deepcopy(bench_doc)
+        base["serving"] = serving_section(fps=300.0)
+        current = copy.deepcopy(base)
+        current["serving"]["frames_per_s"] = 100.0
+        comparison = compare_engine_bench(current, base,
+                                          tolerance_pct=40.0)
+        flagged = {c["metric"] for c in comparison["regressions"]}
+        assert "serving/frames_per_s" in flagged
+
+    def test_parity_serving_sections_pass_and_are_checked(
+            self, bench_doc):
+        doc = copy.deepcopy(bench_doc)
+        doc["serving"] = serving_section()
+        comparison = compare_engine_bench(doc, doc, tolerance_pct=0.0)
+        assert comparison["regressions"] == []
+        assert comparison["notes"] == []
+        metrics = {c["metric"] for c in comparison["checked"]}
+        assert {"serving/latency_p50_ms", "serving/latency_p95_ms",
+                "serving/latency_p99_ms",
+                "serving/frames_per_s"} <= metrics
+
+    def test_pre_v3_baseline_is_informational_not_gated(self, bench_doc):
+        current = copy.deepcopy(bench_doc)
+        current["serving"] = serving_section(p99=10_000.0, fps=0.001)
+        comparison = compare_engine_bench(current, bench_doc,
+                                          tolerance_pct=40.0)
+        assert comparison["regressions"] == []
+        assert "serving/latency_p99_ms" in comparison["skipped"]
+        assert "serving/frames_per_s" in comparison["skipped"]
+        assert any("informational" in note
+                   for note in comparison["notes"])
+        assert "note:" in format_bench_comparison(comparison)
+
+    def test_latency_improvement_never_flagged(self, bench_doc):
+        base = copy.deepcopy(bench_doc)
+        base["serving"] = serving_section()
+        current = copy.deepcopy(base)
+        for key in ("p50", "p95", "p99"):
+            current["serving"]["latency_ms"][key] /= 4.0
+        current["serving"]["frames_per_s"] *= 4.0
+        comparison = compare_engine_bench(current, base,
+                                          tolerance_pct=0.0)
+        assert comparison["regressions"] == []
 
 
 class TestBenchCompareCli:
@@ -110,7 +190,7 @@ class TestBenchCompareCli:
         assert main(["bench", "--json", str(out), "--compare",
                      str(baseline), "--tolerance", "40"]) == 0
         assert "0 regression(s)" in capsys.readouterr().out
-        assert json.loads(out.read_text())["version"] == 2
+        assert json.loads(out.read_text())["version"] == BENCH_FORMAT_VERSION
 
     def test_regression_exits_nonzero(self, stub_bench, tmp_path, capsys):
         # a baseline 2x *faster* than the stubbed current run == the
