@@ -15,6 +15,15 @@ enforces them mechanically, in two complementary passes:
   validates every leaf op's arrays (NaN/Inf, float32 dtype drift,
   shape contracts) with op-site attribution.  Runs as
   ``--backend sanitize``.
+
+PR 10 extends both passes to the threaded serve stack: static
+concurrency-discipline rules REP008–REP012
+(:mod:`repro.analysis.concurrency` — unguarded shared-state writes,
+the project-wide lock-order graph, blocking calls under a lock,
+daemon-less threads, condition misuse) and the runtime lock-order
+watchdog (:mod:`repro.analysis.lockwatch` — ``instrument_locks()``
+patches lock construction to record per-thread acquisition stacks and
+report inversions/long holds; opt in with ``REPRO_LOCKWATCH=1``).
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from repro.analysis.baseline import (
     load_baseline,
     write_baseline,
 )
+from repro.analysis.concurrency import LockEdge, lock_order_findings
 from repro.analysis.context import FileContext
 from repro.analysis.engine import (
     PARSE_ERROR_CODE,
@@ -35,7 +45,17 @@ from repro.analysis.engine import (
     resolve_codes,
 )
 from repro.analysis.findings import Finding, finding_from_dict
+from repro.analysis.lockwatch import (
+    LockInversionError,
+    LockWatch,
+    active_watch,
+    finish_watch,
+    instrument_locks,
+    lockwatch_enabled,
+    maybe_instrument,
+)
 from repro.analysis.reporters import (
+    format_github,
     format_json,
     format_rule_catalog,
     format_text,
@@ -51,6 +71,9 @@ __all__ = [
     "BaselineError",
     "FileContext",
     "Finding",
+    "LockEdge",
+    "LockInversionError",
+    "LockWatch",
     "NumericFaultError",
     "PARSE_ERROR_CODE",
     "Rule",
@@ -61,14 +84,21 @@ __all__ = [
     "SanitizerBackend",
     "SanitizerFinding",
     "UsageError",
+    "active_watch",
     "apply_baseline",
     "check_paths",
     "finding_from_dict",
+    "finish_watch",
+    "format_github",
     "format_json",
     "format_rule_catalog",
     "format_text",
+    "instrument_locks",
     "iter_python_files",
     "load_baseline",
+    "lock_order_findings",
+    "lockwatch_enabled",
+    "maybe_instrument",
     "resolve_codes",
     "write_baseline",
 ]

@@ -9,6 +9,7 @@ node", "is this write inside a lock-guarded block", "which names did an
 from __future__ import annotations
 
 import ast
+import re
 from pathlib import Path, PurePath
 from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
@@ -17,7 +18,8 @@ PathLike = Union[str, Path]
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
 
 #: substrings that mark a context-manager name as a concurrency guard
-_LOCK_NAME_HINTS = ("lock", "mutex", "semaphore", "condition")
+#: ("cond" subsumes "condition" and catches the idiomatic `self._cond`)
+_LOCK_NAME_HINTS = ("lock", "mutex", "semaphore", "cond")
 
 
 def _looks_lock_like(expr: ast.AST) -> bool:
@@ -38,6 +40,36 @@ def _looks_lock_like(expr: ast.AST) -> bool:
         return False
     lowered = name.lower()
     return any(hint in lowered for hint in _LOCK_NAME_HINTS)
+
+
+def _lock_expr_name(expr: ast.AST) -> str:
+    """The lock's dotted name for a lock-like ``with`` item.
+
+    ``with self._lock:`` names ``self._lock``; the ``.acquire(...)``-style
+    manager ``with lk.acquire():`` names the receiver ``lk``.
+    """
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            return dotted_name(func.value) or "<lock>"
+        expr = func
+    return dotted_name(expr) or "<lock>"
+
+
+#: ``# repro: noqa`` (all codes) or ``# repro: noqa[REP001,REP003]``
+NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9,\s]+)\])?")
+
+
+def noqa_codes(line: str) -> Optional[Set[str]]:
+    """Codes suppressed on this physical line (empty set = all codes)."""
+    match = NOQA_PATTERN.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return set()
+    return {code.strip().upper() for code in codes.split(",") if code.strip()}
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:
@@ -94,22 +126,56 @@ class FileContext:
 
     def inside_lock(self, node: ast.AST,
                     within: Optional[ast.AST] = None) -> bool:
-        """True when a lock-like ``with`` sits between ``node`` and ``within``.
+        """True when a lock guard sits between ``node`` and ``within``.
 
         ``within`` bounds the search (typically the enclosing function);
         ancestors above it do not count.  Only context managers that look
         like concurrency guards count — ``with open(...)`` or
         ``with tempfile...`` blocks are not locks and must not sanction a
-        shared-state write.
+        shared-state write.  The explicit ``lk.acquire(...)`` +
+        ``try: ... finally: lk.release()`` idiom counts too.
         """
+        return bool(self.held_locks(node, within=within))
+
+    def held_locks(self, node: ast.AST,
+                   within: Optional[ast.AST] = None) -> List[str]:
+        """Dotted names of lock guards held at ``node``, innermost first.
+
+        Two idioms count: a lock-like ``with`` block between ``node`` and
+        ``within``, and a ``try`` ancestor whose ``finally`` releases a
+        lock-named receiver (``lk.acquire(...)`` … ``finally:
+        lk.release()`` — the non-blocking/timeout acquire pattern where a
+        ``with`` cannot express the conditional hold).
+        """
+        held: List[str] = []
         for ancestor in self.ancestors(node):
             if ancestor is within:
-                return False
-            if (isinstance(ancestor, (ast.With, ast.AsyncWith))
-                    and any(_looks_lock_like(item.context_expr)
-                            for item in ancestor.items)):
-                return True
-        return False
+                break
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    if _looks_lock_like(item.context_expr):
+                        held.append(_lock_expr_name(item.context_expr))
+            elif isinstance(ancestor, ast.Try):
+                held.extend(self._finally_released_locks(ancestor))
+        return held
+
+    def _finally_released_locks(self, try_node: ast.Try) -> List[str]:
+        """Lock-named receivers of zero-arg ``.release()`` in the finally."""
+        names: List[str] = []
+        for statement in try_node.finalbody:
+            for sub in ast.walk(statement):
+                if not (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "release"
+                        and not sub.args and not sub.keywords):
+                    continue
+                name = dotted_name(sub.func.value)
+                if name is None:
+                    continue
+                lowered = name.lower()
+                if any(hint in lowered for hint in _LOCK_NAME_HINTS):
+                    names.append(name)
+        return names
 
     def atomic_path_bindings(self, node: ast.AST) -> Set[str]:
         """Names bound by enclosing ``with atomic_path(...) as name`` items."""

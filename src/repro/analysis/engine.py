@@ -14,19 +14,19 @@ findings in the rest of the tree.
 from __future__ import annotations
 
 import ast
-import re
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Set, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, \
+    Tuple, Type, Union
 
-from repro.analysis.context import FileContext
+from repro.analysis.context import FileContext, NOQA_PATTERN, noqa_codes
 from repro.analysis.findings import Finding
-from repro.analysis.rules import RULE_CODES, RULES
+from repro.analysis.rules import RULE_CODES, RULES, Rule
 
 PathLike = Union[str, Path]
 
 #: ``# repro: noqa`` (all codes) or ``# repro: noqa[REP001,REP003]``
-_NOQA_PATTERN = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+#: (kept as an alias: the pattern lives with the per-file helpers)
+_NOQA_PATTERN = NOQA_PATTERN
 
 #: code reported for unparseable files
 PARSE_ERROR_CODE = "REP000"
@@ -53,19 +53,11 @@ def resolve_codes(spec: Optional[str], option: str) -> Optional[Set[str]]:
     return codes
 
 
-def _noqa_codes(line: str) -> Optional[Set[str]]:
-    """Codes suppressed on this physical line (empty set = all codes)."""
-    match = _NOQA_PATTERN.search(line)
-    if match is None:
-        return None
-    codes = match.group("codes")
-    if codes is None:
-        return set()
-    return {code.strip().upper() for code in codes.split(",") if code.strip()}
+_noqa_codes = noqa_codes
 
 
 def _suppressed(finding: Finding, context: FileContext) -> bool:
-    codes = _noqa_codes(context.source_line(finding.line))
+    codes = noqa_codes(context.source_line(finding.line))
     if codes is None:
         return False
     return not codes or finding.code in codes
@@ -84,7 +76,44 @@ class RuleEngine:
 
     # -- single-source entry points ------------------------------------
     def check_source(self, source: str, path: PathLike) -> List[Finding]:
-        """Check one in-memory source blob (the unit the tests drive)."""
+        """Check one in-memory source blob (the unit the tests drive).
+
+        Project-wide rules finalize over just this file, so single-file
+        lock-order cycles still surface through this entry point.
+        """
+        findings, project = self._walk_file(source, path)
+        findings.extend(_finalize_project(project))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def check_file(self, path: PathLike) -> List[Finding]:
+        source = Path(path).read_text(encoding="utf-8")
+        return self.check_source(source, path)
+
+    # -- tree walking --------------------------------------------------
+    def check_paths(self, paths: Sequence[PathLike]) -> List[Finding]:
+        """Check files and/or directory trees; findings in stable order.
+
+        Per-file rules report as each file is walked; project-wide rules
+        (REP009's lock-order graph) accumulate state across *every* file
+        and finalize once at the end, so an AB edge in one module and a
+        BA edge in another still close a reported cycle.
+        """
+        findings: List[Finding] = []
+        project: List[Rule] = []
+        for path in iter_python_files(paths):
+            source = Path(path).read_text(encoding="utf-8")
+            file_findings, file_project = self._walk_file(source, path)
+            findings.extend(file_findings)
+            project.extend(file_project)
+        findings.extend(_finalize_project(project))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    # -- internals -----------------------------------------------------
+    def _walk_file(self, source: str, path: PathLike
+                   ) -> Tuple[List[Finding], List[Rule]]:
+        """One file's walk: (per-file findings, project-wide instances)."""
         try:
             context = FileContext(path, source)
         except SyntaxError as error:
@@ -95,11 +124,11 @@ class RuleEngine:
                 path=Path(path).as_posix(), line=line,
                 col=(error.offset or 1) - 1,
                 text=(source.splitlines()[line - 1].strip()
-                      if 0 < line <= len(source.splitlines()) else ""))]
+                      if 0 < line <= len(source.splitlines()) else ""))], []
         active = [rule(context) for rule in self.rules
                   if rule.applies(context)]
         if not active:
-            return []
+            return [], []
         for rule in active:
             rule.begin_module()
         for node in ast.walk(context.tree):
@@ -112,21 +141,18 @@ class RuleEngine:
                     for rule in active
                     for finding in rule.findings
                     if not _suppressed(finding, context)]
-        findings.sort(key=Finding.sort_key)
-        return findings
+        return findings, [rule for rule in active if rule.project_wide]
 
-    def check_file(self, path: PathLike) -> List[Finding]:
-        source = Path(path).read_text(encoding="utf-8")
-        return self.check_source(source, path)
 
-    # -- tree walking --------------------------------------------------
-    def check_paths(self, paths: Sequence[PathLike]) -> List[Finding]:
-        """Check files and/or directory trees; findings in stable order."""
-        findings: List[Finding] = []
-        for path in iter_python_files(paths):
-            findings.extend(self.check_file(path))
-        findings.sort(key=Finding.sort_key)
-        return findings
+def _finalize_project(instances: Sequence[Rule]) -> List[Finding]:
+    """Group project-wide rule instances by class and finalize each."""
+    by_class: Dict[Type[Rule], List[Rule]] = {}
+    for instance in instances:
+        by_class.setdefault(type(instance), []).append(instance)
+    findings: List[Finding] = []
+    for rule_class, group in by_class.items():
+        findings.extend(rule_class.finalize_project(group))
+    return findings
 
 
 def iter_python_files(paths: Sequence[PathLike]) -> Iterator[Path]:

@@ -1,4 +1,4 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters: text, machine-readable JSON, GitHub annotations."""
 
 from __future__ import annotations
 
@@ -31,6 +31,35 @@ def format_json(findings: Sequence[Finding]) -> str:
         "findings": [finding.to_dict() for finding in findings],
     }
     return json.dumps(payload, indent=2)
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command *property* value (file=, title=)."""
+    return (value.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A").replace(":", "%3A").replace(",", "%2C"))
+
+
+def _escape_message(value: str) -> str:
+    """Escape a workflow-command *message* (after the ``::``)."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def format_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions ``::warning`` workflow commands, one per finding.
+
+    Emitted to a job's stdout these land as inline annotations on the
+    PR diff; a trailing plain line summarizes for the raw log.
+    """
+    if not findings:
+        return "repro check: no findings"
+    lines = [
+        f"::warning file={_escape_property(f.path)},line={f.line},"
+        f"col={f.col + 1},title={_escape_property(f.code)}::"
+        f"{_escape_message(f.message)}"
+        for f in findings
+    ]
+    lines.append(f"repro check: {len(findings)} finding(s)")
+    return "\n".join(lines)
 
 
 def format_rule_catalog() -> str:

@@ -1,0 +1,68 @@
+"""The ``Rule`` base class, split out so rule modules share it freely.
+
+:mod:`repro.analysis.rules` (REP001–REP007 plus the catalog) and
+:mod:`repro.analysis.concurrency` (REP008–REP012) both subclass
+:class:`Rule`; keeping the base here lets the catalog module import the
+concurrency rules without a circular import, whichever module Python
+happens to load first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+
+
+class Rule:
+    """Base class: one invariant, one ``REPxxx`` code.
+
+    Subclasses define ``visit_<NodeType>`` methods; each checked node is
+    dispatched to every active rule by the engine.  ``begin_module``
+    runs before the walk for rules that need a module-level prepass.
+    """
+
+    code: str = "REP000"
+    name: str = "base"
+    #: one-line rationale shown by ``repro check --list-rules``
+    rationale: str = ""
+    #: restrict to files under these package directories (None = all)
+    scope_dirs: Optional[Tuple[str, ...]] = None
+    #: whether the rule runs on test files, source files, or both
+    runs_on_tests: bool = True
+    runs_on_source: bool = True
+    #: project-wide rules collect per-file data during the walk and
+    #: produce their findings in :meth:`finalize_project` once every
+    #: checked file has been seen (e.g. the REP009 lock-order graph)
+    project_wide: bool = False
+
+    def __init__(self, context: FileContext):
+        self.context = context
+        self.findings: List[Finding] = []
+
+    @classmethod
+    def finalize_project(cls, instances: Sequence["Rule"]) -> List[Finding]:
+        """Merge per-file state from ``instances`` into global findings."""
+        return []
+
+    @classmethod
+    def applies(cls, context: FileContext) -> bool:
+        if context.is_test and not cls.runs_on_tests:
+            return False
+        if not context.is_test and not cls.runs_on_source:
+            return False
+        if cls.scope_dirs is not None and not context.in_packages(cls.scope_dirs):
+            return False
+        return True
+
+    def begin_module(self) -> None:
+        """Optional prepass over ``self.context.tree`` before dispatch."""
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        self.findings.append(Finding(
+            code=self.code, message=message, path=self.context.path,
+            line=line, col=getattr(node, "col_offset", 0),
+            text=self.context.source_line(line).strip()))

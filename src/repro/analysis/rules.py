@@ -37,6 +37,10 @@ The catalog (code — invariant protected):
   (``(a == b).all()``): silently True under shape broadcasting;
   ``np.array_equal`` states bit-identity intent and checks shapes,
   ``np.allclose`` states numeric closeness.
+- REP008–REP012 — the concurrency-discipline rules for the threaded
+  serve stack (unguarded shared-state writes, lock-order cycles,
+  blocking calls under a lock, daemon-less threads, condition misuse);
+  see :mod:`repro.analysis.concurrency` and docs/ANALYSIS.md.
 """
 
 from __future__ import annotations
@@ -44,51 +48,8 @@ from __future__ import annotations
 import ast
 from typing import Dict, List, Optional, Set, Tuple, Type
 
-from repro.analysis.context import FileContext, dotted_name
-from repro.analysis.findings import Finding
-
-
-class Rule:
-    """Base class: one invariant, one ``REPxxx`` code.
-
-    Subclasses define ``visit_<NodeType>`` methods; each checked node is
-    dispatched to every active rule by the engine.  ``begin_module``
-    runs before the walk for rules that need a module-level prepass.
-    """
-
-    code: str = "REP000"
-    name: str = "base"
-    #: one-line rationale shown by ``repro check --list-rules``
-    rationale: str = ""
-    #: restrict to files under these package directories (None = all)
-    scope_dirs: Optional[Tuple[str, ...]] = None
-    #: whether the rule runs on test files, source files, or both
-    runs_on_tests: bool = True
-    runs_on_source: bool = True
-
-    def __init__(self, context: FileContext):
-        self.context = context
-        self.findings: List[Finding] = []
-
-    @classmethod
-    def applies(cls, context: FileContext) -> bool:
-        if context.is_test and not cls.runs_on_tests:
-            return False
-        if not context.is_test and not cls.runs_on_source:
-            return False
-        if cls.scope_dirs is not None and not context.in_packages(cls.scope_dirs):
-            return False
-        return True
-
-    def begin_module(self) -> None:
-        """Optional prepass over ``self.context.tree`` before dispatch."""
-
-    def report(self, node: ast.AST, message: str) -> None:
-        line = getattr(node, "lineno", 1)
-        self.findings.append(Finding(
-            code=self.code, message=message, path=self.context.path,
-            line=line, col=getattr(node, "col_offset", 0),
-            text=self.context.source_line(line).strip()))
+from repro.analysis.context import dotted_name
+from repro.analysis.rulebase import Rule
 
 
 # ---------------------------------------------------------------------------
@@ -445,6 +406,16 @@ class ArrayEqualityRule(Rule):
                               "closeness")
 
 
+# the concurrency rules live in their own module but share this base
+# class and catalog; imported at the bottom so `Rule` exists first
+from repro.analysis.concurrency import (  # noqa: E402
+    BlockingUnderLockRule,
+    ConditionDisciplineRule,
+    GuardedStateRule,
+    LockOrderRule,
+    ThreadDaemonRule,
+)
+
 #: the rule catalog, in code order
 RULES: Tuple[Type[Rule], ...] = (
     GlobalRandomRule,
@@ -454,6 +425,11 @@ RULES: Tuple[Type[Rule], ...] = (
     GlobalMutationRule,
     SwallowedExceptionRule,
     ArrayEqualityRule,
+    GuardedStateRule,
+    LockOrderRule,
+    BlockingUnderLockRule,
+    ThreadDaemonRule,
+    ConditionDisciplineRule,
 )
 
 RULES_BY_CODE: Dict[str, Type[Rule]] = {rule.code: rule for rule in RULES}

@@ -410,36 +410,48 @@ def _cmd_native(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import ServeDaemon, SessionManager
+    from repro.analysis.lockwatch import (LockInversionError, finish_watch,
+                                          maybe_instrument)
 
-    if args.resume and not args.journal:
-        print("error: --resume requires --journal", file=sys.stderr)
-        return 2
-    manager = SessionManager(
-        journal=args.journal or None, resume=args.resume,
-        backend=args.backend or "numpy", max_tenants=args.max_tenants,
-        checkpoint_every=args.checkpoint_every,
-        compact_above=args.compact_above, workers=args.workers)
-    daemon = ServeDaemon(manager, args.host, args.port,
-                         io_timeout=args.io_timeout,
-                         idle_evict_s=args.idle_evict)
-    host, port = daemon.address
-    # flushed before blocking: test/CI wrappers parse this line to learn
-    # the bound port (especially with --port 0)
-    print(f"repro serve listening on {host}:{port}", flush=True)
-    drained = False
+    # REPRO_LOCKWATCH=1 runs the whole daemon under the runtime
+    # lock-order watchdog; locks are instrumented at construction so the
+    # manager/daemon must be built inside the context
+    with maybe_instrument() as watch:
+        from repro.serve import ServeDaemon, SessionManager
+
+        if args.resume and not args.journal:
+            print("error: --resume requires --journal", file=sys.stderr)
+            return 2
+        manager = SessionManager(
+            journal=args.journal or None, resume=args.resume,
+            backend=args.backend or "numpy", max_tenants=args.max_tenants,
+            checkpoint_every=args.checkpoint_every,
+            compact_above=args.compact_above, workers=args.workers)
+        daemon = ServeDaemon(manager, args.host, args.port,
+                             io_timeout=args.io_timeout,
+                             idle_evict_s=args.idle_evict)
+        host, port = daemon.address
+        # flushed before blocking: test/CI wrappers parse this line to
+        # learn the bound port (especially with --port 0)
+        print(f"repro serve listening on {host}:{port}", flush=True)
+        drained = False
+        try:
+            daemon.serve_forever()
+            if daemon.drain_requested:
+                summary = daemon.drain(args.drain_timeout)
+                drained = True
+                print(f"drained: {len(summary['checkpointed'])} tenant(s) "
+                      f"checkpointed, {summary['compacted_entries']} journal "
+                      "entries compacted away", flush=True)
+        finally:
+            # a drained shutdown leaves tenants open in the journal so a
+            # later --resume re-admits them; anything else closes them out
+            daemon.close(close_tenants=not drained)
     try:
-        daemon.serve_forever()
-        if daemon.drain_requested:
-            summary = daemon.drain(args.drain_timeout)
-            drained = True
-            print(f"drained: {len(summary['checkpointed'])} tenant(s) "
-                  f"checkpointed, {summary['compacted_entries']} journal "
-                  "entries compacted away", flush=True)
-    finally:
-        # a drained shutdown leaves tenants open in the journal so a
-        # later --resume re-admits them; anything else closes them out
-        daemon.close(close_tenants=not drained)
+        finish_watch(watch)
+    except LockInversionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -590,7 +602,7 @@ def _cmd_serve_client(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis import (BaselineError, UsageError, apply_baseline,
-                                check_paths, format_json,
+                                check_paths, format_github, format_json,
                                 format_rule_catalog, format_text,
                                 load_baseline, write_baseline)
 
@@ -605,7 +617,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 print("error: --update-baseline requires --baseline PATH",
                       file=sys.stderr)
                 return 2
-            write_baseline(args.baseline, findings)
+            try:
+                write_baseline(args.baseline, findings)
+            except OSError as error:
+                print(f"error: cannot write baseline {args.baseline}: "
+                      f"{error}", file=sys.stderr)
+                return 2
             print(f"wrote {args.baseline} ({len(findings)} finding(s) "
                   "absorbed)")
             return 0
@@ -615,7 +632,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     except (UsageError, BaselineError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    reporter = format_json if args.format == "json" else format_text
+    reporter = {"json": format_json,
+                "github": format_github}.get(args.format, format_text)
     print(reporter(findings))
     return 1 if findings else 0
 
@@ -973,7 +991,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_client.set_defaults(func=_cmd_serve_client)
 
     check = sub.add_parser(
-        "check", help="project-aware invariant linter (REP001-REP007)")
+        "check", help="project-aware invariant linter (REP001-REP012)")
     check.add_argument("paths", nargs="*", metavar="PATH",
                        help="files or directory trees to check "
                             "(default: src)")
@@ -982,8 +1000,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(e.g. REP001,REP003)")
     check.add_argument("--ignore", metavar="CODES", default=None,
                        help="skip these comma-separated rule codes")
-    check.add_argument("--format", choices=("text", "json"),
-                       default="text", help="report format")
+    check.add_argument("--format", choices=("text", "json", "github"),
+                       default="text",
+                       help="report format (github = Actions workflow-"
+                            "command annotations)")
     check.add_argument("--baseline", metavar="PATH", default=None,
                        help="baseline JSON absorbing legacy findings "
                             "(the repo commits .repro-check-baseline.json)")

@@ -58,6 +58,12 @@ from repro.serve.session import AdaptationSession
 SERVE_EVENTS = ("serve_start", "tenant_open", "tenant_checkpoint",
                 "tenant_close", "tenant_evict")
 
+#: the manager's lock discipline, outermost first, enforced by the
+#: REP009 lock-order analysis: a per-tenant `entry.lock` may be held
+#: while taking the registry or journal lock, never the reverse
+_LOCK_ORDER = ("entry.lock", "SessionManager._tenants_lock",
+               "SessionManager._journal_lock")
+
 #: closed-tenant final scorecards retained for idempotent re-close
 _FINAL_SCORECARDS_KEPT = 128
 

@@ -236,4 +236,5 @@ class BatchScheduler:
         for thread in self._threads:
             if thread.is_alive():
                 thread.join(timeout=timeout)
-        self._threads.clear()
+        with self._cond:
+            self._threads.clear()

@@ -15,6 +15,27 @@ from repro.models.registry import MODEL_NAMES, build_model
 from repro.models.summary import summarize
 
 
+@pytest.fixture(scope="session", autouse=True)
+def lockwatch_session():
+    """Run the whole suite under the runtime lock-order watchdog.
+
+    Opt-in: a no-op unless ``REPRO_LOCKWATCH=1`` (CI's lockwatch smoke
+    leg sets it).  When active, every lock constructed during the
+    session is instrumented; at teardown the observed-order report is
+    written to ``REPRO_LOCKWATCH_REPORT`` (when set) and any recorded
+    inversion fails the run.
+    """
+    from repro.analysis.lockwatch import (finish_watch, lockwatch_enabled,
+                                          maybe_instrument)
+
+    if not lockwatch_enabled():
+        yield None
+        return
+    with maybe_instrument() as watch:
+        yield watch
+    finish_watch(watch)
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(0)

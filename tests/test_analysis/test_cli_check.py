@@ -64,6 +64,20 @@ class TestExitCodes:
                      "--baseline", str(broken)]) == 2
         assert "not valid JSON" in capsys.readouterr().err
 
+    def test_missing_baseline_exits_two(self, bad_tree, tmp_path, capsys):
+        assert main(["check", str(bad_tree),
+                     "--baseline", str(tmp_path / "absent.json")]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_unwritable_baseline_dir_exits_two(self, bad_tree, tmp_path,
+                                               capsys):
+        # --update-baseline into a directory that does not exist must be
+        # a diagnosed usage error, not an OSError traceback
+        target = tmp_path / "no" / "such" / "dir" / "baseline.json"
+        assert main(["check", str(bad_tree), "--baseline", str(target),
+                     "--update-baseline"]) == 2
+        assert "cannot write baseline" in capsys.readouterr().err
+
 
 class TestFormats:
     def test_json_report(self, bad_tree, capsys):
@@ -92,6 +106,48 @@ class TestFormats:
         out = capsys.readouterr().out
         for code in RULE_CODES:
             assert code in out
+
+    def test_github_format_emits_annotations(self, bad_tree, capsys):
+        assert main(["check", str(bad_tree), "--format", "github"]) == 1
+        lines = capsys.readouterr().out.splitlines()
+        warnings = [line for line in lines if line.startswith("::warning ")]
+        assert len(warnings) == 2
+        assert "title=REP001::" in warnings[0]
+        assert ",line=" in warnings[0] and ",col=" in warnings[0]
+        assert lines[-1] == "repro check: 2 finding(s)"
+
+    def test_github_format_clean(self, clean_file, capsys):
+        assert main(["check", str(clean_file),
+                     "--format", "github"]) == 0
+        assert "::warning" not in capsys.readouterr().out
+
+
+class TestConcurrencyGate:
+    def test_injected_lock_order_cycle_turns_gate_red(self, tmp_path,
+                                                      capsys):
+        # the acceptance fixture: an AB/BA inversion split across two
+        # modules must fail a plain `repro check <tree>` run
+        package = tmp_path / "src" / "repro" / "serve"
+        package.mkdir(parents=True)
+        (package / "fwd.py").write_text(textwrap.dedent("""
+            from .locks import LOCK_A, LOCK_B
+
+            def forward():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+        """))
+        (package / "bwd.py").write_text(textwrap.dedent("""
+            from .locks import LOCK_A, LOCK_B
+
+            def backward():
+                with LOCK_B:
+                    with LOCK_A:
+                        pass
+        """))
+        assert main(["check", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP009" in out and "cycle" in out
 
 
 class TestBaselineWorkflow:

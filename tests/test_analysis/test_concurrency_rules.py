@@ -1,0 +1,670 @@
+"""Fixture-snippet tests for the concurrency rules (REP008–REP012).
+
+Each rule gets positive, negative, and noqa-suppression coverage; the
+REP009 lock-order graph additionally gets cross-file cycle tests
+through ``RuleEngine.check_paths`` (the project-wide finalize phase).
+"""
+
+import textwrap
+
+from repro.analysis import RuleEngine
+
+SOURCE_PATH = "src/repro/serve/mod.py"
+TEST_PATH = "tests/test_mod.py"
+
+_ENGINE = RuleEngine()
+
+
+def check(source, path=SOURCE_PATH):
+    return _ENGINE.check_source(textwrap.dedent(source), path)
+
+
+def codes(source, path=SOURCE_PATH):
+    return [finding.code for finding in check(source, path)]
+
+
+class TestGuardedStateRule:
+    GUARDED_CLASS = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+                self.count = 0
+
+            def add(self, item):
+                with self._lock:
+                    self._items.append(item)
+                    self.count += 1
+        %s
+    """
+
+    def test_unguarded_write_of_guarded_attr_flagged(self):
+        findings = check(self.GUARDED_CLASS % """
+            def reset(self):
+                self._items.clear()
+        """)
+        assert [f.code for f in findings] == ["REP008"]
+        assert "self._items" in findings[0].message
+        assert "Box.reset" in findings[0].message
+
+    def test_unguarded_augassign_flagged(self):
+        assert codes(self.GUARDED_CLASS % """
+            def bump(self):
+                self.count += 1
+        """) == ["REP008"]
+
+    def test_unguarded_subscript_write_flagged(self):
+        assert codes("""
+            import threading
+
+            class Table:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._rows = {}
+
+                def put(self, key, row):
+                    with self._lock:
+                        self._rows[key] = row
+
+                def evict(self, key):
+                    del self._rows[key]
+        """) == ["REP008"]
+
+    def test_guarded_write_not_flagged(self):
+        assert codes(self.GUARDED_CLASS % """
+            def reset(self):
+                with self._lock:
+                    self._items.clear()
+        """) == []
+
+    def test_init_writes_exempt(self):
+        # construction happens-before sharing: __init__ rebinding the
+        # guarded attribute is not a race
+        assert codes(self.GUARDED_CLASS % "") == []
+
+    def test_try_finally_acquire_counts_as_guarded(self):
+        assert codes("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, item):
+                    with self._lock:
+                        self._items.append(item)
+
+                def drain(self):
+                    if not self._lock.acquire(blocking=False):
+                        return
+                    try:
+                        self._items.clear()
+                    finally:
+                        self._lock.release()
+        """) == []
+
+    def test_attr_never_guarded_not_flagged(self):
+        # an attribute no site guards is not "shared under this lock"
+        assert codes(self.GUARDED_CLASS % """
+            def rename(self, name):
+                self.name = name
+        """) == []
+
+    def test_class_without_lock_not_flagged(self):
+        assert codes("""
+            class Plain:
+                def __init__(self):
+                    self._items = []
+
+                def add(self, item):
+                    self._items.append(item)
+        """) == []
+
+    def test_noqa_suppresses(self):
+        assert codes(self.GUARDED_CLASS % """
+            def reset(self):
+                self._items.clear()   # repro: noqa[REP008]
+        """) == []
+
+    def test_not_run_on_tests(self):
+        assert codes(self.GUARDED_CLASS % """
+            def reset(self):
+                self._items.clear()
+        """, path=TEST_PATH) == []
+
+
+class TestLockOrderRule:
+    def test_ab_ba_inversion_flagged_at_both_sites(self):
+        findings = check("""
+            import threading
+            LOCK_A = threading.Lock()
+            LOCK_B = threading.Lock()
+
+            def forward():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+
+            def backward():
+                with LOCK_B:
+                    with LOCK_A:
+                        pass
+        """)
+        assert [f.code for f in findings] == ["REP009", "REP009"]
+        assert "cycle" in findings[0].message
+        assert {f.line for f in findings} == {8, 13}
+
+    def test_three_lock_cycle_flagged(self):
+        findings = check("""
+            import threading
+            LOCK_A = threading.Lock()
+            LOCK_B = threading.Lock()
+            LOCK_C = threading.Lock()
+
+            def one():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+
+            def two():
+                with LOCK_B:
+                    with LOCK_C:
+                        pass
+
+            def three():
+                with LOCK_C:
+                    with LOCK_A:
+                        pass
+        """)
+        assert [f.code for f in findings] == ["REP009"] * 3
+
+    def test_consistent_order_clean(self):
+        assert codes("""
+            import threading
+            LOCK_A = threading.Lock()
+            LOCK_B = threading.Lock()
+
+            def one():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+
+            def two():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+        """) == []
+
+    def test_self_nesting_flagged(self):
+        findings = check("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+        """)
+        assert [f.code for f in findings] == ["REP009"]
+        assert "non-reentrant" in findings[0].message
+        assert "Box._lock" in findings[0].message
+
+    def test_multi_item_with_orders_left_to_right(self):
+        # `with a, b:` then `with b: with a:` is an inversion
+        assert codes("""
+            import threading
+            LOCK_A = threading.Lock()
+            LOCK_B = threading.Lock()
+
+            def one():
+                with LOCK_A, LOCK_B:
+                    pass
+
+            def two():
+                with LOCK_B:
+                    with LOCK_A:
+                        pass
+        """) == ["REP009", "REP009"]
+
+    def test_declared_order_violation_flagged_without_cycle(self):
+        findings = check("""
+            import threading
+            _LOCK_ORDER = ("LOCK_A", "LOCK_B")
+            LOCK_A = threading.Lock()
+            LOCK_B = threading.Lock()
+
+            def backward():
+                with LOCK_B:
+                    with LOCK_A:
+                        pass
+        """)
+        assert [f.code for f in findings] == ["REP009"]
+        assert "declared lock order" in findings[0].message
+
+    def test_declared_order_followed_clean(self):
+        assert codes("""
+            import threading
+            _LOCK_ORDER = ("LOCK_A", "LOCK_B")
+            LOCK_A = threading.Lock()
+            LOCK_B = threading.Lock()
+
+            def forward():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+        """) == []
+
+    def test_noqa_removes_the_edge(self):
+        # suppressing one site removes its edge, so the cycle dissolves
+        # and the opposite site is clean too
+        assert codes("""
+            import threading
+            LOCK_A = threading.Lock()
+            LOCK_B = threading.Lock()
+
+            def forward():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+
+            def backward():
+                with LOCK_B:
+                    with LOCK_A:   # repro: noqa[REP009]
+                        pass
+        """) == []
+
+    def test_cross_file_cycle_through_check_paths(self, tmp_path):
+        package = tmp_path / "src" / "repro" / "servelike"
+        package.mkdir(parents=True)
+        (package / "mod_a.py").write_text(textwrap.dedent("""
+            import threading
+            from .locks import LOCK_A, LOCK_B
+
+            def forward():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+        """))
+        (package / "mod_b.py").write_text(textwrap.dedent("""
+            import threading
+            from .locks import LOCK_A, LOCK_B
+
+            def backward():
+                with LOCK_B:
+                    with LOCK_A:
+                        pass
+        """))
+        findings = _ENGINE.check_paths([tmp_path])
+        assert [f.code for f in findings] == ["REP009", "REP009"]
+        assert {f.path.rsplit("/", 1)[-1] for f in findings} == \
+            {"mod_a.py", "mod_b.py"}
+
+    def test_cross_file_consistent_order_clean(self, tmp_path):
+        package = tmp_path / "src" / "repro" / "servelike"
+        package.mkdir(parents=True)
+        for name in ("mod_a.py", "mod_b.py"):
+            (package / name).write_text(textwrap.dedent("""
+                import threading
+                from .locks import LOCK_A, LOCK_B
+
+                def forward():
+                    with LOCK_A:
+                        with LOCK_B:
+                            pass
+            """))
+        assert _ENGINE.check_paths([tmp_path]) == []
+
+    def test_try_finally_hold_contributes_edges(self):
+        # the acquire(timeout)/finally-release idiom is a hold: taking
+        # another lock inside it is an edge, and an opposite `with`
+        # nesting elsewhere closes the cycle
+        findings = check("""
+            import threading
+
+            class Manager:
+                def __init__(self):
+                    self._a_lock = threading.Lock()
+                    self._b_lock = threading.Lock()
+
+                def forward(self):
+                    if not self._a_lock.acquire(timeout=1.0):
+                        return
+                    try:
+                        with self._b_lock:
+                            pass
+                    finally:
+                        self._a_lock.release()
+
+                def backward(self):
+                    with self._b_lock:
+                        with self._a_lock:
+                            pass
+        """)
+        assert [f.code for f in findings] == ["REP009", "REP009"]
+
+
+class TestBlockingUnderLockRule:
+    def test_sleep_under_lock_flagged(self):
+        findings = check("""
+            import threading, time
+            _LOCK = threading.Lock()
+
+            def pause():
+                with _LOCK:
+                    time.sleep(0.5)
+        """)
+        assert [f.code for f in findings] == ["REP010"]
+        assert "time.sleep" in findings[0].message
+
+    def test_socket_recv_under_lock_flagged(self):
+        assert codes("""
+            import threading
+            _LOCK = threading.Lock()
+
+            def pump(sock):
+                with _LOCK:
+                    return sock.recv(4096)
+        """) == ["REP010"]
+
+    def test_unbounded_join_under_lock_flagged(self):
+        assert codes("""
+            import threading
+            _LOCK = threading.Lock()
+
+            def stop(worker):
+                with _LOCK:
+                    worker.join()
+        """) == ["REP010"]
+
+    def test_bounded_join_allowed(self):
+        assert codes("""
+            import threading
+            _LOCK = threading.Lock()
+
+            def stop(worker):
+                with _LOCK:
+                    worker.join(timeout=1.0)
+        """) == []
+
+    def test_str_join_not_confused(self):
+        # ", ".join(parts) always has a positional argument
+        assert codes("""
+            import threading
+            _LOCK = threading.Lock()
+
+            def fmt(parts):
+                with _LOCK:
+                    return ", ".join(parts)
+        """) == []
+
+    def test_unbounded_event_wait_under_lock_flagged(self):
+        assert codes("""
+            import threading
+            _LOCK = threading.Lock()
+
+            def sync(event):
+                with _LOCK:
+                    event.wait()
+        """) == ["REP010"]
+
+    def test_condition_wait_on_held_condition_allowed(self):
+        # Condition.wait releases the lock it holds — that is the point
+        assert codes("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def take(self):
+                    with self._cond:
+                        self._cond.wait()
+        """) == []
+
+    def test_timed_wait_allowed(self):
+        assert codes("""
+            import threading
+            _LOCK = threading.Lock()
+
+            def sync(event):
+                with _LOCK:
+                    event.wait(1.0)
+        """) == []
+
+    def test_unbounded_queue_get_under_lock_flagged(self):
+        assert codes("""
+            import threading
+            _LOCK = threading.Lock()
+
+            def take(task_queue):
+                with _LOCK:
+                    return task_queue.get()
+        """) == ["REP010"]
+
+    def test_queue_get_with_timeout_allowed(self):
+        assert codes("""
+            import threading
+            _LOCK = threading.Lock()
+
+            def take(task_queue):
+                with _LOCK:
+                    return task_queue.get(timeout=1.0)
+        """) == []
+
+    def test_open_under_lock_flagged(self):
+        assert codes("""
+            import threading
+            _LOCK = threading.Lock()
+
+            def read(path):
+                with _LOCK:
+                    with open(path) as fp:
+                        return fp.read()
+        """) == ["REP010"]
+
+    def test_file_lock_exempt(self):
+        # FileLock exists to serialize file I/O — reading under it is
+        # the sanctioned pattern, not a hazard
+        assert codes("""
+            from repro.parallel.filelock import FileLock
+
+            def read(path):
+                with FileLock(str(path) + ".lock"):
+                    with open(path) as fp:
+                        return fp.read()
+        """) == []
+
+    def test_blocking_call_outside_lock_clean(self):
+        assert codes("""
+            import time
+
+            def pause():
+                time.sleep(0.5)
+        """) == []
+
+    def test_noqa_suppresses(self):
+        assert codes("""
+            import threading, time
+            _LOCK = threading.Lock()
+
+            def pause():
+                with _LOCK:
+                    time.sleep(0.5)   # repro: noqa[REP010]
+        """) == []
+
+
+class TestThreadDaemonRule:
+    def test_thread_without_daemon_flagged(self):
+        findings = check("""
+            import threading
+
+            def start(fn):
+                worker = threading.Thread(target=fn)
+                worker.start()
+                return worker
+        """)
+        assert [f.code for f in findings] == ["REP011"]
+        assert "daemon" in findings[0].message
+
+    def test_thread_with_daemon_true_allowed(self):
+        assert codes("""
+            import threading
+
+            def start(fn):
+                worker = threading.Thread(target=fn, daemon=True)
+                worker.start()
+                return worker
+        """) == []
+
+    def test_thread_with_daemon_false_allowed(self):
+        # explicit daemon=False is a decision, not an omission
+        assert codes("""
+            import threading
+
+            def start(fn):
+                worker = threading.Thread(target=fn, daemon=False)
+                worker.start()
+                return worker
+        """) == []
+
+    def test_bare_thread_import_flagged(self):
+        assert codes("""
+            from threading import Thread
+
+            def start(fn):
+                return Thread(target=fn)
+        """) == ["REP011"]
+
+    def test_subclass_without_daemon_flagged(self):
+        findings = check("""
+            import threading
+
+            class Worker(threading.Thread):
+                def __init__(self, fn):
+                    super().__init__(name="worker")
+                    self.fn = fn
+        """)
+        assert [f.code for f in findings] == ["REP011"]
+        assert "Worker" in findings[0].message
+
+    def test_subclass_with_daemon_kwarg_allowed(self):
+        assert codes("""
+            import threading
+
+            class Worker(threading.Thread):
+                def __init__(self, fn):
+                    super().__init__(daemon=True, name="worker")
+                    self.fn = fn
+        """) == []
+
+    def test_subclass_setting_daemon_attr_allowed(self):
+        assert codes("""
+            import threading
+
+            class Worker(threading.Thread):
+                def __init__(self, fn):
+                    super().__init__(name="worker")
+                    self.daemon = True
+                    self.fn = fn
+        """) == []
+
+    def test_not_run_on_tests(self):
+        assert codes("""
+            import threading
+
+            def start(fn):
+                return threading.Thread(target=fn)
+        """, path=TEST_PATH) == []
+
+    def test_noqa_suppresses(self):
+        assert codes("""
+            import threading
+
+            def start(fn):
+                return threading.Thread(target=fn)   # repro: noqa[REP011]
+        """) == []
+
+
+class TestConditionDisciplineRule:
+    def test_notify_outside_lock_flagged(self):
+        findings = check("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def poke(self):
+                    self._cond.notify()
+        """)
+        assert [f.code for f in findings] == ["REP012"]
+        assert "with self._cond" in findings[0].message
+
+    def test_wait_inside_lock_allowed(self):
+        assert codes("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def take(self):
+                    with self._cond:
+                        self._cond.wait()
+                        self._cond.notify_all()
+        """) == []
+
+    def test_wait_under_different_lock_flagged(self):
+        # REP012 for the wrong lock, and REP010 because the unbounded
+        # wait blocks while `self._lock` stays held
+        assert codes("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition()
+
+                def take(self):
+                    with self._lock:
+                        self._cond.wait()
+        """) == ["REP010", "REP012"]
+
+    def test_discovered_condition_attr_without_name_hint(self):
+        # the prepass learns `self._ready = threading.Condition()` even
+        # though the name itself carries no hint
+        assert codes("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._ready = threading.Condition()
+
+                def poke(self):
+                    self._ready.notify()
+        """) == ["REP012"]
+
+    def test_non_condition_wait_not_flagged(self):
+        # an Event's wait needs no lock held
+        assert codes("""
+            def sync(event):
+                event.wait(1.0)
+        """) == []
+
+    def test_noqa_suppresses(self):
+        assert codes("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def poke(self):
+                    self._cond.notify()   # repro: noqa[REP012]
+        """) == []

@@ -1,0 +1,227 @@
+"""Edge-case tests for :mod:`repro.analysis.context` (FileContext)."""
+
+import ast
+import textwrap
+
+from repro.analysis.context import (
+    FileContext,
+    dotted_name,
+    noqa_codes,
+)
+
+
+def _context(source, path="src/repro/core/mod.py"):
+    return FileContext(path, textwrap.dedent(source))
+
+
+def _find(context, node_type, predicate=lambda node: True):
+    for node in ast.walk(context.tree):
+        if isinstance(node, node_type) and predicate(node):
+            return node
+    raise AssertionError(f"no {node_type.__name__} in tree")
+
+
+class TestBasics:
+    def test_empty_file_parses(self):
+        context = _context("")
+        assert context.tree.body == []
+        assert context.lines == []
+        assert context.source_line(1) == ""
+
+    def test_source_line_out_of_bounds(self):
+        context = _context("x = 1\n")
+        assert context.source_line(0) == ""
+        assert context.source_line(99) == ""
+        assert context.source_line(1) == "x = 1"
+
+    def test_is_test_detection(self):
+        assert _context("", path="tests/test_mod.py").is_test
+        assert _context("", path="tests/conftest.py").is_test
+        assert _context("", path="src/repro/core/mod.py").is_test is False
+
+    def test_parent_of_module_is_none(self):
+        context = _context("x = 1\n")
+        assert context.parent(context.tree) is None
+
+
+class TestEnclosingFunction:
+    def test_nested_function_returns_innermost(self):
+        context = _context("""
+            def outer():
+                def inner():
+                    value = 1
+                return inner
+        """)
+        assign = _find(context, ast.Assign)
+        enclosing = context.enclosing_function(assign)
+        assert isinstance(enclosing, ast.FunctionDef)
+        assert enclosing.name == "inner"
+
+    def test_module_scope_returns_none(self):
+        context = _context("value = 1\n")
+        assign = _find(context, ast.Assign)
+        assert context.enclosing_function(assign) is None
+
+    def test_lambda_counts_as_function(self):
+        context = _context("fn = lambda: inner()\n")
+        call = _find(context, ast.Call)
+        assert isinstance(context.enclosing_function(call), ast.Lambda)
+
+
+class TestHeldLocks:
+    def test_with_lock_held_innermost_first(self):
+        context = _context("""
+            import threading
+            OUTER_LOCK = threading.Lock()
+            INNER_MUTEX = threading.Lock()
+
+            def work():
+                with OUTER_LOCK:
+                    with INNER_MUTEX:
+                        value = 1
+        """)
+        assign = _find(context, ast.Assign,
+                       lambda node: isinstance(node.targets[0], ast.Name)
+                       and node.targets[0].id == "value")
+        assert context.held_locks(assign) == ["INNER_MUTEX", "OUTER_LOCK"]
+        assert context.inside_lock(assign)
+
+    def test_within_bounds_the_search(self):
+        context = _context("""
+            import threading
+            _LOCK = threading.Lock()
+
+            def outer():
+                with _LOCK:
+                    def inner():
+                        value = 1
+        """)
+        assign = _find(context, ast.Assign,
+                       lambda node: isinstance(node.targets[0], ast.Name)
+                       and node.targets[0].id == "value")
+        inner = context.enclosing_function(assign)
+        # the lock sits outside `inner`; a bounded search must not see it
+        assert context.held_locks(assign, within=inner) == []
+        assert context.held_locks(assign) == ["_LOCK"]
+
+    def test_lock_like_alias_recognized_non_hinted_not(self):
+        context = _context("""
+            def work(state_lock, resource):
+                with state_lock:
+                    guarded = 1
+                with resource:
+                    unguarded = 1
+        """)
+        guarded = _find(context, ast.Assign,
+                        lambda node: node.targets[0].id == "guarded")
+        unguarded = _find(context, ast.Assign,
+                          lambda node: node.targets[0].id == "unguarded")
+        assert context.held_locks(guarded) == ["state_lock"]
+        assert context.held_locks(unguarded) == []
+
+    def test_open_is_not_a_lock(self):
+        context = _context("""
+            def read(path):
+                with open(path) as fp:
+                    data = fp.read()
+        """)
+        assign = _find(context, ast.Assign)
+        assert not context.inside_lock(assign)
+
+    def test_acquire_style_manager_names_receiver(self):
+        context = _context("""
+            def work(lk):
+                with lk.acquire():
+                    value = 1
+        """)
+        assign = _find(context, ast.Assign)
+        assert context.held_locks(assign) == ["lk"]
+
+    def test_try_finally_release_counts_as_held(self):
+        context = _context("""
+            import threading
+            _LOCK = threading.Lock()
+
+            def work():
+                if not _LOCK.acquire(timeout=1.0):
+                    return
+                try:
+                    value = 1
+                finally:
+                    _LOCK.release()
+        """)
+        assign = _find(context, ast.Assign,
+                       lambda node: isinstance(node.targets[0], ast.Name)
+                       and node.targets[0].id == "value")
+        assert context.held_locks(assign) == ["_LOCK"]
+
+    def test_release_with_args_not_counted(self):
+        # `.release(n)` is a Semaphore bulk-release, not the lock idiom
+        context = _context("""
+            import threading
+            _SEMAPHORE = threading.Semaphore(4)
+
+            def work():
+                try:
+                    value = 1
+                finally:
+                    _SEMAPHORE.release(2)
+        """)
+        assign = _find(context, ast.Assign,
+                       lambda node: isinstance(node.targets[0], ast.Name)
+                       and node.targets[0].id == "value")
+        assert context.held_locks(assign) == []
+
+
+class TestAtomicPathBindings:
+    def test_bound_name_collected(self):
+        context = _context("""
+            from repro.io.atomic import atomic_path
+
+            def write(path):
+                with atomic_path(path) as tmp:
+                    target = tmp
+        """)
+        assign = _find(context, ast.Assign,
+                       lambda node: isinstance(node.targets[0], ast.Name)
+                       and node.targets[0].id == "target")
+        assert context.atomic_path_bindings(assign) == {"tmp"}
+
+    def test_other_context_managers_ignored(self):
+        context = _context("""
+            def write(path):
+                with open(path) as fp:
+                    data = fp.read()
+        """)
+        assign = _find(context, ast.Assign)
+        assert context.atomic_path_bindings(assign) == set()
+
+
+class TestDottedName:
+    def test_attribute_chain(self):
+        node = ast.parse("a.b.c", mode="eval").body
+        assert dotted_name(node) == "a.b.c"
+
+    def test_plain_name(self):
+        node = ast.parse("x", mode="eval").body
+        assert dotted_name(node) == "x"
+
+    def test_call_result_attribute_is_none(self):
+        node = ast.parse("f().attr", mode="eval").body
+        assert dotted_name(node) is None
+
+
+class TestNoqaCodes:
+    def test_no_marker(self):
+        assert noqa_codes("x = 1") is None
+
+    def test_blanket_noqa(self):
+        assert noqa_codes("x = 1  # repro: noqa") == set()
+
+    def test_specific_codes(self):
+        assert noqa_codes("x = 1  # repro: noqa[REP008, rep010]") == \
+            {"REP008", "REP010"}
+
+    def test_plain_flake8_noqa_not_matched(self):
+        # only the repro-prefixed marker counts
+        assert noqa_codes("x = 1  # noqa") is None

@@ -1,0 +1,295 @@
+"""Tests for the runtime lock-order watchdog (``repro.analysis.lockwatch``)."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.analysis import (
+    LockInversionError,
+    active_watch,
+    finish_watch,
+    instrument_locks,
+    lockwatch_enabled,
+    maybe_instrument,
+)
+from repro.analysis.lockwatch import ENV_FLAG, ENV_REPORT
+
+
+def _run_in_thread(fn, name):
+    worker = threading.Thread(target=fn, name=name, daemon=True)
+    worker.start()
+    worker.join(timeout=10.0)
+    assert not worker.is_alive()
+
+
+class TestInversionDetection:
+    def test_ab_ba_inversion_detected(self):
+        with instrument_locks() as watch:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def forward():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            def backward():
+                with lock_b:
+                    with lock_a:
+                        pass
+
+            # sequential on purpose: the watchdog flags the *order*
+            # hazard without needing the timing-dependent deadlock
+            _run_in_thread(forward, "fwd")
+            _run_in_thread(backward, "bwd")
+
+        assert watch.inversion_count == 1
+        record = watch.inversions[0]
+        assert len(record["cycle"]) == 3  # A -> B -> A
+        assert record["cycle"][0] == record["cycle"][-1]
+        assert record["thread"] == "bwd"
+        assert record["stack"]  # acquisition stack captured
+        with pytest.raises(LockInversionError) as excinfo:
+            watch.assert_clean()
+        assert "inversion" in str(excinfo.value)
+
+    def test_consistent_order_clean(self):
+        with instrument_locks() as watch:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def forward():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            _run_in_thread(forward, "one")
+            _run_in_thread(forward, "two")
+
+        assert watch.inversion_count == 0
+        assert len(watch.edges) == 1
+        watch.assert_clean()
+
+    def test_three_lock_cycle_detected(self):
+        with instrument_locks() as watch:
+            # one construction site per lock: identity is role-based
+            # (file:line), so a comprehension would merge them
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+            lock_c = threading.Lock()
+            locks = [lock_a, lock_b, lock_c]
+
+            def nest(first, second):
+                with locks[first]:
+                    with locks[second]:
+                        pass
+
+            _run_in_thread(lambda: nest(0, 1), "ab")
+            _run_in_thread(lambda: nest(1, 2), "bc")
+            _run_in_thread(lambda: nest(2, 0), "ca")
+
+        assert watch.inversion_count == 1
+        assert len(watch.inversions[0]["cycle"]) == 4
+
+    def test_rlock_reentrancy_no_self_edge(self):
+        with instrument_locks() as watch:
+            rlock = threading.RLock()
+            with rlock:
+                with rlock:
+                    pass
+
+        assert watch.inversion_count == 0
+        assert watch.edges == {}
+        # reentrant re-acquire is not a second hold
+        assert watch.acquisitions == 1
+
+    def test_nonblocking_acquire_creates_no_edge(self):
+        # the close-once latch idiom: acquire(blocking=False) under
+        # another lock can never deadlock, so no edge is recorded —
+        # but the latch still joins the held stack
+        with instrument_locks() as watch:
+            guard = threading.Lock()
+            latch = threading.Lock()
+            with guard:
+                assert latch.acquire(blocking=False)
+            latch.release()
+            # opposite blocking order elsewhere must stay clean
+            with latch:
+                pass
+
+        assert watch.inversion_count == 0
+        assert watch.edges == {}
+
+
+class TestLongHolds:
+    def test_long_hold_recorded(self):
+        with instrument_locks(long_hold_s=0.05) as watch:
+            lock = threading.Lock()
+            with lock:
+                time.sleep(0.08)
+
+        assert watch.long_hold_count == 1
+        record = watch.long_holds[0]
+        assert record["held_s"] >= 0.05
+        # warnings by default ...
+        watch.assert_clean()
+        # ... failures on request
+        with pytest.raises(LockInversionError):
+            watch.assert_clean(long_holds=True)
+
+    def test_fast_hold_not_recorded(self):
+        with instrument_locks(long_hold_s=0.5) as watch:
+            lock = threading.Lock()
+            with lock:
+                pass
+        assert watch.long_hold_count == 0
+
+
+class TestConditionInstrumentation:
+    def test_condition_wait_notify_across_threads(self):
+        with instrument_locks() as watch:
+            cond = threading.Condition()
+            ready = []
+
+            def consumer():
+                with cond:
+                    while not ready:
+                        cond.wait(timeout=5.0)
+
+            worker = threading.Thread(target=consumer, name="consumer",
+                                      daemon=True)
+            worker.start()
+            time.sleep(0.02)
+            with cond:
+                ready.append(True)
+                cond.notify()
+            worker.join(timeout=5.0)
+            assert not worker.is_alive()
+
+        assert watch.inversion_count == 0
+        assert watch.locks_created >= 1
+
+    def test_event_picks_up_patched_lock(self):
+        # threading.Event resolves module globals at construction time
+        with instrument_locks() as watch:
+            event = threading.Event()
+            event.set()
+            assert event.wait(timeout=1.0)
+        assert watch.locks_created >= 1
+
+
+class TestReporting:
+    def test_report_structure(self):
+        with instrument_locks() as watch:
+            outer = threading.Lock()
+            inner = threading.Lock()
+            with outer:
+                with inner:
+                    pass
+
+        report = watch.report()
+        assert report["format"] == "repro.lockwatch_report"
+        assert report["version"] == 1
+        assert report["locks_created"] == 2
+        assert report["acquisitions"] == 2
+        assert report["inversion_count"] == 0
+        assert len(report["edges"]) == 1
+        assert report["edges"][0]["count"] == 1
+
+    def test_write_report_round_trips(self, tmp_path):
+        report_path = tmp_path / "lockwatch.json"
+        with instrument_locks() as watch:
+            lock = threading.Lock()
+            with lock:
+                pass
+        watch.write_report(str(report_path))
+        loaded = json.loads(report_path.read_text())
+        assert loaded == watch.report()
+
+
+class TestInstrumentationLifecycle:
+    def test_factories_restored_after_exit(self):
+        original = (threading.Lock, threading.RLock, threading.Condition)
+        with instrument_locks():
+            assert threading.Lock is not original[0]
+            assert threading.RLock is not original[1]
+            assert threading.Condition is not original[2]
+        assert (threading.Lock, threading.RLock,
+                threading.Condition) == original
+
+    def test_factories_restored_on_error(self):
+        original = threading.Lock
+        with pytest.raises(RuntimeError):
+            with instrument_locks():
+                raise RuntimeError("boom")
+        assert threading.Lock is original
+
+    def test_active_watch_tracks_nesting(self):
+        assert active_watch() is None
+        with instrument_locks() as outer:
+            assert active_watch() is outer
+            with instrument_locks() as inner:
+                assert active_watch() is inner
+            assert active_watch() is outer
+        assert active_watch() is None
+
+    def test_uninstrumented_locks_unobserved(self):
+        # a lock constructed before the context stays plain
+        lock = threading.Lock()
+        with instrument_locks() as watch:
+            with lock:
+                pass
+        assert watch.locks_created == 0
+        assert watch.acquisitions == 0
+
+
+class TestEnvHook:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert not lockwatch_enabled()
+        with maybe_instrument() as watch:
+            assert watch is None
+        finish_watch(None)  # no-op
+
+    def test_enabled_via_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        report_path = tmp_path / "report.json"
+        monkeypatch.setenv(ENV_REPORT, str(report_path))
+        assert lockwatch_enabled()
+        with maybe_instrument() as watch:
+            assert watch is not None
+            lock = threading.Lock()
+            with lock:
+                pass
+        finish_watch(watch)
+        loaded = json.loads(report_path.read_text())
+        assert loaded["acquisitions"] == 1
+
+    def test_finish_watch_writes_report_before_raising(
+            self, monkeypatch, tmp_path):
+        report_path = tmp_path / "report.json"
+        monkeypatch.setenv(ENV_REPORT, str(report_path))
+        with instrument_locks() as watch:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def forward():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            def backward():
+                with lock_b:
+                    with lock_a:
+                        pass
+
+            _run_in_thread(forward, "fwd")
+            _run_in_thread(backward, "bwd")
+
+        with pytest.raises(LockInversionError):
+            finish_watch(watch)
+        # the artifact survives the failure so CI can upload it
+        loaded = json.loads(report_path.read_text())
+        assert loaded["inversion_count"] == 1

@@ -1,0 +1,88 @@
+"""Tests for the finding reporters (text, JSON, GitHub annotations)."""
+
+import json
+
+from repro.analysis.findings import Finding, finding_from_dict
+from repro.analysis.reporters import (
+    format_github,
+    format_json,
+    format_rule_catalog,
+    format_text,
+)
+from repro.analysis.rules import RULES
+
+
+def _finding(code="REP001", message="bare print in library code",
+             path="src/repro/core/mod.py", line=10, col=4,
+             text="print(x)"):
+    return Finding(code=code, message=message, path=path, line=line,
+                   col=col, text=text)
+
+
+class TestFormatText:
+    def test_empty(self):
+        assert format_text([]) == "repro check: no findings"
+
+    def test_lines_and_summary(self):
+        findings = [_finding(), _finding(code="REP003", line=20)]
+        output = format_text(findings)
+        assert "src/repro/core/mod.py:10:5: REP001" in output
+        assert output.endswith(
+            "repro check: 2 finding(s) (REP001 x1, REP003 x1)")
+
+
+class TestFormatJson:
+    def test_round_trip(self):
+        findings = [_finding(), _finding(code="REP003", line=20)]
+        payload = json.loads(format_json(findings))
+        assert payload["format"] == "repro.check_report"
+        assert payload["version"] == 1
+        assert payload["count"] == 2
+        assert [finding_from_dict(row) for row in payload["findings"]] == \
+            findings
+
+    def test_empty_document(self):
+        payload = json.loads(format_json([]))
+        assert payload["count"] == 0
+        assert payload["findings"] == []
+
+
+class TestFormatGithub:
+    def test_empty(self):
+        assert format_github([]) == "repro check: no findings"
+
+    def test_warning_line_shape(self):
+        output = format_github([_finding()])
+        lines = output.splitlines()
+        assert lines[0] == ("::warning file=src/repro/core/mod.py,line=10,"
+                            "col=5,title=REP001::bare print in library code")
+        assert lines[1] == "repro check: 1 finding(s)"
+
+    def test_col_rendered_one_based(self):
+        # Finding.col is 0-based; annotations are 1-based
+        output = format_github([_finding(col=0)])
+        assert ",col=1," in output
+
+    def test_property_escaping(self):
+        finding = _finding(path="src/odd,dir/mod:name.py")
+        output = format_github([finding])
+        assert "file=src/odd%2Cdir/mod%3Aname.py," in output
+
+    def test_message_escaping(self):
+        finding = _finding(message="50% slower\nsecond line")
+        output = format_github([finding])
+        assert "::50%25 slower%0Asecond line" in output
+        assert "\n50%" not in output
+
+
+class TestRuleCatalog:
+    def test_all_codes_listed(self):
+        catalog = format_rule_catalog()
+        for rule in RULES:
+            assert rule.code in catalog
+            assert rule.rationale in catalog
+
+    def test_covers_concurrency_codes(self):
+        catalog = format_rule_catalog()
+        for code in ("REP008", "REP009", "REP010", "REP011", "REP012"):
+            assert code in catalog
